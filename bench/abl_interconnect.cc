@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: global-bus vs ring interconnect (Section 4.4).
+ *
+ * The paper evaluates a bus ("broadcasts on a bus are free") but
+ * envisions an SCI-style ring "because of the high-performance
+ * capability": disjoint ring segments carry different broadcasts
+ * simultaneously, so aggregate bandwidth scales with nodes, at the
+ * price of per-hop latency and per-receiver delivery skew.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "core/datascalar.hh"
+#include "driver/driver.hh"
+#include "stats/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace dscalar;
+
+int
+main()
+{
+    bench::banner("Ablation: interconnect",
+                  "DataScalar broadcasts over a bus vs a "
+                  "unidirectional ring");
+    InstSeq budget = bench::defaultBudget(150'000);
+
+    for (unsigned nodes : {2u, 4u, 8u}) {
+        std::printf("-- %u nodes --\n", nodes);
+        stats::Table table(
+            {"benchmark", "bus-IPC", "ring-IPC", "ring/bus"});
+        for (const auto &name : workloads::timingWorkloadNames()) {
+            prog::Program p = workloads::findWorkload(name).build(1);
+            core::SimConfig cfg = driver::paperConfig();
+            cfg.numNodes = nodes;
+            cfg.maxInsts = budget;
+
+            core::DataScalarSystem bus_sys(
+                p, cfg, driver::figure7PageTable(p, nodes));
+            double bus_ipc = bus_sys.run().ipc;
+
+            cfg.interconnect = core::InterconnectKind::Ring;
+            core::DataScalarSystem ring_sys(
+                p, cfg, driver::figure7PageTable(p, nodes));
+            double ring_ipc = ring_sys.run().ipc;
+
+            table.addRow({p.name, stats::Table::num(bus_ipc, 3),
+                          stats::Table::num(ring_ipc, 3),
+                          stats::Table::num(ring_ipc / bus_ipc, 2)});
+        }
+        table.print(std::cout);
+        std::printf("\n");
+    }
+    std::printf("expected: the ring wins where broadcasts saturate "
+                "the bus (bandwidth-bound codes, more nodes) and "
+                "roughly ties where latency dominates\n");
+    return 0;
+}

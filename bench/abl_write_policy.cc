@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation: L1 data-cache write policy under ESP.
+ *
+ * Section 4.2: "we believe that this write policy [write-noallocate]
+ * is superior to write-allocate in an ESP-based system (with a
+ * write-allocate protocol, a write miss requires sending an
+ * inter-processor message, only to overwrite the received data)."
+ * This bench quantifies that choice: IPC and broadcast counts for
+ * both policies on the two store-heavy timing benchmarks.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "core/datascalar.hh"
+#include "driver/driver.hh"
+#include "stats/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace dscalar;
+
+namespace {
+
+struct Point
+{
+    double ipc;
+    std::uint64_t broadcasts;
+    std::uint64_t busBytes;
+};
+
+Point
+run(const prog::Program &p, bool write_allocate, InstSeq budget)
+{
+    core::SimConfig cfg = driver::paperConfig();
+    cfg.numNodes = 2;
+    cfg.maxInsts = budget;
+    cfg.core.dcache.writeAllocate = write_allocate;
+    core::DataScalarSystem sys(p, cfg,
+                               driver::figure7PageTable(p, 2));
+    core::RunResult r = sys.run();
+    Point out;
+    out.ipc = r.ipc;
+    out.broadcasts = sys.bus().totalMessages();
+    out.busBytes = sys.bus().totalBytes();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: write policy",
+                  "write-noallocate vs write-allocate under ESP "
+                  "(2-node DataScalar)");
+    InstSeq budget = bench::defaultBudget(200'000);
+
+    stats::Table table({"benchmark", "noalloc-IPC", "alloc-IPC",
+                        "noalloc-bcasts", "alloc-bcasts",
+                        "noalloc-KB", "alloc-KB"});
+
+    for (const char *name :
+         {"compress_s", "wave5_s", "go_s", "applu_s"}) {
+        prog::Program p = workloads::findWorkload(name).build(1);
+        Point na = run(p, false, budget);
+        Point wa = run(p, true, budget);
+        table.addRow({p.name, stats::Table::num(na.ipc, 3),
+                      stats::Table::num(wa.ipc, 3),
+                      std::to_string(na.broadcasts),
+                      std::to_string(wa.broadcasts),
+                      std::to_string(na.busBytes / 1024),
+                      std::to_string(wa.busBytes / 1024)});
+    }
+    table.print(std::cout);
+    std::printf("\nexpected: write-allocate adds fetch-for-write "
+                "broadcasts (messages sent only to be overwritten) "
+                "without improving IPC\n");
+    return 0;
+}

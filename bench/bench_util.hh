@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration binaries.
+ *
+ * Instruction budgets are scaled down from the paper's 100M-per-run
+ * (their runs took machine-days in 1997); the BENCH_SCALE environment
+ * variable multiplies every budget for longer, higher-fidelity runs.
+ */
+
+#ifndef DSCALAR_BENCH_BENCH_UTIL_HH
+#define DSCALAR_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dscalar {
+namespace bench {
+
+/** Budget multiplier from the BENCH_SCALE environment variable. */
+inline unsigned
+benchScale()
+{
+    const char *env = std::getenv("BENCH_SCALE");
+    if (!env)
+        return 1;
+    long v = std::atol(env);
+    return v >= 1 ? static_cast<unsigned>(v) : 1;
+}
+
+/** Default per-run dynamic-instruction budget. */
+inline InstSeq
+defaultBudget(InstSeq base)
+{
+    return base * benchScale();
+}
+
+/** Banner naming the experiment and its provenance in the paper. */
+inline void
+banner(const char *experiment_id, const char *description)
+{
+    std::printf("==============================================="
+                "=====================\n");
+    std::printf("%s -- %s\n", experiment_id, description);
+    std::printf("DataScalar Architectures (ISCA 1997) "
+                "reproduction\n");
+    std::printf("==============================================="
+                "=====================\n\n");
+}
+
+} // namespace bench
+} // namespace dscalar
+
+#endif // DSCALAR_BENCH_BENCH_UTIL_HH

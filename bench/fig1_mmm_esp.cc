@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regenerates Figure 1: operation of the ESP Massive Memory Machine
+ * on the paper's reference string w1..w9, where w5, w6, w7 live on
+ * machine 1 and all other words on machine 0.
+ *
+ * The figure's key event: a lead change before w5, stalling all
+ * processors until the new lead catches up (the paper's timeline
+ * shows w5 arriving at cycle 7).
+ */
+
+#include <cstdio>
+
+#include "baseline/mmm.hh"
+#include "bench/bench_util.hh"
+
+using namespace dscalar;
+
+int
+main()
+{
+    bench::banner("Figure 1", "synchronous ESP on the MMM "
+                              "reference string");
+
+    std::vector<NodeId> owners = {0, 0, 0, 0, 1, 1, 1, 0, 0};
+    baseline::MmmConfig cfg;
+    cfg.pipelinedStep = 1;
+    cfg.leadChangePenalty = 3;
+    baseline::MmmResult r = baseline::runMmmEsp(owners, cfg);
+
+    std::printf("word  owner  received-at-cycle\n");
+    std::printf("--------------------------------\n");
+    for (std::size_t i = 0; i < owners.size(); ++i) {
+        std::printf("w%zu    %5u  %8llu%s\n", i + 1, r.leader[i],
+                    (unsigned long long)r.receiveTime[i],
+                    (i > 0 && owners[i] != owners[i - 1])
+                        ? "   <- lead change"
+                        : "");
+    }
+    std::printf("\nlead changes: %u, total cycles: %llu\n",
+                r.leadChanges, (unsigned long long)r.totalCycles);
+    std::printf("datathreads (consecutive same-owner runs): ");
+    for (unsigned len : r.threadLengths)
+        std::printf("%u ", len);
+    std::printf("\n\npaper: w1-w4 pipelined on machine 0, lead "
+                "change stalls until w5 at cycle 7, w5-w7 on "
+                "machine 1, final lead change for w8-w9\n");
+    return 0;
+}

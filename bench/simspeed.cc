@@ -1,0 +1,99 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself:
+ * functional-simulation and timing-simulation throughput in
+ * simulated instructions per second, per system type. Useful when
+ * tuning the simulator; not a paper experiment.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/datascalar.hh"
+#include "driver/driver.hh"
+#include "workloads/workloads.hh"
+
+using namespace dscalar;
+
+namespace {
+
+const prog::Program &
+compressProgram()
+{
+    static prog::Program p =
+        workloads::findWorkload("compress_s").build(1);
+    return p;
+}
+
+void
+BM_FunctionalSim(benchmark::State &state)
+{
+    const prog::Program &p = compressProgram();
+    InstSeq budget = static_cast<InstSeq>(state.range(0));
+    for (auto _ : state) {
+        func::FuncSim sim(p);
+        benchmark::DoNotOptimize(sim.run(budget));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(budget));
+}
+
+void
+BM_PerfectTiming(benchmark::State &state)
+{
+    const prog::Program &p = compressProgram();
+    core::SimConfig cfg = driver::paperConfig();
+    cfg.maxInsts = static_cast<InstSeq>(state.range(0));
+    for (auto _ : state) {
+        auto r = driver::runPerfect(p, cfg);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+
+void
+BM_DataScalarTiming(benchmark::State &state)
+{
+    const prog::Program &p = compressProgram();
+    core::SimConfig cfg = driver::paperConfig();
+    cfg.numNodes = static_cast<unsigned>(state.range(1));
+    cfg.maxInsts = static_cast<InstSeq>(state.range(0));
+    for (auto _ : state) {
+        auto r = driver::runDataScalar(p, cfg);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+
+void
+BM_TraditionalTiming(benchmark::State &state)
+{
+    const prog::Program &p = compressProgram();
+    core::SimConfig cfg = driver::paperConfig();
+    cfg.numNodes = static_cast<unsigned>(state.range(1));
+    cfg.maxInsts = static_cast<InstSeq>(state.range(0));
+    for (auto _ : state) {
+        auto r = driver::runTraditional(p, cfg);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+
+BENCHMARK(BM_FunctionalSim)->Arg(100000);
+BENCHMARK(BM_PerfectTiming)->Arg(30000);
+BENCHMARK(BM_DataScalarTiming)
+    ->Args({30000, 2})
+    ->Args({30000, 4});
+BENCHMARK(BM_TraditionalTiming)
+    ->Args({30000, 2})
+    ->Args({30000, 4});
+
+} // namespace
+
+BENCHMARK_MAIN();

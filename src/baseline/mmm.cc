@@ -1,0 +1,57 @@
+#include "baseline/mmm.hh"
+
+namespace dscalar {
+namespace baseline {
+
+MmmResult
+runMmmEsp(const std::vector<NodeId> &owners, const MmmConfig &config)
+{
+    MmmResult result;
+    result.receiveTime.reserve(owners.size());
+    result.leader.reserve(owners.size());
+
+    Cycle t = 0;
+    unsigned run_len = 0;
+    for (std::size_t i = 0; i < owners.size(); ++i) {
+        bool lead_change = (i == 0) || owners[i] != owners[i - 1];
+        if (lead_change && i != 0) {
+            ++result.leadChanges;
+            result.threadLengths.push_back(run_len);
+            run_len = 0;
+            t += config.leadChangePenalty;
+        } else {
+            t += config.pipelinedStep;
+        }
+        ++run_len;
+        result.receiveTime.push_back(t);
+        result.leader.push_back(owners[i]);
+    }
+    if (run_len > 0)
+        result.threadLengths.push_back(run_len);
+    result.totalCycles = t;
+    return result;
+}
+
+ChainCrossings
+chainCrossings(const std::vector<NodeId> &owners)
+{
+    ChainCrossings c;
+    if (owners.empty())
+        return c;
+    // DataScalar: broadcasts within one owner's run are pipelined and
+    // cost a single serialized crossing; each owner transition
+    // (datathread migration) serializes one more.
+    c.dataScalar = 1;
+    for (std::size_t i = 1; i < owners.size(); ++i)
+        if (owners[i] != owners[i - 1])
+            ++c.dataScalar;
+    // Traditional: a request and a response per operand that does not
+    // reside on the requesting chip (chip 0).
+    for (NodeId owner : owners)
+        if (owner != 0)
+            c.traditional += 2;
+    return c;
+}
+
+} // namespace baseline
+} // namespace dscalar

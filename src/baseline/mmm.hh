@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The synchronous Massive Memory Machine's ESP execution model
+ * (Section 2, Figure 1): minicomputers in lock-step, one lead
+ * processor broadcasting its owned operands; a reference to an
+ * operand the lead does not own causes a lead change, stalling all
+ * processors until the new lead catches up.
+ */
+
+#ifndef DSCALAR_BASELINE_MMM_HH
+#define DSCALAR_BASELINE_MMM_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dscalar {
+namespace baseline {
+
+/** Timing knobs of the lock-step ESP model. */
+struct MmmConfig
+{
+    /** Cycles from one broadcast to the next by the same lead. */
+    Cycle pipelinedStep = 1;
+    /** Stall when the lead changes (new lead catches up, one
+     *  serialized off-chip delay). */
+    Cycle leadChangePenalty = 3;
+};
+
+/** Timeline of one synchronous ESP run. */
+struct MmmResult
+{
+    /** Cycle at which each reference's word reaches all processors. */
+    std::vector<Cycle> receiveTime;
+    /** Lead processor while each reference was broadcast. */
+    std::vector<NodeId> leader;
+    unsigned leadChanges = 0;
+    Cycle totalCycles = 0;
+    /** Lengths of consecutive same-owner runs ("datathreads"). */
+    std::vector<unsigned> threadLengths;
+};
+
+/**
+ * Run the lock-step model over a reference string.
+ * @param owners owner processor of each referenced word, in order.
+ */
+MmmResult runMmmEsp(const std::vector<NodeId> &owners,
+                    const MmmConfig &config = MmmConfig{});
+
+/**
+ * Count serialized off-chip crossings for a *dependent* access chain
+ * (each address depends on the previous value), as in Figure 3.
+ *
+ * @param owners owner of each operand along the chain.
+ * @return {DataScalar crossings (pipelined broadcasts: one per
+ *          owner transition, plus the final broadcast), traditional
+ *          crossings (request+response per operand not held by the
+ *          requesting chip, which is chip 0)}.
+ */
+struct ChainCrossings
+{
+    unsigned dataScalar = 0;
+    unsigned traditional = 0;
+};
+ChainCrossings chainCrossings(const std::vector<NodeId> &owners);
+
+} // namespace baseline
+} // namespace dscalar
+
+#endif // DSCALAR_BASELINE_MMM_HH

@@ -1,0 +1,83 @@
+#include "baseline/perfect.hh"
+
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace baseline {
+
+PerfectSystem::PerfectSystem(const prog::Program &program,
+                             const core::SimConfig &config)
+    : config_(config), oracle_(program),
+      stream_(oracle_, config.maxInsts), localMem_(config.mem),
+      core_([&config] {
+          ooo::CoreParams p = config.core;
+          p.perfectData = true;
+          return p;
+      }(), stream_, *this)
+{
+}
+
+ooo::FillResult
+PerfectSystem::startLineFetch(Addr line, Cycle now)
+{
+    (void)line;
+    (void)now;
+    panic("perfect data cache should never fetch a data line");
+}
+
+void
+PerfectSystem::onUnclaimedCanonicalMiss(Addr, Cycle)
+{
+    panic("perfect data cache has no canonical misses");
+}
+
+void
+PerfectSystem::writeBack(Addr, Cycle)
+{
+    panic("perfect data cache has no write-backs");
+}
+
+void
+PerfectSystem::storeMiss(Addr, Cycle)
+{
+    panic("perfect data cache has no store misses");
+}
+
+Cycle
+PerfectSystem::fetchInstLine(Addr line, Cycle now)
+{
+    return localMem_.request(line, now);
+}
+
+core::RunResult
+PerfectSystem::run()
+{
+    panic_if(ran_, "PerfectSystem::run called twice");
+    ran_ = true;
+
+    Cycle now = 0;
+    Cycle last_progress = 0;
+    InstSeq last_commit = 0;
+    while (!core_.done()) {
+        core_.tick(now);
+        if (core_.committedSeq() > last_commit) {
+            last_commit = core_.committedSeq();
+            last_progress = now;
+            stream_.trim(last_commit);
+        } else if (now - last_progress > config_.watchdogCycles) {
+            panic("perfect system: no commit progress for %llu cycles",
+                  (unsigned long long)config_.watchdogCycles);
+        }
+        ++now;
+    }
+
+    core::RunResult result;
+    result.cycles = now;
+    result.instructions = stream_.endSeq();
+    result.ipc = static_cast<double>(result.instructions) /
+                 static_cast<double>(result.cycles);
+    return result;
+}
+
+} // namespace baseline
+} // namespace dscalar

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The paper's upper bound: an identical processor with a perfect
+ * data cache — single-cycle access to any operand (Section 4.3).
+ * Instruction fetch still goes through a real I-cache backed by
+ * local memory.
+ */
+
+#ifndef DSCALAR_BASELINE_PERFECT_HH
+#define DSCALAR_BASELINE_PERFECT_HH
+
+#include "core/sim_config.hh"
+#include "func/func_sim.hh"
+#include "mem/main_memory.hh"
+#include "ooo/core.hh"
+#include "ooo/mem_backend.hh"
+#include "ooo/oracle_stream.hh"
+#include "prog/program.hh"
+
+namespace dscalar {
+namespace baseline {
+
+/** Single-processor system with a perfect data cache. */
+class PerfectSystem : private ooo::MemBackend
+{
+  public:
+    PerfectSystem(const prog::Program &program,
+                  const core::SimConfig &config);
+
+    core::RunResult run();
+
+    const ooo::OoOCore &core() const { return core_; }
+    const func::FuncSim &oracle() const { return oracle_; }
+
+  private:
+    ooo::FillResult startLineFetch(Addr line, Cycle now) override;
+    void onUnclaimedCanonicalMiss(Addr line, Cycle now) override;
+    void writeBack(Addr line, Cycle now) override;
+    void storeMiss(Addr line, Cycle now) override;
+    Cycle fetchInstLine(Addr line, Cycle now) override;
+
+    core::SimConfig config_;
+    func::FuncSim oracle_;
+    ooo::OracleStream stream_;
+    mem::MainMemory localMem_;
+    ooo::OoOCore core_;
+    bool ran_ = false;
+};
+
+} // namespace baseline
+} // namespace dscalar
+
+#endif // DSCALAR_BASELINE_PERFECT_HH

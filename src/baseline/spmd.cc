@@ -1,0 +1,37 @@
+#include "baseline/spmd.hh"
+
+#include <algorithm>
+
+#include "baseline/traditional.hh"
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace baseline {
+
+SpmdResult
+runSpmd(const std::vector<prog::Program> &programs,
+        const core::SimConfig &config)
+{
+    fatal_if(programs.empty(), "SPMD needs at least one program");
+
+    SpmdResult result;
+    for (const prog::Program &p : programs) {
+        // Every page local: an empty one-node page table treats all
+        // pages as replicated, i.e.\ on-chip.
+        TraditionalSystem node(p, config, mem::PageTable(1));
+        core::RunResult r = node.run();
+        panic_if(node.bus().totalMessages() != 0,
+                 "SPMD partition generated global traffic");
+        result.cycles = std::max(result.cycles, r.cycles);
+        result.instructions += r.instructions;
+        result.nodes.push_back(r);
+    }
+    result.aggregateIpc =
+        result.cycles ? static_cast<double>(result.instructions) /
+                            static_cast<double>(result.cycles)
+                      : 0.0;
+    return result;
+}
+
+} // namespace baseline
+} // namespace dscalar

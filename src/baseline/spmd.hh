@@ -1,0 +1,53 @@
+/**
+ * @file
+ * SPMD execution (paper Section 5.2).
+ *
+ * "The DataScalar execution model is a memory system optimization,
+ * not a substitute for parallel processing. When coarse-grain
+ * parallelism exists and is obtainable, the system should be run as
+ * a parallel processor (since a majority of the needed hardware is
+ * already present)."
+ *
+ * This model runs one *different* program per node — each node's
+ * partition of a data-parallel job — entirely out of local memory,
+ * with a final barrier. Together with the DataScalar system it lets
+ * the hybrid question be asked quantitatively: which execution model
+ * should a given code run under on the same hardware?
+ */
+
+#ifndef DSCALAR_BASELINE_SPMD_HH
+#define DSCALAR_BASELINE_SPMD_HH
+
+#include <vector>
+
+#include "core/sim_config.hh"
+#include "prog/program.hh"
+
+namespace dscalar {
+namespace baseline {
+
+/** Result of one SPMD run. */
+struct SpmdResult
+{
+    /** Barrier time: the slowest node. */
+    Cycle cycles = 0;
+    /** Total instructions across all nodes. */
+    InstSeq instructions = 0;
+    /** Aggregate instructions per cycle. */
+    double aggregateIpc = 0.0;
+    /** Per-node results. */
+    std::vector<core::RunResult> nodes;
+};
+
+/**
+ * Run @p programs (one per node) in parallel, each against its own
+ * local memory (no global traffic — the partitions must be
+ * independent, i.e.\ embarrassingly parallel).
+ */
+SpmdResult runSpmd(const std::vector<prog::Program> &programs,
+                   const core::SimConfig &config);
+
+} // namespace baseline
+} // namespace dscalar
+
+#endif // DSCALAR_BASELINE_SPMD_HH

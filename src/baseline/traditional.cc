@@ -1,0 +1,120 @@
+#include "baseline/traditional.hh"
+
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace baseline {
+
+using interconnect::MsgKind;
+
+TraditionalSystem::TraditionalSystem(const prog::Program &program,
+                                     const core::SimConfig &config,
+                                     mem::PageTable ptable)
+    : config_(config), oracle_(program),
+      stream_(oracle_, config.maxInsts), ptable_(std::move(ptable)),
+      bus_(config.bus), onChipMem_(config.mem), offChipMem_(config.mem),
+      core_(config.core, stream_, *this)
+{
+}
+
+Cycle
+TraditionalSystem::offChipLineRead(Addr line, Cycle now)
+{
+    // Two serialized bus crossings per operand: the request out, the
+    // response back, with the memory access in between (Figure 3b).
+    unsigned line_size = config_.core.dcache.lineSize;
+    Cycle req_arrive = bus_.send(MsgKind::Request, line_size, now);
+    Cycle mem_done = offChipMem_.request(line, req_arrive);
+    return bus_.send(MsgKind::Response, line_size, mem_done);
+}
+
+ooo::FillResult
+TraditionalSystem::startLineFetch(Addr line, Cycle now)
+{
+    if (onChip(line))
+        return {onChipMem_.request(line, now), false};
+    ++offChipReads_;
+    return {offChipLineRead(line, now), false};
+}
+
+void
+TraditionalSystem::onUnclaimedCanonicalMiss(Addr line, Cycle now)
+{
+    // The canonical fill needs the line even though the issue-time
+    // access was served by a stale copy; perform the (non-blocking)
+    // fetch traffic.
+    if (onChip(line)) {
+        onChipMem_.request(line, now);
+    } else {
+        ++offChipReads_;
+        offChipLineRead(line, now);
+    }
+}
+
+void
+TraditionalSystem::writeBack(Addr line, Cycle now)
+{
+    if (onChip(line)) {
+        onChipMem_.request(line, now);
+    } else {
+        ++offChipWrites_;
+        Cycle arrive =
+            bus_.send(MsgKind::WriteBack, config_.core.dcache.lineSize,
+                      now);
+        offChipMem_.request(line, arrive);
+    }
+}
+
+void
+TraditionalSystem::storeMiss(Addr line, Cycle now)
+{
+    if (onChip(line)) {
+        onChipMem_.request(line, now);
+    } else {
+        ++offChipWrites_;
+        Cycle arrive = bus_.send(MsgKind::Write, 8, now);
+        offChipMem_.request(line, arrive);
+    }
+}
+
+Cycle
+TraditionalSystem::fetchInstLine(Addr line, Cycle now)
+{
+    if (onChip(line))
+        return onChipMem_.request(line, now);
+    ++offChipReads_;
+    return offChipLineRead(line, now);
+}
+
+core::RunResult
+TraditionalSystem::run()
+{
+    panic_if(ran_, "TraditionalSystem::run called twice");
+    ran_ = true;
+
+    Cycle now = 0;
+    Cycle last_progress = 0;
+    InstSeq last_commit = 0;
+    while (!core_.done()) {
+        core_.tick(now);
+        if (core_.committedSeq() > last_commit) {
+            last_commit = core_.committedSeq();
+            last_progress = now;
+            stream_.trim(last_commit);
+        } else if (now - last_progress > config_.watchdogCycles) {
+            panic("traditional system: no commit progress for %llu "
+                  "cycles", (unsigned long long)config_.watchdogCycles);
+        }
+        ++now;
+    }
+
+    core::RunResult result;
+    result.cycles = now;
+    result.instructions = stream_.endSeq();
+    result.ipc = static_cast<double>(result.instructions) /
+                 static_cast<double>(result.cycles);
+    return result;
+}
+
+} // namespace baseline
+} // namespace dscalar

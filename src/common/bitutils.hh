@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the memory and ISA models.
+ */
+
+#ifndef DSCALAR_COMMON_BITUTILS_HH
+#define DSCALAR_COMMON_BITUTILS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dscalar {
+
+/** @return true when @p v is a power of two (zero is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return floor(log2(v)); @p v must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** Round @p a down to a multiple of power-of-two @p align. */
+constexpr Addr
+alignDown(Addr a, std::uint64_t align)
+{
+    return a & ~(align - 1);
+}
+
+/** Round @p a up to a multiple of power-of-two @p align. */
+constexpr Addr
+alignUp(Addr a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** Extract bits [lo, hi] (inclusive) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & ((hi - lo == 63) ? ~0ULL
+                                        : ((1ULL << (hi - lo + 1)) - 1));
+}
+
+/** Sign-extend the low @p width bits of @p v to 64 bits. */
+constexpr std::int64_t
+sext(std::uint64_t v, unsigned width)
+{
+    unsigned shift = 64 - width;
+    return static_cast<std::int64_t>(v << shift) >> shift;
+}
+
+} // namespace dscalar
+
+#endif // DSCALAR_COMMON_BITUTILS_HH

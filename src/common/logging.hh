@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Error- and status-reporting helpers in the gem5 idiom.
+ *
+ * panic()  - an internal simulator invariant broke (a bug); aborts.
+ * fatal()  - the user supplied an impossible configuration; exits(1).
+ * warn()   - something works but imperfectly.
+ * inform() - neutral status output.
+ */
+
+#ifndef DSCALAR_COMMON_LOGGING_HH
+#define DSCALAR_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dscalar {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace dscalar
+
+#define panic(...) \
+    ::dscalar::panicImpl(__FILE__, __LINE__, ::dscalar::csprintf(__VA_ARGS__))
+
+#define fatal(...) \
+    ::dscalar::fatalImpl(__FILE__, __LINE__, ::dscalar::csprintf(__VA_ARGS__))
+
+#define warn(...) \
+    ::dscalar::warnImpl(::dscalar::csprintf(__VA_ARGS__))
+
+#define inform(...) \
+    ::dscalar::informImpl(::dscalar::csprintf(__VA_ARGS__))
+
+/** panic() unless an invariant holds. */
+#define panic_if(cond, ...)           \
+    do {                              \
+        if (cond) {                   \
+            panic(__VA_ARGS__);       \
+        }                             \
+    } while (0)
+
+/** fatal() unless a user-facing precondition holds. */
+#define fatal_if(cond, ...)           \
+    do {                              \
+        if (cond) {                   \
+            fatal(__VA_ARGS__);       \
+        }                             \
+    } while (0)
+
+#endif // DSCALAR_COMMON_LOGGING_HH

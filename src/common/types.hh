@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every DataScalar subsystem.
+ */
+
+#ifndef DSCALAR_COMMON_TYPES_HH
+#define DSCALAR_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace dscalar {
+
+/** Byte address in the simulated (flat, paged) physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulated processor-clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Dynamic-instruction sequence number (program order, from zero). */
+using InstSeq = std::uint64_t;
+
+/** Identifier of a processor/memory node in a DataScalar system. */
+using NodeId = std::uint32_t;
+
+/** Architectural register index. */
+using RegIndex = std::uint8_t;
+
+/** An address that is never produced by a real access. */
+inline constexpr Addr invalidAddr = ~static_cast<Addr>(0);
+
+/** A cycle later than any reachable simulation time. */
+inline constexpr Cycle cycleMax = ~static_cast<Cycle>(0);
+
+} // namespace dscalar
+
+#endif // DSCALAR_COMMON_TYPES_HH

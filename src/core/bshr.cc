@@ -1,0 +1,102 @@
+#include "core/bshr.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace core {
+
+void
+Bshr::bumpOccupancy(int delta)
+{
+    if (delta > 0) {
+        occupancy_ += static_cast<std::size_t>(delta);
+        stats_.maxOccupancy =
+            std::max<std::uint64_t>(stats_.maxOccupancy, occupancy_);
+        if (occupancy_ > capacity_)
+            ++stats_.overflowEvents;
+    } else {
+        panic_if(occupancy_ < static_cast<std::size_t>(-delta),
+                 "BSHR occupancy underflow");
+        occupancy_ -= static_cast<std::size_t>(-delta);
+    }
+}
+
+void
+Bshr::eraseIfIdle(Addr line)
+{
+    auto it = lines_.find(line);
+    if (it != lines_.end() && it->second.idle())
+        lines_.erase(it);
+}
+
+Bshr::Lookup
+Bshr::requestLine(Addr line, Cycle now, Cycle &ready_at)
+{
+    LineState &ls = lines_[line];
+    if (ls.buffered > 0) {
+        --ls.buffered;
+        bumpOccupancy(-1);
+        ++stats_.bufferedHits;
+        ready_at = now + latency_;
+        eraseIfIdle(line);
+        return Lookup::FoundBuffered;
+    }
+    ++ls.waiters;
+    bumpOccupancy(+1);
+    ++stats_.waiterAllocs;
+    return Lookup::Waiting;
+}
+
+Bshr::Deliver
+Bshr::deliver(Addr line, Cycle now, Cycle &ready_at)
+{
+    ++stats_.deliveries;
+    LineState &ls = lines_[line];
+    if (ls.pendingSquashes > 0) {
+        --ls.pendingSquashes;
+        ++stats_.squashes;
+        eraseIfIdle(line);
+        return Deliver::Squashed;
+    }
+    if (ls.waiters > 0) {
+        --ls.waiters;
+        bumpOccupancy(-1);
+        ++stats_.wokenWaiters;
+        ready_at = now + latency_;
+        eraseIfIdle(line);
+        return Deliver::WokeWaiter;
+    }
+    ++ls.buffered;
+    bumpOccupancy(+1);
+    ++stats_.buffered;
+    return Deliver::Buffered;
+}
+
+bool
+Bshr::registerSquash(Addr line)
+{
+    LineState &ls = lines_[line];
+    if (ls.buffered > 0) {
+        --ls.buffered;
+        bumpOccupancy(-1);
+        ++stats_.squashes;
+        eraseIfIdle(line);
+        return true;
+    }
+    ++ls.pendingSquashes;
+    return false;
+}
+
+bool
+Bshr::drained() const
+{
+    for (const auto &[line, ls] : lines_)
+        if (!ls.idle())
+            return false;
+    return true;
+}
+
+} // namespace core
+} // namespace dscalar

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Broadcast Status Holding Registers (Section 4.2, Figure 5).
+ *
+ * Arriving broadcasts are matched associatively against outstanding
+ * local requests: a match wakes the waiting load; otherwise the data
+ * are buffered so a later local request "effectively sees an on-chip
+ * hit". Entries allocated for broadcasts that the local node turns
+ * out not to need (false hits detected at commit) are squashed.
+ */
+
+#ifndef DSCALAR_CORE_BSHR_HH
+#define DSCALAR_CORE_BSHR_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace dscalar {
+namespace core {
+
+/** BSHR event counters (Table 3's raw material). */
+struct BshrStats
+{
+    std::uint64_t waiterAllocs = 0;   ///< misses that had to wait
+    std::uint64_t bufferedHits = 0;   ///< data already waiting (col 3)
+    std::uint64_t deliveries = 0;     ///< broadcasts received
+    std::uint64_t wokenWaiters = 0;
+    std::uint64_t buffered = 0;
+    std::uint64_t squashes = 0;       ///< entries squashed (col 2)
+    std::uint64_t maxOccupancy = 0;
+    std::uint64_t overflowEvents = 0; ///< occupancy above capacity
+
+    /** Accesses = local lookups + deliveries (squash denominator). */
+    std::uint64_t
+    accesses() const
+    {
+        return waiterAllocs + bufferedHits + deliveries;
+    }
+};
+
+/** One node's BSHR bank. */
+class Bshr
+{
+  public:
+    Bshr(Cycle latency, unsigned capacity)
+        : latency_(latency), capacity_(capacity)
+    {
+    }
+
+    /** Outcome of a local request for a remote line. */
+    enum class Lookup : std::uint8_t {
+        FoundBuffered, ///< broadcast already arrived; data ready
+        Waiting        ///< entry allocated; fill will be signalled
+    };
+
+    /** Outcome of an arriving broadcast. */
+    enum class Deliver : std::uint8_t {
+        WokeWaiter, ///< satisfied an outstanding local request
+        Buffered,   ///< stored for a future local request
+        Squashed    ///< dropped (local node committed a false hit)
+    };
+
+    /**
+     * The local core missed on a communicated, unowned line.
+     * @param ready_at set to the data-ready cycle on FoundBuffered.
+     */
+    Lookup requestLine(Addr line, Cycle now, Cycle &ready_at);
+
+    /**
+     * A broadcast for @p line arrived from the bus.
+     * @param ready_at set to the data-ready cycle on WokeWaiter.
+     */
+    Deliver deliver(Addr line, Cycle now, Cycle &ready_at);
+
+    /**
+     * The local commit stream proved this node never needed the next
+     * broadcast of @p line (pure false hit): squash it, now if
+     * buffered, or on arrival otherwise.
+     * @return true when a buffered entry was squashed immediately.
+     */
+    bool registerSquash(Addr line);
+
+    /** Waiters + buffered lines currently held. */
+    std::size_t occupancy() const { return occupancy_; }
+
+    /** True when no waiter, buffer, or pending squash remains. */
+    bool drained() const;
+
+    const BshrStats &bshrStats() const { return stats_; }
+
+  private:
+    struct LineState
+    {
+        unsigned waiters = 0;
+        unsigned buffered = 0;
+        unsigned pendingSquashes = 0;
+        bool
+        idle() const
+        {
+            return waiters == 0 && buffered == 0 && pendingSquashes == 0;
+        }
+    };
+
+    void bumpOccupancy(int delta);
+    void eraseIfIdle(Addr line);
+
+    Cycle latency_;
+    unsigned capacity_;
+    std::size_t occupancy_ = 0;
+    std::unordered_map<Addr, LineState> lines_;
+    BshrStats stats_;
+};
+
+} // namespace core
+} // namespace dscalar
+
+#endif // DSCALAR_CORE_BSHR_HH

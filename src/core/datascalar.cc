@@ -1,0 +1,182 @@
+#include "core/datascalar.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace core {
+
+DataScalarSystem::DataScalarSystem(const prog::Program &program,
+                                   const SimConfig &config,
+                                   mem::PageTable ptable)
+    : config_(config), oracle_(program),
+      stream_(oracle_, config.maxInsts), ptable_(std::move(ptable)),
+      bus_(config.bus), ring_(config.numNodes, config.ring)
+{
+    fatal_if(config_.numNodes < 1, "need at least one node");
+    fatal_if(ptable_.numNodes() != config_.numNodes,
+             "page table built for %u nodes, system has %u",
+             ptable_.numNodes(), config_.numNodes);
+    for (NodeId id = 0; id < config_.numNodes; ++id) {
+        nodes_.push_back(std::make_unique<DataScalarNode>(
+            id, config_, ptable_, stream_, *this));
+    }
+    if (config_.memCapacityPages != 0) {
+        for (NodeId id = 0; id < config_.numNodes; ++id) {
+            fatal_if(localPageCount(id) > config_.memCapacityPages,
+                     "node %u needs %zu pages of local memory but "
+                     "has capacity for %zu (reduce replication or "
+                     "add nodes)",
+                     id, localPageCount(id),
+                     config_.memCapacityPages);
+        }
+    }
+}
+
+void
+DataScalarSystem::broadcast(NodeId src, Addr line,
+                            interconnect::MsgKind kind, Cycle ready)
+{
+    // A single-node "system" has nobody to push operands to.
+    if (config_.numNodes == 1)
+        return;
+    unsigned line_size = config_.core.dcache.lineSize;
+    if (config_.interconnect == InterconnectKind::Ring) {
+        for (const interconnect::RingDelivery &d :
+             ring_.broadcast(kind, line_size, src, ready)) {
+            deliveries_.push(Delivery{d.at, deliveryOrder_++, src,
+                                      line, true, d.node});
+        }
+        return;
+    }
+    Cycle delivered = bus_.send(kind, line_size, ready);
+    deliveries_.push(
+        Delivery{delivered, deliveryOrder_++, src, line});
+}
+
+std::size_t
+DataScalarSystem::localPageCount(NodeId id) const
+{
+    std::size_t n = ptable_.ownedPageCount(id);
+    n += ptable_.replicatedPageCount();
+    return n;
+}
+
+RunResult
+DataScalarSystem::run()
+{
+    panic_if(ran_, "DataScalarSystem::run called twice");
+    ran_ = true;
+
+    Cycle now = 0;
+    Cycle last_progress_cycle = 0;
+    InstSeq last_min_commit = 0;
+
+    while (true) {
+        while (!deliveries_.empty() && deliveries_.top().at <= now) {
+            Delivery d = deliveries_.top();
+            deliveries_.pop();
+            if (d.targeted) {
+                nodes_[d.target]->deliverBroadcast(d.line, now);
+            } else {
+                for (auto &node : nodes_) {
+                    if (node->id() != d.src)
+                        node->deliverBroadcast(d.line, now);
+                }
+            }
+        }
+
+        bool all_done = true;
+        InstSeq min_commit = ~static_cast<InstSeq>(0);
+        for (auto &node : nodes_) {
+            node->core().tick(now);
+            all_done = all_done && node->core().done();
+            min_commit =
+                std::min(min_commit, node->core().committedSeq());
+        }
+
+        if (all_done && deliveries_.empty())
+            break;
+
+        stream_.trim(min_commit);
+
+        if (min_commit > last_min_commit) {
+            last_min_commit = min_commit;
+            last_progress_cycle = now;
+        } else if (now - last_progress_cycle > config_.watchdogCycles) {
+            panic("no commit progress for %llu cycles "
+                  "(min committed %llu @ cycle %llu; %zu deliveries "
+                  "pending, next at %llu; all_done=%d) -- "
+                  "protocol deadlock?",
+                  (unsigned long long)config_.watchdogCycles,
+                  (unsigned long long)min_commit,
+                  (unsigned long long)now, deliveries_.size(),
+                  deliveries_.empty()
+                      ? 0ULL
+                      : (unsigned long long)deliveries_.top().at,
+                  all_done ? 1 : 0);
+        }
+        ++now;
+    }
+
+    RunResult result;
+    result.cycles = now + 1;
+    result.instructions = stream_.endSeq();
+    result.ipc = result.cycles
+                     ? static_cast<double>(result.instructions) /
+                           static_cast<double>(result.cycles)
+                     : 0.0;
+    lastResult_ = result;
+    return result;
+}
+
+void
+DataScalarSystem::setTrace(std::ostream *os)
+{
+    for (auto &node : nodes_)
+        node->setTrace(os);
+}
+
+void
+DataScalarSystem::dumpStats(std::ostream &os) const
+{
+    os << "---- DataScalarSystem (" << config_.numNodes
+       << " nodes) ----\n";
+    os << "  cycles                            "
+       << lastResult_.cycles << "  # simulated cycles\n";
+    os << "  instructions                      "
+       << lastResult_.instructions
+       << "  # committed per node (SPSD)\n";
+    os << "  ipc                               " << lastResult_.ipc
+       << "  # instructions per cycle\n";
+    os << "  bus_messages                      "
+       << bus_.totalMessages() << "  # global-bus transactions\n";
+    os << "  bus_bytes                         " << bus_.totalBytes()
+       << "  # global-bus payload+header bytes\n";
+    os << "  bus_busy_cycles                   " << bus_.busyCycles()
+       << "  # cycles the bus was occupied\n";
+    if (config_.interconnect == InterconnectKind::Ring) {
+        os << "  ring_messages                     "
+           << ring_.totalMessages() << "  # ring broadcasts\n";
+        os << "  ring_link_busy_cycles             "
+           << ring_.linkBusyCycles()
+           << "  # summed link occupancy\n";
+    }
+    for (const auto &node : nodes_)
+        node->dumpStats(os);
+}
+
+bool
+DataScalarSystem::protocolDrained() const
+{
+    if (!deliveries_.empty())
+        return false;
+    for (const auto &node : nodes_)
+        if (!node->bshr().drained())
+            return false;
+    return true;
+}
+
+} // namespace core
+} // namespace dscalar

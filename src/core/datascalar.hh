@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The complete DataScalar machine: N processor/memory nodes running
+ * the same program asynchronously (SPSD), connected by a global
+ * broadcast bus. The simulator switches contexts each cycle — cycle
+ * n is simulated for all nodes before cycle n+1 for any node,
+ * exactly as the paper's modified SimpleScalar did (Section 4.2).
+ */
+
+#ifndef DSCALAR_CORE_DATASCALAR_HH
+#define DSCALAR_CORE_DATASCALAR_HH
+
+#include <memory>
+#include <ostream>
+#include <queue>
+#include <vector>
+
+#include "core/node.hh"
+#include "core/sim_config.hh"
+#include "func/func_sim.hh"
+#include "interconnect/bus.hh"
+#include "mem/page_table.hh"
+#include "ooo/oracle_stream.hh"
+#include "prog/program.hh"
+
+namespace dscalar {
+namespace core {
+
+/** A multi-node DataScalar timing simulation. */
+class DataScalarSystem : public BroadcastPort
+{
+  public:
+    DataScalarSystem(const prog::Program &program, const SimConfig &config,
+                     mem::PageTable ptable);
+
+    /** Run to completion (or the configured instruction budget). */
+    RunResult run();
+
+    unsigned numNodes() const { return config_.numNodes; }
+    const DataScalarNode &node(NodeId id) const { return *nodes_.at(id); }
+    const interconnect::Bus &bus() const { return bus_; }
+    const interconnect::Ring &ring() const { return ring_; }
+
+    /** Pages held in node @p id's local memory (owned + replicated),
+     *  the per-node capacity an IRAM part would need. */
+    std::size_t localPageCount(NodeId id) const;
+    const func::FuncSim &oracle() const { return oracle_; }
+    const mem::PageTable &pageTable() const { return ptable_; }
+
+    /**
+     * End-of-run protocol invariant: every broadcast was consumed —
+     * no waiter, buffered line, or pending squash remains in any
+     * BSHR, and no delivery is in flight.
+     */
+    bool protocolDrained() const;
+
+    /** Stream per-node protocol events; nullptr disables. */
+    void setTrace(std::ostream *os);
+
+    /** Write a gem5-style stats dump for the whole system. */
+    void dumpStats(std::ostream &os) const;
+
+    // BroadcastPort ---------------------------------------------------
+    void broadcast(NodeId src, Addr line, interconnect::MsgKind kind,
+                   Cycle ready) override;
+
+  private:
+    struct Delivery
+    {
+        Cycle at;
+        std::uint64_t order; ///< tie-break for determinism
+        NodeId src;
+        Addr line;
+        /** Single receiver (ring), or all non-src nodes (bus). */
+        bool targeted = false;
+        NodeId target = 0;
+        bool
+        operator>(const Delivery &other) const
+        {
+            if (at != other.at)
+                return at > other.at;
+            return order > other.order;
+        }
+    };
+
+    SimConfig config_;
+    func::FuncSim oracle_;
+    ooo::OracleStream stream_;
+    mem::PageTable ptable_;
+    interconnect::Bus bus_;
+    interconnect::Ring ring_;
+    std::vector<std::unique_ptr<DataScalarNode>> nodes_;
+    std::priority_queue<Delivery, std::vector<Delivery>,
+                        std::greater<Delivery>>
+        deliveries_;
+    std::uint64_t deliveryOrder_ = 0;
+    bool ran_ = false;
+    RunResult lastResult_;
+};
+
+} // namespace core
+} // namespace dscalar
+
+#endif // DSCALAR_CORE_DATASCALAR_HH

@@ -1,0 +1,93 @@
+#include "core/distribution.hh"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace core {
+
+mem::PageTable
+buildPageTable(const prog::Program &program,
+               const DistributionConfig &config, const PageHeat *heat,
+               ReplicationReport *report)
+{
+    fatal_if(config.numNodes == 0, "need at least one node");
+    fatal_if(config.blockPages == 0, "block size must be >= 1 page");
+    fatal_if(config.replicatedDataPages > 0 && heat == nullptr,
+             "hot-page replication requires a heat profile");
+
+    mem::PageTable table(config.numNodes);
+    std::vector<Addr> pages = program.touchedPages();
+
+    std::set<Addr> replicated;
+
+    for (Addr page : pages) {
+        if (config.replicateText &&
+            prog::segmentOf(page) == prog::Segment::Text) {
+            replicated.insert(page);
+        }
+    }
+
+    if (config.replicatedDataPages > 0) {
+        // Hottest pages first (count, then address for determinism
+        // on ties). Text pages join the ranking when they are not
+        // already replicated wholesale -- the paper's Table 2 setup
+        // replicates the most heavily accessed pages of any segment.
+        std::vector<std::pair<std::uint64_t, Addr>> ranked;
+        for (Addr page : pages) {
+            if (config.replicateText &&
+                prog::segmentOf(page) == prog::Segment::Text)
+                continue;
+            auto it = heat->find(page);
+            std::uint64_t count = it == heat->end() ? 0 : it->second;
+            ranked.emplace_back(count, page);
+        }
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first > b.first;
+                      return a.second < b.second;
+                  });
+        for (std::size_t i = 0;
+             i < ranked.size() && i < config.replicatedDataPages; ++i) {
+            replicated.insert(ranked[i].second);
+        }
+    }
+
+    if (report) {
+        *report = ReplicationReport{};
+        for (Addr page : replicated) {
+            switch (prog::segmentOf(page)) {
+              case prog::Segment::Text: ++report->text; break;
+              case prog::Segment::Global: ++report->global; break;
+              case prog::Segment::Heap: ++report->heap; break;
+              case prog::Segment::Stack: ++report->stack; break;
+              default: break;
+            }
+        }
+    }
+
+    // Distribute the communicated remainder round-robin in blocks of
+    // consecutive pages (consecutive within the touched-page list, so
+    // a block spans contiguous parts of one segment).
+    NodeId node = 0;
+    unsigned in_block = 0;
+    for (Addr page : pages) {
+        if (replicated.count(page)) {
+            table.setReplicated(page);
+            continue;
+        }
+        table.setOwned(page, node);
+        if (++in_block == config.blockPages) {
+            in_block = 0;
+            node = (node + 1) % config.numNodes;
+        }
+    }
+    return table;
+}
+
+} // namespace core
+} // namespace dscalar

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Static page placement: replication of hot pages plus round-robin
+ * block distribution of the communicated remainder (Section 3.2).
+ */
+
+#ifndef DSCALAR_CORE_DISTRIBUTION_HH
+#define DSCALAR_CORE_DISTRIBUTION_HH
+
+#include <cstdint>
+#include <map>
+
+#include "mem/page_table.hh"
+#include "prog/program.hh"
+
+namespace dscalar {
+namespace core {
+
+/** Per-page access counts gathered by a profiling run. */
+using PageHeat = std::map<Addr, std::uint64_t>;
+
+/** Placement policy parameters. */
+struct DistributionConfig
+{
+    unsigned numNodes = 2;
+    /** Replicate all text pages at every node (paper Section 4.2).
+     *  When false, text pages compete in the hot-page ranking and
+     *  the remainder is distributed (the paper's Table 2 setup). */
+    bool replicateText = true;
+    /** Replicate the N hottest pages (requires a heat profile).
+     *  Ranks data pages only when replicateText is set. */
+    std::size_t replicatedDataPages = 0;
+    /** Round-robin granularity, in pages, for communicated data. */
+    unsigned blockPages = 1;
+};
+
+/** Counts of replicated pages per segment (Table 2 columns 2-6). */
+struct ReplicationReport
+{
+    std::size_t text = 0;
+    std::size_t global = 0;
+    std::size_t heap = 0;
+    std::size_t stack = 0;
+    std::size_t total() const { return text + global + heap + stack; }
+};
+
+/**
+ * Build the system page table for @p program.
+ *
+ * Pages are replicated according to @p config (text pages, plus the
+ * hottest data pages when @p heat is provided); everything else is
+ * distributed round-robin across nodes in blocks of
+ * config.blockPages consecutive pages.
+ *
+ * @param report optional out-parameter describing what was
+ *        replicated, printed by the Table 2 bench.
+ */
+mem::PageTable buildPageTable(const prog::Program &program,
+                              const DistributionConfig &config,
+                              const PageHeat *heat = nullptr,
+                              ReplicationReport *report = nullptr);
+
+} // namespace core
+} // namespace dscalar
+
+#endif // DSCALAR_CORE_DISTRIBUTION_HH

@@ -1,0 +1,192 @@
+#include "core/node.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace core {
+
+using interconnect::MsgKind;
+
+DataScalarNode::DataScalarNode(NodeId id, const SimConfig &config,
+                               const mem::PageTable &ptable,
+                               ooo::OracleStream &stream,
+                               BroadcastPort &port)
+    : id_(id), ptable_(ptable), port_(port), localMem_(config.mem),
+      bshr_(config.bshrLatency, config.bshrCapacity),
+      core_(config.core, stream, *this)
+{
+}
+
+bool
+DataScalarNode::isLocal(Addr line) const
+{
+    return ptable_.isLocal(line, id_);
+}
+
+bool
+DataScalarNode::isOwner(Addr line) const
+{
+    return !ptable_.isReplicated(line) && ptable_.owner(line) == id_;
+}
+
+ooo::FillResult
+DataScalarNode::startLineFetch(Addr line, Cycle now)
+{
+    if (isLocal(line)) {
+        Cycle done = localMem_.request(line, now);
+        ++stats_.localLoadFills;
+        if (isOwner(line)) {
+            // ESP: push the operand to every other node.
+            ++stats_.ownerBroadcasts;
+            traceEvent(now, "broadcast", line);
+            port_.broadcast(id_, line, MsgKind::Broadcast, done);
+        }
+        return {done, false};
+    }
+
+    // Communicated line owned elsewhere: never send a request --
+    // match or await the owner's broadcast in the BSHR.
+    ++stats_.remoteFetches;
+    Cycle ready = 0;
+    if (bshr_.requestLine(line, now, ready) == Bshr::Lookup::FoundBuffered)
+        return {ready, true};
+    return {cycleMax, false};
+}
+
+void
+DataScalarNode::onUnclaimedCanonicalMiss(Addr line, Cycle now)
+{
+    if (ptable_.isReplicated(line)) {
+        // Local at every node; the canonical refill is a local access
+        // off the critical path.
+        localMem_.request(line, now);
+        return;
+    }
+    if (isOwner(line)) {
+        // Reparative broadcast: the other nodes are (or will be)
+        // waiting for data this node's issue stream never missed on.
+        ++stats_.reparativeBroadcasts;
+        traceEvent(now, "reparative-broadcast", line);
+        port_.broadcast(id_, line, MsgKind::ReparativeBroadcast, now);
+    } else {
+        bshr_.registerSquash(line);
+    }
+}
+
+void
+DataScalarNode::writeBack(Addr line, Cycle now)
+{
+    if (isLocal(line)) {
+        ++stats_.localWriteBacks;
+        localMem_.request(line, now);
+    } else {
+        // ESP: every node computes the same stores; only the owner
+        // completes the write-back. Dropped without bus traffic.
+        ++stats_.droppedWriteBacks;
+    }
+}
+
+void
+DataScalarNode::storeMiss(Addr line, Cycle now)
+{
+    if (isLocal(line)) {
+        ++stats_.localStoreWrites;
+        localMem_.request(line, now);
+    } else {
+        ++stats_.droppedStoreWrites;
+    }
+}
+
+Cycle
+DataScalarNode::fetchInstLine(Addr line, Cycle now)
+{
+    fatal_if(!isLocal(line),
+             "DataScalar requires program text to be replicated "
+             "(instruction line 0x%llx is remote at node %u)",
+             (unsigned long long)line, id_);
+    ++stats_.instLineFills;
+    return localMem_.request(line, now);
+}
+
+void
+DataScalarNode::deliverBroadcast(Addr line, Cycle now)
+{
+    Cycle ready = 0;
+    switch (bshr_.deliver(line, now, ready)) {
+      case Bshr::Deliver::WokeWaiter:
+        traceEvent(now, "bshr-wake", line);
+        core_.fillArrived(line, ready, now);
+        break;
+      case Bshr::Deliver::Buffered:
+        traceEvent(now, "bshr-buffer", line);
+        break;
+      case Bshr::Deliver::Squashed:
+        traceEvent(now, "bshr-squash", line);
+        break;
+    }
+}
+
+void
+DataScalarNode::traceEvent(Cycle now, const char *event,
+                           Addr line) const
+{
+    if (trace_) {
+        *trace_ << "node " << id_ << " @" << now << ": " << event
+                << " 0x" << std::hex << line << std::dec << '\n';
+    }
+}
+
+void
+DataScalarNode::dumpStats(std::ostream &os) const
+{
+    const ooo::CoreStats &cs = core_.coreStats();
+    const BshrStats &bs = bshr_.bshrStats();
+    auto line = [&os](const char *name, std::uint64_t v,
+                      const char *desc) {
+        os << "  " << name;
+        for (std::size_t i = std::strlen(name); i < 34; ++i)
+            os << ' ';
+        os << v << "  # " << desc << '\n';
+    };
+    os << "node" << id_ << ":\n";
+    line("committed", cs.committed, "instructions committed");
+    line("loads", cs.loads, "loads committed");
+    line("stores", cs.stores, "stores committed");
+    line("load_issue_misses", cs.loadIssueMisses,
+         "issue-time L1D misses (DCUB fetches)");
+    line("canonical_load_misses", cs.canonicalLoadMisses,
+         "commit-time (canonical) load misses");
+    line("false_hits", cs.falseHits,
+         "issue hit but canonical miss");
+    line("false_misses", cs.falseMisses,
+         "issue miss but canonical hit");
+    line("unclaimed_repairs", cs.unclaimedRepairs,
+         "canonical misses with no local fetch");
+    line("store_commit_misses", cs.storeCommitMisses,
+         "stores missing at commit");
+    line("dirty_writebacks", cs.dirtyWriteBacks,
+         "dirty victims evicted");
+    line("icache_misses", cs.icacheMisses, "instruction-line fills");
+    line("owner_broadcasts", stats_.ownerBroadcasts,
+         "ESP broadcasts sent at issue");
+    line("reparative_broadcasts", stats_.reparativeBroadcasts,
+         "late broadcasts sent at commit");
+    line("remote_fetches", stats_.remoteFetches,
+         "fetches of unowned communicated lines");
+    line("dropped_writebacks", stats_.droppedWriteBacks,
+         "write-backs completed by another owner");
+    line("dropped_store_writes", stats_.droppedStoreWrites,
+         "store-miss writes completed elsewhere");
+    line("bshr_waiter_allocs", bs.waiterAllocs,
+         "misses that awaited a broadcast");
+    line("bshr_buffered_hits", bs.bufferedHits,
+         "data already waiting in the BSHR");
+    line("bshr_squashes", bs.squashes, "squashed BSHR entries");
+    line("bshr_max_occupancy", bs.maxOccupancy,
+         "peak BSHR entries in use");
+}
+
+} // namespace core
+} // namespace dscalar

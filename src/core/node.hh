@@ -1,0 +1,111 @@
+/**
+ * @file
+ * One DataScalar node: an out-of-order core tightly coupled with a
+ * slice of main memory, a BSHR bank, and the ESP protocol glue
+ * (Figure 5's datapath).
+ */
+
+#ifndef DSCALAR_CORE_NODE_HH
+#define DSCALAR_CORE_NODE_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+
+#include "core/bshr.hh"
+#include "core/sim_config.hh"
+#include "interconnect/message.hh"
+#include "mem/main_memory.hh"
+#include "mem/page_table.hh"
+#include "ooo/core.hh"
+#include "ooo/mem_backend.hh"
+
+namespace dscalar {
+namespace core {
+
+/** Sink for broadcasts a node places on the global interconnect. */
+class BroadcastPort
+{
+  public:
+    virtual ~BroadcastPort() = default;
+
+    /**
+     * Place a broadcast of @p line on the bus, available to enter
+     * the broadcast queue at cycle @p ready.
+     */
+    virtual void broadcast(NodeId src, Addr line,
+                           interconnect::MsgKind kind, Cycle ready) = 0;
+};
+
+/** Per-node protocol event counters. */
+struct NodeStats
+{
+    std::uint64_t localLoadFills = 0;
+    std::uint64_t ownerBroadcasts = 0;      ///< sent at issue time
+    std::uint64_t reparativeBroadcasts = 0; ///< sent at commit (late)
+    std::uint64_t remoteFetches = 0;        ///< BSHR waits + hits
+    std::uint64_t localWriteBacks = 0;
+    std::uint64_t droppedWriteBacks = 0;
+    std::uint64_t localStoreWrites = 0;
+    std::uint64_t droppedStoreWrites = 0;
+    std::uint64_t instLineFills = 0;
+
+    std::uint64_t
+    totalBroadcasts() const
+    {
+        return ownerBroadcasts + reparativeBroadcasts;
+    }
+};
+
+/** Processor + memory + BSHR node of a DataScalar system. */
+class DataScalarNode : public ooo::MemBackend
+{
+  public:
+    DataScalarNode(NodeId id, const SimConfig &config,
+                   const mem::PageTable &ptable,
+                   ooo::OracleStream &stream, BroadcastPort &port);
+
+    NodeId id() const { return id_; }
+    ooo::OoOCore &core() { return core_; }
+    const ooo::OoOCore &core() const { return core_; }
+    const Bshr &bshr() const { return bshr_; }
+    const NodeStats &nodeStats() const { return stats_; }
+    const mem::MainMemory &localMemory() const { return localMem_; }
+
+    /** A broadcast arrived from the bus at cycle @p now. */
+    void deliverBroadcast(Addr line, Cycle now);
+
+    /** Stream protocol events ("node 1 @c: broadcast 0x...") to
+     *  @p os; nullptr disables tracing. */
+    void setTrace(std::ostream *os) { trace_ = os; }
+
+    /** Write a gem5-style stats block for this node. */
+    void dumpStats(std::ostream &os) const;
+
+    // MemBackend interface --------------------------------------------
+    ooo::FillResult startLineFetch(Addr line, Cycle now) override;
+    void onUnclaimedCanonicalMiss(Addr line, Cycle now) override;
+    void writeBack(Addr line, Cycle now) override;
+    void storeMiss(Addr line, Cycle now) override;
+    Cycle fetchInstLine(Addr line, Cycle now) override;
+
+  private:
+    bool isLocal(Addr line) const;
+    bool isOwner(Addr line) const;
+
+    void traceEvent(Cycle now, const char *event, Addr line) const;
+
+    NodeId id_;
+    const mem::PageTable &ptable_;
+    BroadcastPort &port_;
+    mem::MainMemory localMem_;
+    Bshr bshr_;
+    ooo::OoOCore core_;
+    NodeStats stats_;
+    std::ostream *trace_ = nullptr;
+};
+
+} // namespace core
+} // namespace dscalar
+
+#endif // DSCALAR_CORE_NODE_HH

@@ -1,0 +1,58 @@
+#include "core/result_comm.hh"
+
+#include <algorithm>
+
+namespace dscalar {
+namespace core {
+
+ResultCommEstimate
+estimateResultComm(const PrivateRegion &region,
+                   const interconnect::BusParams &bus,
+                   const mem::MainMemoryParams &mem,
+                   unsigned line_size)
+{
+    ResultCommEstimate est;
+
+    const std::uint64_t line_msg = bus.headerBytes + line_size;
+    const std::uint64_t result_msg = bus.headerBytes + 8;
+
+    interconnect::Bus esp_bus(bus);
+    interconnect::Bus rc_bus(bus);
+
+    // Owner-side local fetch of the operands: banked and pipelined.
+    mem::MainMemory banks(mem);
+    Cycle fetch_done = 0;
+    for (unsigned i = 0; i < region.operandLoads; ++i) {
+        fetch_done = std::max(
+            fetch_done,
+            banks.request(static_cast<Addr>(i) * line_size, 0));
+    }
+
+    // --- Plain ESP: every operand line is broadcast. -------------
+    est.espMessages = region.operandLoads;
+    est.espBytes = est.espMessages * line_msg;
+    Cycle last_operand_arrival = 0;
+    for (unsigned i = 0; i < region.operandLoads; ++i) {
+        last_operand_arrival = esp_bus.send(
+            interconnect::MsgKind::Broadcast, line_size, fetch_done);
+    }
+    // Non-owners then run the dependent computation themselves.
+    est.espCriticalPath = last_operand_arrival + region.computeCycles;
+
+    // --- Result communication: owner computes, publishes results. -
+    est.rcMessages = region.resultValues;
+    est.rcBytes = est.rcMessages * result_msg;
+    Cycle owner_done = fetch_done + region.computeCycles;
+    Cycle last_result_arrival = owner_done;
+    for (unsigned r = 0; r < region.resultValues; ++r) {
+        last_result_arrival =
+            rc_bus.send(interconnect::MsgKind::Broadcast, 8,
+                        owner_done);
+    }
+    est.rcCriticalPath = last_result_arrival;
+
+    return est;
+}
+
+} // namespace core
+} // namespace dscalar

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Result communication (paper Section 5.1) — analytical model.
+ *
+ * "Because each processor executes the instructions in a different
+ * order, it is possible for a processor to temporarily deviate from
+ * the ESP model and execute a private computation, broadcasting only
+ * the result — not the operands — to the other processors."
+ *
+ * The paper proposes but does not evaluate this; we model it the
+ * same way Figure 3 models datathreading: count the traffic and the
+ * serialized critical path of a private region under plain ESP
+ * (every operand broadcast) versus result communication (operands
+ * consumed locally by the owner, only results broadcast).
+ */
+
+#ifndef DSCALAR_CORE_RESULT_COMM_HH
+#define DSCALAR_CORE_RESULT_COMM_HH
+
+#include "common/types.hh"
+#include "interconnect/bus.hh"
+#include "mem/main_memory.hh"
+
+namespace dscalar {
+namespace core {
+
+/**
+ * A private computation region: a block of code whose memory
+ * operands all live on one node and whose effect is summarized by a
+ * handful of register results.
+ */
+struct PrivateRegion
+{
+    unsigned operandLoads = 0;  ///< communicated-line loads inside
+    unsigned resultValues = 1;  ///< 8-byte results to publish
+    Cycle computeCycles = 0;    ///< dependent-compute length
+};
+
+/** Traffic and latency of the region under both schemes. */
+struct ResultCommEstimate
+{
+    std::uint64_t espBytes = 0;
+    std::uint64_t rcBytes = 0;
+    std::uint64_t espMessages = 0;
+    std::uint64_t rcMessages = 0;
+    /** Cycle the last non-owner can use the region's results. */
+    Cycle espCriticalPath = 0;
+    Cycle rcCriticalPath = 0;
+
+    double
+    byteSavings() const
+    {
+        return espBytes ? 1.0 - static_cast<double>(rcBytes) /
+                                    static_cast<double>(espBytes)
+                        : 0.0;
+    }
+};
+
+/**
+ * Estimate the region under the given interconnect and memory
+ * parameters (@p line_size is the broadcast payload under ESP).
+ */
+ResultCommEstimate
+estimateResultComm(const PrivateRegion &region,
+                   const interconnect::BusParams &bus,
+                   const mem::MainMemoryParams &mem,
+                   unsigned line_size);
+
+} // namespace core
+} // namespace dscalar
+
+#endif // DSCALAR_CORE_RESULT_COMM_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Top-level configuration shared by the DataScalar system and the
+ * baseline systems. Defaults reproduce the paper's Section 4.2
+ * parameters.
+ */
+
+#ifndef DSCALAR_CORE_SIM_CONFIG_HH
+#define DSCALAR_CORE_SIM_CONFIG_HH
+
+#include "common/types.hh"
+#include "interconnect/bus.hh"
+#include "interconnect/ring.hh"
+#include "mem/main_memory.hh"
+#include "ooo/core.hh"
+
+namespace dscalar {
+namespace core {
+
+/** Global-interconnect topology for DataScalar broadcasts. */
+enum class InterconnectKind : std::uint8_t {
+    Bus, ///< the paper's evaluated configuration
+    Ring ///< the paper's envisioned SCI-style ring (Section 4.4)
+};
+
+/** Whole-system parameters. */
+struct SimConfig
+{
+    ooo::CoreParams core;
+    mem::MainMemoryParams mem;       ///< per-node on-chip memory
+    interconnect::BusParams bus;
+    InterconnectKind interconnect = InterconnectKind::Bus;
+    interconnect::RingParams ring;   ///< used when interconnect==Ring
+    unsigned numNodes = 2;
+    Cycle bshrLatency = 1;           ///< BSHR access time in cycles
+    /** Architected BSHR capacity; the model is soft (occupancy above
+     *  this is reported, not enforced, mirroring flow control). */
+    unsigned bshrCapacity = 128;
+    /** Truncate runs after this many instructions (0 = completion). */
+    InstSeq maxInsts = 0;
+    /**
+     * Per-node on-chip memory capacity in pages (0 = unchecked).
+     * The DataScalar premise is a finite per-node memory holding
+     * 1/N of the program plus every replicated page; exceeding it
+     * is a configuration error.
+     */
+    std::size_t memCapacityPages = 0;
+    /** Abort if no node commits for this many cycles (a protocol
+     *  deadlock would otherwise hang silently). */
+    Cycle watchdogCycles = 5'000'000;
+};
+
+/** Aggregate outcome of one timing run. */
+struct RunResult
+{
+    Cycle cycles = 0;
+    InstSeq instructions = 0;
+    double ipc = 0.0;
+};
+
+} // namespace core
+} // namespace dscalar
+
+#endif // DSCALAR_CORE_SIM_CONFIG_HH

@@ -1,0 +1,241 @@
+#include "driver/driver.hh"
+
+#include "common/logging.hh"
+#include "func/func_sim.hh"
+#include "mem/cache.hh"
+
+namespace dscalar {
+namespace driver {
+
+core::SimConfig
+paperConfig()
+{
+    // Section 4.2: 8-way issue, 256-entry RUU, LSQ = RUU/2, 16 KB
+    // direct-mapped single-cycle split L1s (write-back,
+    // write-noallocate data cache), 8 ns on-chip banks behind a
+    // 256-bit bus at core clock, an 8-byte global bus at 1/10 core
+    // clock, 2-cycle interface penalties, 128-entry 1 ns BSHRs.
+    core::SimConfig cfg;
+    cfg.core = ooo::CoreParams{};
+    cfg.mem = mem::MainMemoryParams{};
+    cfg.bus = interconnect::BusParams{};
+    cfg.numNodes = 2;
+    cfg.bshrLatency = 1;
+    cfg.bshrCapacity = 128;
+    return cfg;
+}
+
+core::PageHeat
+profilePages(const prog::Program &program, InstSeq max_insts)
+{
+    func::FuncSim sim(program);
+    core::PageHeat heat;
+    sim.setMemHook([&heat](Addr addr, unsigned, bool) {
+        ++heat[prog::pageBase(addr)];
+    });
+    sim.setFetchHook(
+        [&heat](Addr pc) { ++heat[prog::pageBase(pc)]; });
+    sim.run(max_insts ? max_insts : ~static_cast<InstSeq>(0));
+    return heat;
+}
+
+// -------------------------------------------------------------------
+// Table 1
+// -------------------------------------------------------------------
+
+double
+TrafficResult::bytesEliminated() const
+{
+    if (totalBytes() == 0)
+        return 0.0;
+    return static_cast<double>(requestBytes + writeBackBytes) /
+           static_cast<double>(totalBytes());
+}
+
+double
+TrafficResult::transactionsEliminated() const
+{
+    if (totalTransactions() == 0)
+        return 0.0;
+    return static_cast<double>(requests + writeBacks) /
+           static_cast<double>(totalTransactions());
+}
+
+TrafficResult
+measureEspTraffic(const prog::Program &program, InstSeq max_insts,
+                  const mem::CacheParams &dcache_params)
+{
+    func::FuncSim sim(program);
+    mem::Cache dcache(dcache_params);
+    TrafficResult result;
+
+    constexpr std::uint64_t header = 8;
+    const std::uint64_t line = dcache_params.lineSize;
+
+    sim.setMemHook([&](Addr addr, unsigned, bool is_write) {
+        mem::CacheAccessResult r = dcache.access(addr, is_write);
+        if (!r.hit && r.allocated) {
+            // Miss fetch: one request out, one line response back.
+            ++result.requests;
+            result.requestBytes += header;
+            ++result.responses;
+            result.responseBytes += header + line;
+        } else if (!r.hit && !r.allocated) {
+            // Write-noallocate store miss: a word write crosses the
+            // interconnect (counts as write traffic ESP removes).
+            ++result.writeBacks;
+            result.writeBackBytes += header + 8;
+        }
+        if (r.evicted && r.victimDirty) {
+            ++result.writeBacks;
+            result.writeBackBytes += header + line;
+        }
+    });
+    sim.run(max_insts ? max_insts : ~static_cast<InstSeq>(0));
+    return result;
+}
+
+// -------------------------------------------------------------------
+// Table 2
+// -------------------------------------------------------------------
+
+void
+RunCounter::feed(NodeId node)
+{
+    ++refs_;
+    if (!active_ || node != curNode_) {
+        if (active_)
+            ++completedRuns_;
+        active_ = true;
+        curNode_ = node;
+    }
+}
+
+std::uint64_t
+RunCounter::runs() const
+{
+    return completedRuns_ + (active_ ? 1 : 0);
+}
+
+double
+RunCounter::mean() const
+{
+    std::uint64_t r = runs();
+    return r ? static_cast<double>(refs_) / static_cast<double>(r) : 0.0;
+}
+
+DatathreadResult
+measureDatathreads(const prog::Program &program,
+                   const mem::PageTable &ptable,
+                   const core::ReplicationReport &rep,
+                   InstSeq max_insts)
+{
+    func::FuncSim sim(program);
+    // Section 3's study cache: 64 KB two-way (shared approximation
+    // for both reference kinds; the paper filtered through its L1).
+    mem::Cache dcache({64 * 1024, 2, 32, true});
+    mem::Cache icache({64 * 1024, 2, 32, true});
+
+    DatathreadResult result;
+    result.replicated = rep;
+
+    RunCounter all;
+    RunCounter text;
+    RunCounter data;
+    // Replicated-run counting: consecutive *replicated* misses.
+    std::uint64_t repl_refs = 0;
+    std::uint64_t repl_runs = 0;
+    bool in_repl_run = false;
+
+    auto classify = [&](Addr addr, bool is_text) {
+        ++result.missRefs;
+        mem::PageEntry entry = ptable.lookup(addr);
+        if (entry.replicated) {
+            ++repl_refs;
+            if (!in_repl_run) {
+                in_repl_run = true;
+                ++repl_runs;
+            }
+            // Replicated references are local everywhere and do not
+            // break a communicated run.
+            return;
+        }
+        in_repl_run = false;
+        all.feed(entry.owner);
+        if (is_text)
+            text.feed(entry.owner);
+        else
+            data.feed(entry.owner);
+    };
+
+    sim.setMemHook([&](Addr addr, unsigned, bool is_write) {
+        mem::CacheAccessResult r = dcache.access(addr, is_write);
+        if (!r.hit)
+            classify(addr, false);
+    });
+    Addr last_iline = invalidAddr;
+    sim.setFetchHook([&](Addr pc) {
+        Addr iline = icache.lineAlign(pc);
+        if (iline == last_iline)
+            return;
+        last_iline = iline;
+        mem::CacheAccessResult r = icache.access(pc, false);
+        if (!r.hit)
+            classify(pc, true);
+    });
+
+    sim.run(max_insts ? max_insts : ~static_cast<InstSeq>(0));
+
+    result.meanAll = all.mean();
+    result.meanText = text.mean();
+    result.meanData = data.mean();
+    result.meanRepl =
+        repl_runs ? static_cast<double>(repl_refs) /
+                        static_cast<double>(repl_runs)
+                  : 0.0;
+    return result;
+}
+
+// -------------------------------------------------------------------
+// Timing-run conveniences
+// -------------------------------------------------------------------
+
+mem::PageTable
+figure7PageTable(const prog::Program &program, unsigned num_nodes,
+                 unsigned block_pages)
+{
+    core::DistributionConfig dist;
+    dist.numNodes = num_nodes;
+    dist.replicateText = true;
+    dist.replicatedDataPages = 0;
+    dist.blockPages = block_pages;
+    return core::buildPageTable(program, dist);
+}
+
+core::RunResult
+runDataScalar(const prog::Program &program,
+              const core::SimConfig &config)
+{
+    core::DataScalarSystem system(
+        program, config, figure7PageTable(program, config.numNodes));
+    return system.run();
+}
+
+core::RunResult
+runTraditional(const prog::Program &program,
+               const core::SimConfig &config)
+{
+    baseline::TraditionalSystem system(
+        program, config, figure7PageTable(program, config.numNodes));
+    return system.run();
+}
+
+core::RunResult
+runPerfect(const prog::Program &program, const core::SimConfig &config)
+{
+    baseline::PerfectSystem system(program, config);
+    return system.run();
+}
+
+} // namespace driver
+} // namespace dscalar

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Experiment driver: shared machinery for the bench binaries,
+ * examples, and integration tests — the paper's default
+ * configuration, page-heat profiling, the Table 1 ESP traffic study,
+ * the Table 2 datathread-length study, and one-call timing runs of
+ * each system.
+ */
+
+#ifndef DSCALAR_DRIVER_DRIVER_HH
+#define DSCALAR_DRIVER_DRIVER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/datascalar.hh"
+#include "core/distribution.hh"
+#include "core/sim_config.hh"
+#include "baseline/perfect.hh"
+#include "baseline/traditional.hh"
+#include "prog/program.hh"
+
+namespace dscalar {
+namespace driver {
+
+/** The paper's Section 4.2 system parameters. */
+core::SimConfig paperConfig();
+
+/**
+ * Profile per-page access counts (instruction and data) with a
+ * functional run, for hot-page replication decisions.
+ */
+core::PageHeat profilePages(const prog::Program &program,
+                            InstSeq max_insts = 0);
+
+// -------------------------------------------------------------------
+// Table 1: off-chip traffic eliminated by ESP
+// -------------------------------------------------------------------
+
+/** Traffic decomposition of an in-order cache-filtered run. */
+struct TrafficResult
+{
+    std::uint64_t requestBytes = 0;
+    std::uint64_t responseBytes = 0;
+    std::uint64_t writeBackBytes = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t responses = 0;
+    std::uint64_t writeBacks = 0;
+
+    std::uint64_t
+    totalBytes() const
+    {
+        return requestBytes + responseBytes + writeBackBytes;
+    }
+    std::uint64_t
+    totalTransactions() const
+    {
+        return requests + responses + writeBacks;
+    }
+    /** Fraction of bytes ESP removes (requests + write-backs). */
+    double bytesEliminated() const;
+    /** Fraction of transactions ESP removes. */
+    double transactionsEliminated() const;
+};
+
+/**
+ * Run @p program through an in-order simulation with the Table 1
+ * cache (64 KB 2-way write-allocate write-back by default) and
+ * decompose the resulting off-chip traffic.
+ */
+TrafficResult measureEspTraffic(const prog::Program &program,
+                                InstSeq max_insts = 0,
+                                const mem::CacheParams &dcache = {
+                                    64 * 1024, 2, 32, true});
+
+// -------------------------------------------------------------------
+// Table 2: datathread-length approximation
+// -------------------------------------------------------------------
+
+/** Arithmetic-mean run length of consecutive same-node references. */
+class RunCounter
+{
+  public:
+    /** Feed one communicated reference local to @p node. */
+    void feed(NodeId node);
+
+    double mean() const;
+    std::uint64_t refs() const { return refs_; }
+    std::uint64_t runs() const;
+
+  private:
+    bool active_ = false;
+    NodeId curNode_ = 0;
+    std::uint64_t refs_ = 0;
+    std::uint64_t completedRuns_ = 0;
+};
+
+/** Table 2 row: datathread approximations for one benchmark. */
+struct DatathreadResult
+{
+    core::ReplicationReport replicated;
+    double meanAll = 0.0;   ///< all cache misses
+    double meanText = 0.0;  ///< instruction misses only
+    double meanData = 0.0;  ///< data misses only
+    double meanRepl = 0.0;  ///< contiguous replicated-page accesses
+    std::uint64_t missRefs = 0;
+};
+
+/**
+ * Measure datathread lengths for @p program under the placement in
+ * @p ptable: cache-filtered miss streams (paper Section 3.2 cache:
+ * 64 KB two-way) attributed to owning nodes.
+ */
+DatathreadResult measureDatathreads(const prog::Program &program,
+                                    const mem::PageTable &ptable,
+                                    const core::ReplicationReport &rep,
+                                    InstSeq max_insts = 0);
+
+// -------------------------------------------------------------------
+// Timing-run conveniences
+// -------------------------------------------------------------------
+
+/** Distribute pages for an N-node run (no static data replication,
+ *  text replicated — the paper's Figure 7 setup). */
+mem::PageTable figure7PageTable(const prog::Program &program,
+                                unsigned num_nodes,
+                                unsigned block_pages = 1);
+
+/** Run an N-node DataScalar system; returns IPC and cycles. */
+core::RunResult runDataScalar(const prog::Program &program,
+                              const core::SimConfig &config);
+
+/** Run the traditional system with 1/numNodes memory on-chip. */
+core::RunResult runTraditional(const prog::Program &program,
+                               const core::SimConfig &config);
+
+/** Run the perfect-data-cache system. */
+core::RunResult runPerfect(const prog::Program &program,
+                           const core::SimConfig &config);
+
+} // namespace driver
+} // namespace dscalar
+
+#endif // DSCALAR_DRIVER_DRIVER_HH

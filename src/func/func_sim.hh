@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Execution-driven functional simulator.
+ *
+ * Serves three roles, mirroring SimpleScalar's split in the paper:
+ *  1. architectural oracle — computes the one true dynamic
+ *     instruction stream that every DataScalar node commits (SPSD);
+ *  2. workload driver for the in-order cache studies (Tables 1-2)
+ *     via the memory-access hook;
+ *  3. correctness reference for the timing simulators (final state
+ *     and syscall output must match).
+ */
+
+#ifndef DSCALAR_FUNC_FUNC_SIM_HH
+#define DSCALAR_FUNC_FUNC_SIM_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "mem/phys_mem.hh"
+#include "prog/program.hh"
+
+namespace dscalar {
+namespace func {
+
+/** One executed (retired) dynamic instruction. */
+struct DynInst
+{
+    InstSeq seq = 0;
+    Addr pc = 0;
+    isa::Instruction inst;
+    Addr effAddr = invalidAddr; ///< memory ops only
+    unsigned memSize = 0;       ///< bytes, memory ops only
+    Addr nextPc = 0;            ///< resolved next PC (perfect prediction)
+};
+
+/** ISA interpreter over a private PhysMem. */
+class FuncSim
+{
+  public:
+    /** Called for every data access: (addr, size, isWrite). */
+    using MemHook = std::function<void(Addr, unsigned, bool)>;
+    /** Called for every instruction fetch: (pc). */
+    using FetchHook = std::function<void(Addr)>;
+
+    explicit FuncSim(const prog::Program &program);
+
+    /** @return false once HALT or SYSCALL(Exit) has retired. */
+    bool halted() const { return halted_; }
+
+    /** Architectural register read (r0 reads as zero). */
+    std::uint64_t reg(RegIndex index) const { return regs_[index]; }
+    Addr pc() const { return pc_; }
+    InstSeq retired() const { return retired_; }
+
+    /** Bytes written by Print* syscalls, in program order. */
+    const std::string &output() const { return output_; }
+
+    mem::PhysMem &memory() { return mem_; }
+    const mem::PhysMem &memory() const { return mem_; }
+
+    void setMemHook(MemHook hook) { memHook_ = std::move(hook); }
+    void setFetchHook(FetchHook hook) { fetchHook_ = std::move(hook); }
+
+    /**
+     * Execute one instruction; no-op when halted.
+     * @param out optional record of the executed instruction.
+     * @return true when an instruction was executed.
+     */
+    bool step(DynInst *out = nullptr);
+
+    /**
+     * Run to completion or until @p max_insts more instructions.
+     * @return number of instructions executed.
+     */
+    InstSeq run(InstSeq max_insts = ~static_cast<InstSeq>(0));
+
+  private:
+    std::uint64_t readReg(RegIndex index) const { return regs_[index]; }
+    void writeReg(RegIndex index, std::uint64_t value);
+    void doSyscall(std::int32_t code);
+
+    mem::PhysMem mem_;
+    std::uint64_t regs_[32] = {};
+    Addr pc_;
+    bool halted_ = false;
+    InstSeq retired_ = 0;
+    std::string output_;
+    MemHook memHook_;
+    FetchHook fetchHook_;
+};
+
+} // namespace func
+} // namespace dscalar
+
+#endif // DSCALAR_FUNC_FUNC_SIM_HH

@@ -1,0 +1,71 @@
+#include "interconnect/bus.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace interconnect {
+
+const char *
+msgKindName(MsgKind kind)
+{
+    switch (kind) {
+      case MsgKind::Broadcast: return "broadcast";
+      case MsgKind::ReparativeBroadcast: return "reparative";
+      case MsgKind::Request: return "request";
+      case MsgKind::Response: return "response";
+      case MsgKind::WriteBack: return "writeback";
+      case MsgKind::Write: return "write";
+      default: return "?";
+    }
+}
+
+Bus::Bus(const BusParams &params)
+    : params_(params)
+{
+    fatal_if(params_.widthBytes == 0, "bus width must be nonzero");
+    fatal_if(params_.clockDivisor == 0, "bus clock divisor must be >= 1");
+}
+
+Cycle
+Bus::occupancyCycles(std::size_t bytes) const
+{
+    std::size_t bus_clocks =
+        (bytes + params_.widthBytes - 1) / params_.widthBytes;
+    return static_cast<Cycle>(bus_clocks) * params_.clockDivisor;
+}
+
+Cycle
+Bus::send(MsgKind kind, unsigned line_size, Cycle ready)
+{
+    std::size_t nbytes =
+        messageBytes(kind, line_size, params_.headerBytes);
+    Cycle enter = ready + params_.interfacePenalty;
+    Cycle start = std::max(enter, freeAt_);
+    Cycle dur = occupancyCycles(nbytes);
+    freeAt_ = start + dur;
+    busy_ += dur;
+
+    auto k = static_cast<std::size_t>(kind);
+    ++messages_;
+    bytes_ += nbytes;
+    ++kindMessages_[k];
+    kindBytes_[k] += nbytes;
+    return freeAt_;
+}
+
+std::uint64_t
+Bus::messagesOf(MsgKind kind) const
+{
+    return kindMessages_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t
+Bus::bytesOf(MsgKind kind) const
+{
+    return kindBytes_[static_cast<std::size_t>(kind)];
+}
+
+} // namespace interconnect
+} // namespace dscalar

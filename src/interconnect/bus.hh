@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared global bus connecting the IRAM nodes.
+ *
+ * Every transaction is an implicit broadcast ("broadcasts on a bus
+ * are free" — Section 4.4). The model is a single occupied resource:
+ * a message holds the bus for ceil(bytes / width) bus clocks, each
+ * bus clock being clockDivisor core cycles. The paper's configuration
+ * is an 8-byte bus at one tenth of the core clock.
+ */
+
+#ifndef DSCALAR_INTERCONNECT_BUS_HH
+#define DSCALAR_INTERCONNECT_BUS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "interconnect/message.hh"
+
+namespace dscalar {
+namespace interconnect {
+
+/** Global-bus parameters. */
+struct BusParams
+{
+    unsigned widthBytes = 8;   ///< data width per bus clock
+    Cycle clockDivisor = 10;   ///< core cycles per bus clock
+    unsigned headerBytes = 8;  ///< address/tag overhead per message
+    Cycle interfacePenalty = 2; ///< queue penalty before bus entry
+};
+
+/** Occupancy + traffic-accounting model of the global bus. */
+class Bus
+{
+  public:
+    explicit Bus(const BusParams &params);
+
+    const BusParams &params() const { return params_; }
+
+    /**
+     * Transmit a message of traffic class @p kind carrying a
+     * @p line_size payload, ready to enter the interface at
+     * @p ready.
+     * @return core cycle at which delivery completes at receivers.
+     */
+    Cycle send(MsgKind kind, unsigned line_size, Cycle ready);
+
+    /** Core cycles a message of @p bytes occupies the bus. */
+    Cycle occupancyCycles(std::size_t bytes) const;
+
+    // Traffic accounting ---------------------------------------------
+    std::uint64_t totalMessages() const { return messages_; }
+    std::uint64_t totalBytes() const { return bytes_; }
+    std::uint64_t messagesOf(MsgKind kind) const;
+    std::uint64_t bytesOf(MsgKind kind) const;
+    /** Core cycles the bus spent occupied. */
+    Cycle busyCycles() const { return busy_; }
+
+  private:
+    static constexpr std::size_t numKinds = 6;
+
+    BusParams params_;
+    Cycle freeAt_ = 0;
+    Cycle busy_ = 0;
+    std::uint64_t messages_ = 0;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t kindMessages_[numKinds] = {};
+    std::uint64_t kindBytes_[numKinds] = {};
+};
+
+} // namespace interconnect
+} // namespace dscalar
+
+#endif // DSCALAR_INTERCONNECT_BUS_HH

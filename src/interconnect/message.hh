@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Messages crossing the global interconnect.
+ *
+ * DataScalar systems place only broadcasts on the bus (ESP is
+ * response-only); the traditional baseline uses request/response plus
+ * off-chip write-backs — exactly the traffic classes whose removal
+ * Table 1 quantifies.
+ */
+
+#ifndef DSCALAR_INTERCONNECT_MESSAGE_HH
+#define DSCALAR_INTERCONNECT_MESSAGE_HH
+
+#include "common/types.hh"
+
+namespace dscalar {
+namespace interconnect {
+
+/** Traffic class of a bus message. */
+enum class MsgKind : std::uint8_t {
+    Broadcast,           ///< ESP data push (line + address tag)
+    ReparativeBroadcast, ///< late broadcast repairing a false hit
+    Request,             ///< traditional read request (address only)
+    Response,            ///< traditional read response (line)
+    WriteBack,           ///< traditional dirty-line write-back
+    Write                ///< traditional store-miss word write
+};
+
+/** @return printable name of @p kind. */
+const char *msgKindName(MsgKind kind);
+
+/** One in-flight message. */
+struct Message
+{
+    MsgKind kind = MsgKind::Broadcast;
+    Addr lineAddr = invalidAddr;
+    NodeId src = 0;
+    Cycle deliverAt = 0;
+};
+
+/** Payload size in bytes of @p kind given the line size. */
+inline std::size_t
+messageBytes(MsgKind kind, unsigned line_size, unsigned header_bytes)
+{
+    switch (kind) {
+      case MsgKind::Request:
+        return header_bytes;
+      default:
+        return header_bytes + line_size;
+    }
+}
+
+} // namespace interconnect
+} // namespace dscalar
+
+#endif // DSCALAR_INTERCONNECT_MESSAGE_HH

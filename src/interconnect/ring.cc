@@ -1,0 +1,55 @@
+#include "interconnect/ring.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace interconnect {
+
+Ring::Ring(unsigned num_nodes, const RingParams &params)
+    : numNodes_(num_nodes), params_(params),
+      linkFreeAt_(num_nodes, 0)
+{
+    fatal_if(num_nodes < 1, "ring needs at least one node");
+    fatal_if(params_.widthBytes == 0, "link width must be nonzero");
+    fatal_if(params_.clockDivisor == 0, "link clock divisor >= 1");
+}
+
+Cycle
+Ring::serializationCycles(std::size_t nbytes) const
+{
+    std::size_t clocks =
+        (nbytes + params_.widthBytes - 1) / params_.widthBytes;
+    return static_cast<Cycle>(clocks) * params_.clockDivisor;
+}
+
+std::vector<RingDelivery>
+Ring::broadcast(MsgKind kind, unsigned line_size, NodeId src,
+                Cycle ready)
+{
+    std::size_t nbytes =
+        messageBytes(kind, line_size, params_.headerBytes);
+    Cycle ser = serializationCycles(nbytes);
+
+    ++messages_;
+    bytes_ += nbytes;
+
+    std::vector<RingDelivery> deliveries;
+    // Head of the message leaves src when its outgoing link frees.
+    Cycle head = ready + params_.interfacePenalty;
+    NodeId hop = src;
+    for (unsigned k = 1; k < numNodes_; ++k) {
+        Cycle start = std::max(head, linkFreeAt_[hop]);
+        linkFreeAt_[hop] = start + ser;
+        busy_ += ser;
+        // Tail arrives at the next node after serialization + wire.
+        head = start + ser + params_.hopLatency;
+        hop = (hop + 1) % numNodes_;
+        deliveries.push_back(RingDelivery{hop, head});
+    }
+    return deliveries;
+}
+
+} // namespace interconnect
+} // namespace dscalar

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unidirectional point-to-point ring interconnect.
+ *
+ * Section 4.4 of the paper argues rings (e.g.\ SCI) suit ESP:
+ * "on a ring, operations are observed by all nodes if the sender is
+ * responsible for removing its own message". A broadcast therefore
+ * traverses all N-1 downstream links and is removed by the sender.
+ * Unlike the bus, disjoint ring segments carry different messages
+ * simultaneously, so aggregate broadcast bandwidth scales.
+ *
+ * Model: each node owns its outgoing link. A message occupies
+ * successive links for its serialization time; per-hop wire/router
+ * latency is added on top. Delivery times therefore differ per
+ * receiver — the paper's noted complication that "operands
+ * originating at different processors are received at other nodes
+ * in different orders".
+ */
+
+#ifndef DSCALAR_INTERCONNECT_RING_HH
+#define DSCALAR_INTERCONNECT_RING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "interconnect/message.hh"
+
+namespace dscalar {
+namespace interconnect {
+
+/**
+ * Ring parameters. Point-to-point links clock far faster than a
+ * shared multi-drop bus (the SCI premise): the default link clock is
+ * one fifth of the core clock where the default bus runs at one
+ * tenth — a broadcast still occupies every link, so the ring only
+ * pays off once its link-speed advantage beats the (N-1)-hop
+ * traversal.
+ */
+struct RingParams
+{
+    unsigned widthBytes = 8;    ///< link width per link clock
+    Cycle clockDivisor = 2;     ///< core cycles per link clock
+    Cycle hopLatency = 4;       ///< per-hop wire + router cycles
+    unsigned headerBytes = 8;
+    Cycle interfacePenalty = 2; ///< injection queue penalty
+};
+
+/** One receiver's delivery time. */
+struct RingDelivery
+{
+    NodeId node;
+    Cycle at;
+};
+
+/** Occupancy + traffic model of an N-node unidirectional ring. */
+class Ring
+{
+  public:
+    Ring(unsigned num_nodes, const RingParams &params);
+
+    const RingParams &params() const { return params_; }
+
+    /**
+     * Broadcast from @p src, ready to inject at @p ready: the
+     * message visits every other node in ring order and is removed
+     * when it returns to the sender.
+     * @return per-receiver delivery times (all nodes except src).
+     */
+    std::vector<RingDelivery> broadcast(MsgKind kind,
+                                        unsigned line_size,
+                                        NodeId src, Cycle ready);
+
+    /** Core cycles a message occupies one link. */
+    Cycle serializationCycles(std::size_t bytes) const;
+
+    std::uint64_t totalMessages() const { return messages_; }
+    std::uint64_t totalBytes() const { return bytes_; }
+    /** Sum of busy cycles over all links. */
+    Cycle linkBusyCycles() const { return busy_; }
+
+  private:
+    unsigned numNodes_;
+    RingParams params_;
+    std::vector<Cycle> linkFreeAt_; ///< indexed by source node
+    std::uint64_t messages_ = 0;
+    std::uint64_t bytes_ = 0;
+    Cycle busy_ = 0;
+};
+
+} // namespace interconnect
+} // namespace dscalar
+
+#endif // DSCALAR_INTERCONNECT_RING_HH

@@ -1,0 +1,214 @@
+#include "isa/instruction.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace isa {
+
+int
+Instruction::destReg() const
+{
+    switch (info().format) {
+      case Format::RRR:
+      case Format::RRI:
+      case Format::RI:
+        return rd == 0 ? -1 : rd;
+      case Format::Mem:
+        return isLoad() && rd != 0 ? rd : -1;
+      case Format::Jump:
+        return op == Opcode::JAL ? 31 : -1;
+      case Format::Sys:
+        return 2; // result register by convention
+      default:
+        return -1;
+    }
+}
+
+int
+Instruction::srcRegs(RegIndex srcs[2]) const
+{
+    int n = 0;
+    auto add = [&](RegIndex r) {
+        if (r != 0)
+            srcs[n++] = r;
+    };
+    switch (info().format) {
+      case Format::RRR:
+        add(rs);
+        add(rt);
+        break;
+      case Format::RRI:
+        add(rs);
+        break;
+      case Format::Mem:
+        add(rs);
+        if (isStore())
+            add(rt);
+        break;
+      case Format::Branch:
+        add(rs);
+        add(rt);
+        break;
+      case Format::JumpReg:
+        add(rs);
+        break;
+      case Format::Sys:
+        // Syscalls read r4/r5 by convention; modelled as two sources.
+        srcs[n++] = 4;
+        srcs[n++] = 5;
+        break;
+      default:
+        break;
+    }
+    return n;
+}
+
+namespace {
+
+constexpr std::uint32_t
+field(std::uint32_t v, unsigned shift, unsigned width)
+{
+    return (v & ((1u << width) - 1)) << shift;
+}
+
+} // namespace
+
+std::uint32_t
+encode(const Instruction &inst)
+{
+    std::uint32_t w = field(static_cast<std::uint32_t>(inst.op), 26, 6);
+    auto imm16 = static_cast<std::uint32_t>(inst.imm) & 0xffffu;
+    switch (inst.info().format) {
+      case Format::None:
+        break;
+      case Format::RRR:
+        w |= field(inst.rd, 21, 5) | field(inst.rs, 16, 5) |
+             field(inst.rt, 11, 5);
+        break;
+      case Format::RRI:
+        w |= field(inst.rd, 21, 5) | field(inst.rs, 16, 5) | imm16;
+        break;
+      case Format::RI:
+        w |= field(inst.rd, 21, 5) | imm16;
+        break;
+      case Format::Mem:
+        // Loads carry the destination in A; stores the value reg.
+        w |= field(inst.isLoad() ? inst.rd : inst.rt, 21, 5) |
+             field(inst.rs, 16, 5) | imm16;
+        break;
+      case Format::Branch:
+        w |= field(inst.rs, 21, 5) | field(inst.rt, 16, 5) | imm16;
+        break;
+      case Format::Jump:
+        w |= static_cast<std::uint32_t>(inst.imm) & 0x03ffffffu;
+        break;
+      case Format::JumpReg:
+        w |= field(inst.rs, 21, 5);
+        break;
+      case Format::Sys:
+        w |= imm16;
+        break;
+    }
+    return w;
+}
+
+Instruction
+decode(std::uint32_t word)
+{
+    auto opval = bits(word, 31, 26);
+    panic_if(opval >= static_cast<std::uint64_t>(Opcode::NUM_OPCODES),
+             "decode: bad opcode field %llu in %08x",
+             static_cast<unsigned long long>(opval), word);
+
+    Instruction inst;
+    inst.op = static_cast<Opcode>(opval);
+    auto a = static_cast<RegIndex>(bits(word, 25, 21));
+    auto b = static_cast<RegIndex>(bits(word, 20, 16));
+    auto c = static_cast<RegIndex>(bits(word, 15, 11));
+    auto imm16s = static_cast<std::int32_t>(sext(bits(word, 15, 0), 16));
+    auto imm16u = static_cast<std::int32_t>(bits(word, 15, 0));
+
+    switch (inst.info().format) {
+      case Format::None:
+        break;
+      case Format::RRR:
+        inst.rd = a;
+        inst.rs = b;
+        inst.rt = c;
+        break;
+      case Format::RRI:
+        inst.rd = a;
+        inst.rs = b;
+        // Logical immediates are zero-extended, arithmetic ones
+        // sign-extended (MIPS convention).
+        inst.imm = (inst.op == Opcode::ANDI || inst.op == Opcode::ORI ||
+                    inst.op == Opcode::XORI)
+                       ? imm16u
+                       : imm16s;
+        break;
+      case Format::RI:
+        inst.rd = a;
+        inst.imm = imm16u;
+        break;
+      case Format::Mem:
+        if (inst.isLoad())
+            inst.rd = a;
+        else
+            inst.rt = a;
+        inst.rs = b;
+        inst.imm = imm16s;
+        break;
+      case Format::Branch:
+        inst.rs = a;
+        inst.rt = b;
+        inst.imm = imm16s;
+        break;
+      case Format::Jump:
+        inst.imm = static_cast<std::int32_t>(bits(word, 25, 0));
+        break;
+      case Format::JumpReg:
+        inst.rs = a;
+        break;
+      case Format::Sys:
+        inst.imm = imm16u;
+        break;
+    }
+    return inst;
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const OpInfo &oi = inst.info();
+    switch (oi.format) {
+      case Format::None:
+        return oi.mnemonic;
+      case Format::RRR:
+        return csprintf("%s r%u, r%u, r%u", oi.mnemonic, inst.rd, inst.rs,
+                        inst.rt);
+      case Format::RRI:
+        return csprintf("%s r%u, r%u, %d", oi.mnemonic, inst.rd, inst.rs,
+                        inst.imm);
+      case Format::RI:
+        return csprintf("%s r%u, %d", oi.mnemonic, inst.rd, inst.imm);
+      case Format::Mem:
+        return csprintf("%s r%u, %d(r%u)", oi.mnemonic,
+                        inst.isLoad() ? inst.rd : inst.rt, inst.imm,
+                        inst.rs);
+      case Format::Branch:
+        return csprintf("%s r%u, r%u, %d", oi.mnemonic, inst.rs, inst.rt,
+                        inst.imm);
+      case Format::Jump:
+        return csprintf("%s 0x%x", oi.mnemonic,
+                        static_cast<unsigned>(inst.imm) * 4);
+      case Format::JumpReg:
+        return csprintf("%s r%u", oi.mnemonic, inst.rs);
+      case Format::Sys:
+        return csprintf("%s %d", oi.mnemonic, inst.imm);
+    }
+    return "<bad>";
+}
+
+} // namespace isa
+} // namespace dscalar

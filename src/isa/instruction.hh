@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Decoded instruction representation, binary encoding, and
+ * disassembly.
+ *
+ * Binary layout of a 32-bit instruction word:
+ *
+ *   [31:26] opcode
+ *   [25:21] field A   [20:16] field B   [15:11] field C
+ *   [15:0]  imm16 (overlaps C)          [25:0]  imm26 (jumps)
+ *
+ * Field assignment per Format is documented next to decode().
+ */
+
+#ifndef DSCALAR_ISA_INSTRUCTION_HH
+#define DSCALAR_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace dscalar {
+namespace isa {
+
+/** A fully decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    RegIndex rd = 0;      ///< destination register
+    RegIndex rs = 0;      ///< first source register
+    RegIndex rt = 0;      ///< second source register
+    std::int32_t imm = 0; ///< immediate / offset / syscall number
+
+    const OpInfo &info() const { return opInfo(op); }
+
+    bool
+    isLoad() const
+    {
+        return op == Opcode::LW || op == Opcode::LD ||
+               op == Opcode::LBU;
+    }
+    bool
+    isStore() const
+    {
+        return op == Opcode::SW || op == Opcode::SD ||
+               op == Opcode::SB;
+    }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool
+    isCtrl() const
+    {
+        return info().opClass == OpClass::Ctrl;
+    }
+    bool
+    isBranch() const
+    {
+        return op == Opcode::BEQ || op == Opcode::BNE ||
+               op == Opcode::BLT || op == Opcode::BGE;
+    }
+    bool isSyscall() const { return op == Opcode::SYSCALL; }
+    bool isHalt() const { return op == Opcode::HALT; }
+
+    /** Access width in bytes for memory operations. */
+    unsigned
+    memSize() const
+    {
+        if (op == Opcode::LD || op == Opcode::SD)
+            return 8;
+        if (op == Opcode::LBU || op == Opcode::SB)
+            return 1;
+        return 4;
+    }
+
+    /**
+     * Destination register for dependence tracking, or -1 when the
+     * instruction writes no register.
+     */
+    int destReg() const;
+
+    /**
+     * Source registers for dependence tracking.
+     * @param srcs out-array of at least 2 entries.
+     * @return number of sources written (0..2).
+     */
+    int srcRegs(RegIndex srcs[2]) const;
+
+    bool operator==(const Instruction &other) const = default;
+};
+
+/** Encode @p inst into a 32-bit instruction word. */
+std::uint32_t encode(const Instruction &inst);
+
+/** Decode a 32-bit instruction word; panics on a bad opcode field. */
+Instruction decode(std::uint32_t word);
+
+/** Human-readable rendering, e.g.\ "addi r4, r4, 8". */
+std::string disassemble(const Instruction &inst);
+
+} // namespace isa
+} // namespace dscalar
+
+#endif // DSCALAR_ISA_INSTRUCTION_HH

@@ -1,0 +1,80 @@
+#include "isa/opcodes.hh"
+
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace isa {
+
+namespace {
+
+constexpr OpInfo opTable[] = {
+    {"nop",     Format::None,    OpClass::Misc},
+
+    {"add",     Format::RRR,     OpClass::IntAlu},
+    {"sub",     Format::RRR,     OpClass::IntAlu},
+    {"mul",     Format::RRR,     OpClass::IntMul},
+    {"div",     Format::RRR,     OpClass::IntDiv},
+    {"rem",     Format::RRR,     OpClass::IntDiv},
+    {"and",     Format::RRR,     OpClass::IntAlu},
+    {"or",      Format::RRR,     OpClass::IntAlu},
+    {"xor",     Format::RRR,     OpClass::IntAlu},
+    {"sll",     Format::RRR,     OpClass::IntAlu},
+    {"srl",     Format::RRR,     OpClass::IntAlu},
+    {"sra",     Format::RRR,     OpClass::IntAlu},
+    {"slt",     Format::RRR,     OpClass::IntAlu},
+    {"sltu",    Format::RRR,     OpClass::IntAlu},
+
+    {"addi",    Format::RRI,     OpClass::IntAlu},
+    {"andi",    Format::RRI,     OpClass::IntAlu},
+    {"ori",     Format::RRI,     OpClass::IntAlu},
+    {"xori",    Format::RRI,     OpClass::IntAlu},
+    {"slli",    Format::RRI,     OpClass::IntAlu},
+    {"srli",    Format::RRI,     OpClass::IntAlu},
+    {"srai",    Format::RRI,     OpClass::IntAlu},
+    {"slti",    Format::RRI,     OpClass::IntAlu},
+    {"lui",     Format::RI,      OpClass::IntAlu},
+
+    {"fadd",    Format::RRR,     OpClass::FpAdd},
+    {"fsub",    Format::RRR,     OpClass::FpAdd},
+    {"fmul",    Format::RRR,     OpClass::FpMul},
+    {"fdiv",    Format::RRR,     OpClass::FpDiv},
+    {"fslt",    Format::RRR,     OpClass::FpAdd},
+    {"cvtif",   Format::RRI,     OpClass::FpAdd},
+    {"cvtfi",   Format::RRI,     OpClass::FpAdd},
+
+    {"lw",      Format::Mem,     OpClass::MemRead},
+    {"sw",      Format::Mem,     OpClass::MemWrite},
+    {"ld",      Format::Mem,     OpClass::MemRead},
+    {"sd",      Format::Mem,     OpClass::MemWrite},
+    {"lbu",     Format::Mem,     OpClass::MemRead},
+    {"sb",      Format::Mem,     OpClass::MemWrite},
+
+    {"beq",     Format::Branch,  OpClass::Ctrl},
+    {"bne",     Format::Branch,  OpClass::Ctrl},
+    {"blt",     Format::Branch,  OpClass::Ctrl},
+    {"bge",     Format::Branch,  OpClass::Ctrl},
+    {"j",       Format::Jump,    OpClass::Ctrl},
+    {"jal",     Format::Jump,    OpClass::Ctrl},
+    {"jr",      Format::JumpReg, OpClass::Ctrl},
+
+    {"syscall", Format::Sys,     OpClass::Misc},
+    {"halt",    Format::None,    OpClass::Misc},
+};
+
+static_assert(sizeof(opTable) / sizeof(opTable[0]) ==
+              static_cast<std::size_t>(Opcode::NUM_OPCODES),
+              "opTable out of sync with Opcode enum");
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    auto idx = static_cast<std::size_t>(op);
+    panic_if(idx >= static_cast<std::size_t>(Opcode::NUM_OPCODES),
+             "bad opcode %zu", idx);
+    return opTable[idx];
+}
+
+} // namespace isa
+} // namespace dscalar

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Opcode space of the simulated ISA.
+ *
+ * The ISA is a small MIPS-like load/store machine: 32 general
+ * registers of 64 bits each (r0 hardwired to zero), 32-bit fixed
+ * instruction words, integer and double-precision FP operations on
+ * the same register file, word (4 B) and doubleword (8 B) memory
+ * accesses, compare-and-branch, jumps, and a SYSCALL escape. This is
+ * the SimpleScalar-PISA role in the original paper: just enough ISA
+ * to run real (synthetic) programs execution-driven.
+ */
+
+#ifndef DSCALAR_ISA_OPCODES_HH
+#define DSCALAR_ISA_OPCODES_HH
+
+#include <cstdint>
+
+namespace dscalar {
+namespace isa {
+
+/** Primary opcode; every operation has a distinct 6-bit code. */
+enum class Opcode : std::uint8_t {
+    NOP = 0,
+
+    // Integer register-register ALU.
+    ADD, SUB, MUL, DIV, REM,
+    AND, OR, XOR,
+    SLL, SRL, SRA,
+    SLT, SLTU,
+
+    // Integer register-immediate ALU.
+    ADDI, ANDI, ORI, XORI,
+    SLLI, SRLI, SRAI,
+    SLTI, LUI,
+
+    // Floating point (IEEE double carried in the 64-bit registers).
+    FADD, FSUB, FMUL, FDIV,
+    FSLT,          ///< rd = (double)rs < (double)rt ? 1 : 0
+    CVTIF,         ///< rd = (double)(int64)rs
+    CVTFI,         ///< rd = (int64)(double)rs
+
+    // Memory.
+    LW,            ///< rd = zext32(mem4[rs + imm])
+    SW,            ///< mem4[rs + imm] = rt
+    LD,            ///< rd = mem8[rs + imm]
+    SD,            ///< mem8[rs + imm] = rt
+    LBU,           ///< rd = zext8(mem1[rs + imm])
+    SB,            ///< mem1[rs + imm] = rt
+
+    // Control.
+    BEQ, BNE, BLT, BGE,
+    J, JAL, JR,
+
+    // System.
+    SYSCALL,       ///< service selected by imm, args in r4..r7
+    HALT,
+
+    NUM_OPCODES
+};
+
+/** Instruction operand layout. */
+enum class Format : std::uint8_t {
+    None,      ///< NOP, HALT
+    RRR,       ///< rd, rs, rt
+    RRI,       ///< rd, rs, imm
+    RI,        ///< rd, imm (LUI)
+    Mem,       ///< load: rd, imm(rs); store: rt, imm(rs)
+    Branch,    ///< rs, rt, imm (word offset)
+    Jump,      ///< imm (absolute word target)
+    JumpReg,   ///< rs
+    Sys        ///< imm = syscall number
+};
+
+/** Functional-unit class used by the timing model. */
+enum class OpClass : std::uint8_t {
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAdd,
+    FpMul,
+    FpDiv,
+    MemRead,
+    MemWrite,
+    Ctrl,
+    Misc
+};
+
+/** Static per-opcode metadata. */
+struct OpInfo
+{
+    const char *mnemonic;
+    Format format;
+    OpClass opClass;
+};
+
+/** @return metadata for @p op; panics on an out-of-range value. */
+const OpInfo &opInfo(Opcode op);
+
+/** Syscall service numbers (carried in the imm field of SYSCALL). */
+enum class Syscall : std::int32_t {
+    Exit = 0,
+    PrintInt = 1,
+    PrintChar = 2,
+    PrintFp = 3
+};
+
+} // namespace isa
+} // namespace dscalar
+
+#endif // DSCALAR_ISA_OPCODES_HH

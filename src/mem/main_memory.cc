@@ -1,0 +1,36 @@
+#include "mem/main_memory.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace mem {
+
+MainMemory::MainMemory(const MainMemoryParams &params)
+    : params_(params), bankFreeAt_(params.numBanks, 0)
+{
+    fatal_if(params_.numBanks == 0, "need at least one memory bank");
+    fatal_if(params_.busBytesPerCycle == 0, "bus width must be nonzero");
+}
+
+unsigned
+MainMemory::bankOf(Addr addr) const
+{
+    return static_cast<unsigned>((addr / params_.lineSize) %
+                                 params_.numBanks);
+}
+
+Cycle
+MainMemory::request(Addr addr, Cycle now)
+{
+    unsigned bank = bankOf(addr);
+    Cycle start = std::max(now, bankFreeAt_[bank]);
+    Cycle bank_done = start + params_.accessLatency;
+    bankFreeAt_[bank] = bank_done;
+    ++requestCount_;
+    return bank_done + transferCycles();
+}
+
+} // namespace mem
+} // namespace dscalar

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Timing model of one node's on-chip main memory: line-interleaved
+ * DRAM banks behind a wide on-chip bus clocked at core frequency
+ * (Section 4.2: 8 ns banks, 256-bit bus at the processor clock).
+ */
+
+#ifndef DSCALAR_MEM_MAIN_MEMORY_HH
+#define DSCALAR_MEM_MAIN_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dscalar {
+namespace mem {
+
+/** Parameters of one on-chip memory system. */
+struct MainMemoryParams
+{
+    Cycle accessLatency = 8;     ///< bank access time in core cycles
+    unsigned numBanks = 8;       ///< line-interleaved banks
+    unsigned lineSize = 32;      ///< transfer unit in bytes
+    unsigned busBytesPerCycle = 32; ///< 256-bit on-chip bus
+};
+
+/** Bank-occupancy timing model (values live in PhysMem). */
+class MainMemory
+{
+  public:
+    explicit MainMemory(const MainMemoryParams &params);
+
+    const MainMemoryParams &params() const { return params_; }
+
+    /**
+     * Schedule a line read or write beginning no earlier than @p now.
+     * @return cycle at which the line transfer completes.
+     */
+    Cycle request(Addr addr, Cycle now);
+
+    /** Cycles a line spends on the on-chip bus. */
+    Cycle
+    transferCycles() const
+    {
+        return (params_.lineSize + params_.busBytesPerCycle - 1) /
+               params_.busBytesPerCycle;
+    }
+
+    /** Total requests serviced (for stats). */
+    std::uint64_t requestCount() const { return requestCount_; }
+
+  private:
+    unsigned bankOf(Addr addr) const;
+
+    MainMemoryParams params_;
+    std::vector<Cycle> bankFreeAt_;
+    std::uint64_t requestCount_ = 0;
+};
+
+} // namespace mem
+} // namespace dscalar
+
+#endif // DSCALAR_MEM_MAIN_MEMORY_HH

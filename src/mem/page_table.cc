@@ -1,0 +1,55 @@
+#include "mem/page_table.hh"
+
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace mem {
+
+void
+PageTable::setReplicated(Addr page)
+{
+    panic_if(page != prog::pageBase(page), "not a page base: 0x%llx",
+             (unsigned long long)page);
+    entries_[page] = PageEntry{true, 0};
+}
+
+void
+PageTable::setOwned(Addr page, NodeId owner)
+{
+    panic_if(page != prog::pageBase(page), "not a page base: 0x%llx",
+             (unsigned long long)page);
+    panic_if(owner >= numNodes_, "owner %u out of range", owner);
+    entries_[page] = PageEntry{false, owner};
+}
+
+PageEntry
+PageTable::lookup(Addr addr) const
+{
+    auto it = entries_.find(prog::pageBase(addr));
+    if (it == entries_.end())
+        return PageEntry{}; // unregistered => replicated
+    return it->second;
+}
+
+std::size_t
+PageTable::ownedPageCount(NodeId node) const
+{
+    std::size_t n = 0;
+    for (const auto &[page, e] : entries_)
+        if (!e.replicated && e.owner == node)
+            ++n;
+    return n;
+}
+
+std::size_t
+PageTable::replicatedPageCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[page, e] : entries_)
+        if (e.replicated)
+            ++n;
+    return n;
+}
+
+} // namespace mem
+} // namespace dscalar

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Single-level page table with the two DataScalar bits the paper
+ * describes (Section 4.2): a replicated/communicated bit, and an
+ * ownership bit identifying which node's local memory holds a
+ * communicated page.
+ */
+
+#ifndef DSCALAR_MEM_PAGE_TABLE_HH
+#define DSCALAR_MEM_PAGE_TABLE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "prog/layout.hh"
+
+namespace dscalar {
+namespace mem {
+
+/** Per-page DataScalar placement state. */
+struct PageEntry
+{
+    bool replicated = true; ///< present in every node's local memory
+    NodeId owner = 0;       ///< owner when communicated
+};
+
+/**
+ * Maps pages to replicated/owned state. Pages never registered are
+ * treated as replicated (the page table itself lives in such a
+ * region, locked low in physical memory at every node).
+ */
+class PageTable
+{
+  public:
+    explicit PageTable(unsigned num_nodes = 1) : numNodes_(num_nodes) {}
+
+    unsigned numNodes() const { return numNodes_; }
+
+    /** Mark a page replicated at all nodes. */
+    void setReplicated(Addr page);
+
+    /** Mark a page communicated, owned by @p owner. */
+    void setOwned(Addr page, NodeId owner);
+
+    /** @return the entry for the page containing @p addr. */
+    PageEntry lookup(Addr addr) const;
+
+    bool isReplicated(Addr addr) const { return lookup(addr).replicated; }
+
+    /** True when @p node services loads for @p addr locally. */
+    bool
+    isLocal(Addr addr, NodeId node) const
+    {
+        PageEntry e = lookup(addr);
+        return e.replicated || e.owner == node;
+    }
+
+    /** Owner of a communicated address (meaningless if replicated). */
+    NodeId owner(Addr addr) const { return lookup(addr).owner; }
+
+    /** Number of registered communicated pages owned by @p node. */
+    std::size_t ownedPageCount(NodeId node) const;
+
+    /** Number of registered replicated pages. */
+    std::size_t replicatedPageCount() const;
+
+    std::size_t entryCount() const { return entries_.size(); }
+
+  private:
+    unsigned numNodes_;
+    std::unordered_map<Addr, PageEntry> entries_;
+};
+
+} // namespace mem
+} // namespace dscalar
+
+#endif // DSCALAR_MEM_PAGE_TABLE_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Sparse byte-addressable physical memory holding architectural data
+ * values. Timing is modelled elsewhere (MainMemory, Cache); this is
+ * the value store shared by the functional oracle.
+ */
+
+#ifndef DSCALAR_MEM_PHYS_MEM_HH
+#define DSCALAR_MEM_PHYS_MEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "prog/layout.hh"
+
+namespace dscalar {
+
+namespace prog {
+class Program;
+} // namespace prog
+
+namespace mem {
+
+/** Sparse page-granular backing store. */
+class PhysMem
+{
+  public:
+    /** Read @p size (1/4/8) bytes, little-endian, zero where unbacked. */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write @p size (1/4/8) bytes, little-endian. */
+    void write(Addr addr, unsigned size, std::uint64_t value);
+
+    /** Copy a program image (text + initialized data) into memory. */
+    void loadProgram(const prog::Program &program);
+
+    /** Number of distinct pages ever written. */
+    std::size_t backedPages() const { return pages_.size(); }
+
+  private:
+    std::vector<std::uint8_t> *findPage(Addr addr) const;
+    std::vector<std::uint8_t> &getPage(Addr addr);
+
+    std::unordered_map<Addr, std::vector<std::uint8_t>> pages_;
+};
+
+} // namespace mem
+} // namespace dscalar
+
+#endif // DSCALAR_MEM_PHYS_MEM_HH

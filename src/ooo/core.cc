@@ -1,0 +1,557 @@
+#include "ooo/core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "prog/layout.hh"
+
+namespace dscalar {
+namespace ooo {
+
+using isa::OpClass;
+
+Cycle
+CoreParams::opLatency(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntAlu: return intAluLat;
+      case OpClass::IntMul: return intMulLat;
+      case OpClass::IntDiv: return intDivLat;
+      case OpClass::FpAdd: return fpAddLat;
+      case OpClass::FpMul: return fpMulLat;
+      case OpClass::FpDiv: return fpDivLat;
+      case OpClass::Ctrl: return 1;
+      default: return 1;
+    }
+}
+
+unsigned
+CoreParams::fuPool(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+        return 1;
+      case OpClass::FpAdd:
+      case OpClass::FpMul:
+      case OpClass::FpDiv:
+        return 2;
+      case OpClass::MemRead:
+      case OpClass::MemWrite:
+        return 3;
+      default:
+        return 0; // simple ALU / control / misc
+    }
+}
+
+OoOCore::OoOCore(const CoreParams &params, OracleStream &stream,
+                 MemBackend &backend)
+    : params_(params), stream_(stream), backend_(backend),
+      icache_(params.icache), dcache_(params.dcache)
+{
+    fatal_if(params_.ruuEntries == 0, "RUU must have entries");
+    fatal_if(params_.lsqEntries == 0, "LSQ must have entries");
+    std::fill(std::begin(lastWriter_), std::end(lastWriter_), 0);
+
+    // TLBs: one fully associative set of page-granular entries.
+    auto make_tlb = [](unsigned entries) {
+        return std::make_unique<mem::Cache>(mem::CacheParams{
+            entries * prog::pageSize, entries,
+            static_cast<unsigned>(prog::pageSize), true});
+    };
+    if (params_.dtlbEntries)
+        dtlb_ = make_tlb(params_.dtlbEntries);
+    if (params_.itlbEntries)
+        itlb_ = make_tlb(params_.itlbEntries);
+}
+
+Cycle
+OoOCore::tlbPenalty(mem::Cache *tlb, Addr addr,
+                    std::uint64_t &miss_stat)
+{
+    if (!tlb)
+        return 0;
+    if (tlb->access(addr, false).hit)
+        return 0;
+    ++miss_stat;
+    return params_.tlbWalkCycles;
+}
+
+OoOCore::Uop &
+OoOCore::uop(InstSeq seq)
+{
+    panic_if(!inWindow(seq), "uop %llu not in window",
+             (unsigned long long)seq);
+    return window_[seq - windowBase_];
+}
+
+const OoOCore::Uop &
+OoOCore::uop(InstSeq seq) const
+{
+    return const_cast<OoOCore *>(this)->uop(seq);
+}
+
+bool
+OoOCore::inWindow(InstSeq seq) const
+{
+    return seq >= windowBase_ && seq < windowBase_ + window_.size();
+}
+
+void
+OoOCore::tick(Cycle now)
+{
+    if (done_)
+        return;
+    processCompletions(now);
+    doCommit(now);
+    doIssue(now);
+    doFetch(now);
+}
+
+void
+OoOCore::scheduleCompletion(InstSeq seq, Cycle when)
+{
+    completionEvents_[when].push_back(seq);
+}
+
+void
+OoOCore::processCompletions(Cycle now)
+{
+    while (!completionEvents_.empty() &&
+           completionEvents_.begin()->first <= now) {
+        auto node = completionEvents_.extract(completionEvents_.begin());
+        for (InstSeq seq : node.mapped())
+            complete(seq, node.key());
+    }
+}
+
+void
+OoOCore::complete(InstSeq seq, Cycle now)
+{
+    Uop &u = uop(seq);
+    panic_if(u.completed, "double completion of %llu",
+             (unsigned long long)seq);
+    u.completed = true;
+    u.readyAt = now;
+    for (InstSeq consumer : u.consumers) {
+        Uop &c = uop(consumer);
+        panic_if(c.waitCount == 0, "consumer waitCount underflow");
+        if (--c.waitCount == 0 && !c.issued)
+            readySet_.insert(consumer);
+    }
+    u.consumers.clear();
+}
+
+// -------------------------------------------------------------------
+// Commit
+// -------------------------------------------------------------------
+
+void
+OoOCore::doCommit(Cycle now)
+{
+    // A truncated stream's end may only be discovered by the fetch
+    // probe that runs *after* the final commit (tiny windows): catch
+    // up here, or the core would never report done.
+    if (window_.empty() && stream_.ended() &&
+        nextCommitSeq_ == stream_.endSeq()) {
+        done_ = true;
+        return;
+    }
+    for (unsigned n = 0; n < params_.commitWidth; ++n) {
+        if (window_.empty())
+            return;
+        Uop &u = window_.front();
+        if (!u.completed || u.readyAt > now)
+            return;
+
+        if (!params_.perfectData) {
+            if (u.isLoad)
+                commitLoad(u, now);
+            else if (u.isStore)
+                commitStore(u, now);
+        } else if (u.usesDcub) {
+            releaseDcubUser(u.lineAddr);
+        }
+
+        ++stats_.committed;
+        if (u.isLoad)
+            ++stats_.loads;
+        if (u.isStore) {
+            ++stats_.stores;
+            panic_if(windowStores_.empty() ||
+                         windowStores_.front() != u.seq,
+                     "store queue out of sync");
+            windowStores_.pop_front();
+        }
+        if (u.isLoad || u.isStore) {
+            panic_if(lsqOccupancy_ == 0, "LSQ underflow");
+            --lsqOccupancy_;
+        }
+
+        window_.pop_front();
+        ++windowBase_;
+        ++nextCommitSeq_;
+
+        if (stream_.ended() && nextCommitSeq_ == stream_.endSeq()) {
+            done_ = true;
+            return;
+        }
+    }
+}
+
+void
+OoOCore::commitLoad(Uop &u, Cycle now)
+{
+    mem::CacheAccessResult res = dcache_.access(u.lineAddr, false);
+    if (res.hit) {
+        if (!u.issueHit)
+            ++stats_.falseMisses;
+    } else {
+        ++stats_.canonicalLoadMisses;
+        if (u.issueHit)
+            ++stats_.falseHits;
+        if (res.evicted && res.victimDirty) {
+            ++stats_.dirtyWriteBacks;
+            backend_.writeBack(res.victimAddr, now);
+        }
+        auto it = dcub_.find(u.lineAddr);
+        if (it != dcub_.end() && !it->second.claimed) {
+            // The one fetch this node performed for this line
+            // episode is assigned to this (canonical) miss.
+            it->second.claimed = true;
+        } else {
+            // Pure false hit: this node never fetched the line this
+            // episode. Owners repair with a reparative broadcast;
+            // non-owners squash the incoming one.
+            ++stats_.unclaimedRepairs;
+            backend_.onUnclaimedCanonicalMiss(u.lineAddr, now);
+        }
+    }
+    if (u.usesDcub)
+        releaseDcubUser(u.lineAddr);
+}
+
+void
+OoOCore::commitStore(Uop &u, Cycle now)
+{
+    // Stores translate at commit; the refill is modelled, the walk
+    // latency is off the critical path (stores are not waited on).
+    tlbPenalty(dtlb_.get(), u.effAddr, stats_.dtlbMisses);
+    mem::CacheAccessResult res = dcache_.access(u.lineAddr, true);
+    if (res.hit)
+        return;
+    ++stats_.storeCommitMisses;
+    if (res.allocated) {
+        // Write-allocate policy (ablation): the line must be fetched
+        // just to be overwritten -- the inter-processor message the
+        // paper's write-noallocate choice avoids. A store-allocate
+        // is a canonical miss like any other: it claims an in-flight
+        // load fetch for the same line if one exists, else raises
+        // the fetch itself.
+        if (res.evicted && res.victimDirty) {
+            ++stats_.dirtyWriteBacks;
+            backend_.writeBack(res.victimAddr, now);
+        }
+        auto it = dcub_.find(u.lineAddr);
+        if (it != dcub_.end() && !it->second.claimed)
+            it->second.claimed = true;
+        else
+            backend_.onUnclaimedCanonicalMiss(u.lineAddr, now);
+    } else {
+        // Write-noallocate: the word is written through to memory.
+        backend_.storeMiss(u.lineAddr, now);
+    }
+}
+
+void
+OoOCore::releaseDcubUser(Addr line)
+{
+    auto it = dcub_.find(line);
+    panic_if(it == dcub_.end(), "DCUB entry for 0x%llx missing",
+             (unsigned long long)line);
+    DcubEntry &e = it->second;
+    panic_if(e.users == 0, "DCUB user underflow");
+    if (--e.users == 0) {
+        panic_if(!e.waiters.empty(), "DCUB freed with waiters");
+        panic_if(e.pending, "DCUB freed while pending");
+        panic_if(!e.claimed && !params_.perfectData,
+                 "DCUB entry for 0x%llx freed unclaimed",
+                 (unsigned long long)line);
+        dcub_.erase(it);
+    }
+}
+
+// -------------------------------------------------------------------
+// Issue
+// -------------------------------------------------------------------
+
+bool
+OoOCore::loadBlockedByStore(const Uop &u) const
+{
+    auto it = unknownAddrStores_.begin();
+    return it != unknownAddrStores_.end() && *it < u.seq;
+}
+
+const OoOCore::Uop *
+OoOCore::forwardingStore(const Uop &u) const
+{
+    for (auto rit = windowStores_.rbegin(); rit != windowStores_.rend();
+         ++rit) {
+        if (*rit >= u.seq)
+            continue;
+        const Uop &st = uop(*rit);
+        if (!st.issued)
+            continue; // address unknown; caller checked blocking
+        bool overlap = st.effAddr < u.effAddr + u.memSize &&
+                       u.effAddr < st.effAddr + st.memSize;
+        if (overlap)
+            return &st;
+    }
+    return nullptr;
+}
+
+void
+OoOCore::doIssue(Cycle now)
+{
+    unsigned issued = 0;
+    // Per-cycle functional-unit pool budgets (0 = unlimited).
+    unsigned pool_left[4] = {
+        params_.intAluUnits ? params_.intAluUnits : ~0u,
+        params_.intMulUnits ? params_.intMulUnits : ~0u,
+        params_.fpUnits ? params_.fpUnits : ~0u,
+        params_.memPorts ? params_.memPorts : ~0u,
+    };
+    for (auto it = readySet_.begin();
+         it != readySet_.end() && issued < params_.issueWidth;) {
+        Uop &u = uop(*it);
+        panic_if(u.issued, "ready set holds issued uop");
+
+        if (u.isLoad && loadBlockedByStore(u)) {
+            ++stats_.memOrderStallEvents;
+            ++it;
+            continue;
+        }
+
+        // MSHR limit: a load that would start a new line fill must
+        // wait for a free entry (merging loads may proceed). The
+        // oldest instruction always bypasses the limit: without this
+        // reserve, two nodes whose MSHRs are full of waits on each
+        // other's broadcasts deadlock.
+        if (u.isLoad && params_.maxOutstandingFills != 0 &&
+            u.seq != windowBase_ &&
+            dcub_.size() >= params_.maxOutstandingFills &&
+            !params_.perfectData &&
+            dcub_.find(u.lineAddr) == dcub_.end() &&
+            !dcache_.probe(u.lineAddr) && !forwardingStore(u)) {
+            ++stats_.mshrStallEvents;
+            ++it;
+            continue;
+        }
+
+        unsigned pool = CoreParams::fuPool(u.cls);
+        if (pool_left[pool] == 0) {
+            ++stats_.fuStallEvents;
+            ++it;
+            continue;
+        }
+        --pool_left[pool];
+
+        u.issued = true;
+        if (u.isLoad) {
+            issueLoad(u, now);
+        } else if (u.isStore) {
+            unknownAddrStores_.erase(u.seq);
+            scheduleCompletion(u.seq, now + 1);
+        } else {
+            scheduleCompletion(u.seq, now + params_.opLatency(u.cls));
+        }
+        ++issued;
+        it = readySet_.erase(it);
+    }
+}
+
+void
+OoOCore::issueLoad(Uop &u, Cycle now)
+{
+    // Store-to-load forwarding: single cycle from the LSQ.
+    if (const Uop *st = forwardingStore(u)) {
+        (void)st;
+        ++stats_.forwardedLoads;
+        ++stats_.loadIssueHits;
+        u.issueHit = true;
+        scheduleCompletion(u.seq, now + 1);
+        return;
+    }
+
+    if (params_.perfectData) {
+        u.issueHit = true;
+        scheduleCompletion(u.seq, now + params_.l1Latency);
+        return;
+    }
+
+    // Address translation: a dTLB miss walks the (local, replicated)
+    // page table before the cache access can start.
+    Cycle mnow =
+        now + tlbPenalty(dtlb_.get(), u.effAddr, stats_.dtlbMisses);
+
+    // In-flight line in the DCUB: the episode's one miss already
+    // belongs to the fetch initiator; this access merges.
+    auto it = dcub_.find(u.lineAddr);
+    if (it != dcub_.end()) {
+        DcubEntry &e = it->second;
+        u.usesDcub = true;
+        u.issueHit = true;
+        ++e.users;
+        ++stats_.loadIssueHits;
+        if (e.pending) {
+            u.waitingFill = true;
+            e.waiters.push_back(u.seq);
+        } else {
+            scheduleCompletion(u.seq, std::max(mnow + 1, e.readyAt));
+        }
+        return;
+    }
+
+    // Commit-updated tag array.
+    if (dcache_.probe(u.lineAddr)) {
+        u.issueHit = true;
+        ++stats_.loadIssueHits;
+        scheduleCompletion(u.seq, mnow + params_.l1Latency);
+        return;
+    }
+
+    // Issue-time miss: allocate a DCUB entry and start the fetch.
+    u.issueHit = false;
+    u.usesDcub = true;
+    ++stats_.loadIssueMisses;
+    DcubEntry entry;
+    entry.users = 1;
+    FillResult fill = backend_.startLineFetch(u.lineAddr, mnow);
+    if (fill.readyAt == cycleMax) {
+        entry.pending = true;
+        u.waitingFill = true;
+        entry.waiters.push_back(u.seq);
+    } else {
+        entry.pending = false;
+        entry.readyAt = fill.readyAt;
+        scheduleCompletion(u.seq, std::max(mnow + 1, fill.readyAt));
+    }
+    dcub_.emplace(u.lineAddr, std::move(entry));
+    stats_.maxDcubOccupancy =
+        std::max<std::uint64_t>(stats_.maxDcubOccupancy, dcub_.size());
+}
+
+void
+OoOCore::fillArrived(Addr line, Cycle ready_at, Cycle now)
+{
+    auto it = dcub_.find(line);
+    panic_if(it == dcub_.end(), "fill for 0x%llx without DCUB entry",
+             (unsigned long long)line);
+    DcubEntry &e = it->second;
+    panic_if(!e.pending, "fill for non-pending DCUB entry 0x%llx",
+             (unsigned long long)line);
+    e.pending = false;
+    e.readyAt = std::max(ready_at, now + 1);
+    for (InstSeq seq : e.waiters) {
+        Uop &u = uop(seq);
+        u.waitingFill = false;
+        scheduleCompletion(seq, e.readyAt);
+    }
+    e.waiters.clear();
+}
+
+bool
+OoOCore::hasPendingFill(Addr line) const
+{
+    auto it = dcub_.find(line);
+    return it != dcub_.end() && it->second.pending;
+}
+
+// -------------------------------------------------------------------
+// Fetch / dispatch
+// -------------------------------------------------------------------
+
+void
+OoOCore::doFetch(Cycle now)
+{
+    if (fetchEnded_ || now < fetchStallUntil_)
+        return;
+
+    for (unsigned f = 0; f < params_.fetchWidth; ++f) {
+        if (window_.size() >= params_.ruuEntries)
+            return;
+        if (!stream_.available(nextFetchSeq_)) {
+            fetchEnded_ = true;
+            return;
+        }
+        const func::DynInst &di = stream_.get(nextFetchSeq_);
+
+        if (di.inst.isMem() && lsqOccupancy_ >= params_.lsqEntries)
+            return;
+
+        Addr iline = icache_.lineAlign(di.pc);
+        if (iline != lastFetchLine_) {
+            Cycle itlb_pen =
+                tlbPenalty(itlb_.get(), di.pc, stats_.itlbMisses);
+            bool hit = icache_.probe(iline);
+            icache_.access(iline, false);
+            lastFetchLine_ = iline;
+            if (!hit) {
+                ++stats_.icacheMisses;
+                fetchStallUntil_ =
+                    backend_.fetchInstLine(iline, now + itlb_pen);
+                return;
+            }
+            if (itlb_pen) {
+                fetchStallUntil_ = now + itlb_pen;
+                return;
+            }
+        }
+
+        // Dispatch into the RUU.
+        Uop u;
+        u.seq = di.seq;
+        u.inst = di.inst;
+        u.cls = di.inst.info().opClass;
+        u.isLoad = di.inst.isLoad();
+        u.isStore = di.inst.isStore();
+        if (u.isLoad || u.isStore) {
+            u.effAddr = di.effAddr;
+            u.memSize = di.memSize;
+            u.lineAddr = dcache_.lineAlign(di.effAddr);
+        }
+
+        RegIndex srcs[2];
+        int nsrc = di.inst.srcRegs(srcs);
+        for (int i = 0; i < nsrc; ++i) {
+            InstSeq lw = lastWriter_[srcs[i]];
+            if (lw != 0 && lw - 1 >= windowBase_) {
+                Uop &producer = uop(lw - 1);
+                if (!producer.completed) {
+                    producer.consumers.push_back(u.seq);
+                    ++u.waitCount;
+                }
+            }
+        }
+
+        bool ready = (u.waitCount == 0);
+        InstSeq seq = u.seq;
+        int dest = di.inst.destReg();
+        window_.push_back(std::move(u));
+        if (dest >= 0)
+            lastWriter_[dest] = seq + 1;
+        if (window_.back().isStore) {
+            windowStores_.push_back(seq);
+            unknownAddrStores_.insert(seq);
+        }
+        if (window_.back().isLoad || window_.back().isStore)
+            ++lsqOccupancy_;
+        if (ready)
+            readySet_.insert(seq);
+
+        ++nextFetchSeq_;
+    }
+}
+
+} // namespace ooo
+} // namespace dscalar

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Out-of-order core in the paper's configuration (Section 4.2):
+ * 8-way issue, a 256-entry Register Update Unit tracking
+ * dependencies, a load/store queue of half the RUU size, loads sent
+ * to the cache at issue time, stores at commit time, single-cycle
+ * store-to-load forwarding, perfect branch prediction, non-blocking
+ * split L1 caches with an arbitrary number of outstanding misses.
+ *
+ * The data cache's tag state is only updated at instruction commit,
+ * through a Data Commit Update Buffer (DCUB). Each load records its
+ * issue-time hit/miss outcome; at commit the canonical in-order
+ * outcome is recomputed and disparities (false hits / false misses)
+ * are detected and repaired exactly as Section 4.1 describes. The
+ * commit-updated tag array is therefore identical at every node of a
+ * DataScalar system — the cache correspondence invariant.
+ */
+
+#ifndef DSCALAR_OOO_CORE_HH
+#define DSCALAR_OOO_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "mem/cache.hh"
+#include "ooo/mem_backend.hh"
+#include "ooo/oracle_stream.hh"
+
+namespace dscalar {
+namespace ooo {
+
+/** Microarchitectural parameters (defaults = the paper's). */
+struct CoreParams
+{
+    unsigned fetchWidth = 8;
+    unsigned issueWidth = 8;
+    unsigned commitWidth = 8;
+    unsigned ruuEntries = 256;
+    unsigned lsqEntries = 128;
+    Cycle l1Latency = 1;
+
+    mem::CacheParams icache{16 * 1024, 1, 32, true};
+    mem::CacheParams dcache{16 * 1024, 1, 32, false};
+
+    /** Single-cycle access to any operand (the perfect data cache). */
+    bool perfectData = false;
+
+    // Fully pipelined functional-unit latencies by class.
+    Cycle intAluLat = 1;
+    Cycle intMulLat = 3;
+    Cycle intDivLat = 12;
+    Cycle fpAddLat = 2;
+    Cycle fpMulLat = 4;
+    Cycle fpDivLat = 12;
+
+    // Functional-unit pool sizes (fully pipelined; issue of a class
+    // is limited to its pool per cycle). 0 = unlimited. Defaults
+    // model a generous 8-way machine: 8 simple ALUs, shared
+    // mul/div, 4 FP units, 4 cache ports.
+    unsigned intAluUnits = 8;
+    unsigned intMulUnits = 2;
+    unsigned fpUnits = 4;
+    unsigned memPorts = 4;
+
+    /** Maximum outstanding line fills (DCUB/MSHR entries with a
+     *  pending or in-flight fetch). 0 = unlimited — the paper's
+     *  "arbitrarily high number of outstanding requests". */
+    unsigned maxOutstandingFills = 0;
+
+    // Address translation (the paper implements a single-level page
+    // table locked low in memory; we model its timing as TLBs whose
+    // misses walk that table in local memory). 0 entries = no
+    // translation modelling.
+    unsigned dtlbEntries = 64;
+    unsigned itlbEntries = 32;
+    Cycle tlbWalkCycles = 12; ///< one local bank access + transfer
+
+    Cycle opLatency(isa::OpClass cls) const;
+
+    /** FU pool index for @p cls (see OoOCore::FuPool). */
+    static unsigned fuPool(isa::OpClass cls);
+};
+
+/** Event counters exported by one core. */
+struct CoreStats
+{
+    std::uint64_t committed = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t loadIssueMisses = 0;   ///< created a DCUB fetch
+    std::uint64_t loadIssueHits = 0;     ///< tags, DCUB, or forward
+    std::uint64_t forwardedLoads = 0;
+    std::uint64_t canonicalLoadMisses = 0;
+    std::uint64_t falseHits = 0;         ///< issue hit, canonical miss
+    std::uint64_t falseMisses = 0;       ///< issue miss, canonical hit
+    std::uint64_t unclaimedRepairs = 0;  ///< reparative events raised
+    std::uint64_t storeCommitMisses = 0;
+    std::uint64_t dirtyWriteBacks = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t dtlbMisses = 0;
+    std::uint64_t itlbMisses = 0;
+    std::uint64_t memOrderStallEvents = 0;
+    std::uint64_t fuStallEvents = 0;
+    std::uint64_t mshrStallEvents = 0;
+    std::uint64_t maxDcubOccupancy = 0;
+};
+
+/**
+ * One out-of-order processor consuming the shared oracle stream and
+ * talking to a node-specific memory backend.
+ */
+class OoOCore
+{
+  public:
+    OoOCore(const CoreParams &params, OracleStream &stream,
+            MemBackend &backend);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** True once the final instruction has committed. */
+    bool done() const { return done_; }
+
+    /** Next sequence number to commit (== instructions committed). */
+    InstSeq committedSeq() const { return nextCommitSeq_; }
+
+    /**
+     * A deferred line fill (broadcast) arrived; data usable at
+     * @p ready_at. Must correspond to a pending DCUB entry.
+     */
+    void fillArrived(Addr line, Cycle ready_at, Cycle now);
+
+    /** True when a pending (unfilled) DCUB entry exists for @p line. */
+    bool hasPendingFill(Addr line) const;
+
+    const CoreStats &coreStats() const { return stats_; }
+    const mem::Cache &dcache() const { return dcache_; }
+
+    /** Number of in-flight instructions (RUU occupancy). */
+    std::size_t windowSize() const { return window_.size(); }
+
+  private:
+    /** An in-flight instruction (one RUU entry). */
+    struct Uop
+    {
+        InstSeq seq = 0;
+        isa::Instruction inst;
+        isa::OpClass cls = isa::OpClass::Misc;
+        Addr effAddr = invalidAddr;
+        unsigned memSize = 0;
+        Addr lineAddr = invalidAddr;
+        bool isLoad = false;
+        bool isStore = false;
+
+        unsigned waitCount = 0;       ///< outstanding register producers
+        std::vector<InstSeq> consumers;
+        bool issued = false;
+        bool completed = false;
+        Cycle readyAt = cycleMax;
+
+        bool issueHit = false;        ///< load issue-time outcome
+        bool usesDcub = false;        ///< holds a DCUB user reference
+        bool waitingFill = false;     ///< blocked on a deferred fill
+    };
+
+    /** One in-flight line in the Data Commit Update Buffer. */
+    struct DcubEntry
+    {
+        bool pending = true;          ///< fill not yet arrived
+        Cycle readyAt = cycleMax;
+        bool claimed = false;         ///< matched to a canonical miss
+        unsigned users = 0;           ///< LSQ references outstanding
+        std::vector<InstSeq> waiters; ///< loads blocked on the fill
+    };
+
+    Uop &uop(InstSeq seq);
+    const Uop &uop(InstSeq seq) const;
+    bool inWindow(InstSeq seq) const;
+
+    void processCompletions(Cycle now);
+    void doCommit(Cycle now);
+    void doIssue(Cycle now);
+    void doFetch(Cycle now);
+
+    void scheduleCompletion(InstSeq seq, Cycle when);
+    void complete(InstSeq seq, Cycle now);
+    void issueLoad(Uop &u, Cycle now);
+    void commitLoad(Uop &u, Cycle now);
+    void commitStore(Uop &u, Cycle now);
+    void releaseDcubUser(Addr line);
+
+    /** @return blocking store seq, or -1 when the load may proceed. */
+    bool loadBlockedByStore(const Uop &u) const;
+    /** Youngest older overlapping store, or nullptr. */
+    const Uop *forwardingStore(const Uop &u) const;
+
+    CoreParams params_;
+    OracleStream &stream_;
+    MemBackend &backend_;
+
+    /** TLB as a one-set LRU cache over page-sized "lines".
+     *  @return extra walk cycles (0 on a hit or when disabled). */
+    Cycle tlbPenalty(mem::Cache *tlb, Addr addr,
+                     std::uint64_t &miss_stat);
+
+    mem::Cache icache_;
+    mem::Cache dcache_;
+    std::unique_ptr<mem::Cache> dtlb_;
+    std::unique_ptr<mem::Cache> itlb_;
+
+    std::deque<Uop> window_;
+    InstSeq windowBase_ = 0;     ///< seq of window_.front()
+    InstSeq nextFetchSeq_ = 0;
+    InstSeq nextCommitSeq_ = 0;
+    std::size_t lsqOccupancy_ = 0;
+    bool fetchEnded_ = false;
+    bool done_ = false;
+
+    InstSeq lastWriter_[32];     ///< seq + 1, 0 = none
+    std::set<InstSeq> readySet_;
+    std::set<InstSeq> unknownAddrStores_;
+    std::deque<InstSeq> windowStores_;
+    std::map<Cycle, std::vector<InstSeq>> completionEvents_;
+
+    std::map<Addr, DcubEntry> dcub_;
+
+    Cycle fetchStallUntil_ = 0;
+    Addr lastFetchLine_ = invalidAddr;
+
+    CoreStats stats_;
+};
+
+} // namespace ooo
+} // namespace dscalar
+
+#endif // DSCALAR_OOO_CORE_HH

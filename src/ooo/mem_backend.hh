@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Interface between an out-of-order core and its node's memory
+ * system. The DataScalar node, the traditional memory hierarchy, and
+ * the perfect-cache model all implement this.
+ */
+
+#ifndef DSCALAR_OOO_MEM_BACKEND_HH
+#define DSCALAR_OOO_MEM_BACKEND_HH
+
+#include "common/types.hh"
+
+namespace dscalar {
+namespace ooo {
+
+/** Result of starting a line fetch at load-issue time. */
+struct FillResult
+{
+    /**
+     * Cycle at which the line is available to the core, or cycleMax
+     * when the completion will be signalled later through
+     * OoOCore::fillArrived() (e.g.\ a BSHR wait for a broadcast).
+     */
+    Cycle readyAt = cycleMax;
+    /** Data was already waiting locally (e.g.\ buffered in the BSHR). */
+    bool foundWaiting = false;
+};
+
+/** Node-side memory system as seen by the core. */
+class MemBackend
+{
+  public:
+    virtual ~MemBackend() = default;
+
+    /**
+     * A demand load missed the (commit-updated) L1D and the DCUB at
+     * issue time; fetch line @p line. DataScalar owners access local
+     * memory and broadcast; non-owners wait on (or match) a
+     * broadcast; the traditional system issues a request/response
+     * pair when the line maps off-chip.
+     */
+    virtual FillResult startLineFetch(Addr line, Cycle now) = 0;
+
+    /**
+     * At commit, a canonical (program-order) miss found no unclaimed
+     * in-flight fetch for @p line: this node never fetched the line
+     * this episode (a pure false hit). DataScalar owners must emit a
+     * reparative broadcast; non-owners squash the matching broadcast.
+     */
+    virtual void onUnclaimedCanonicalMiss(Addr line, Cycle now) = 0;
+
+    /**
+     * A dirty victim line was evicted by a canonical fill at commit.
+     * DataScalar completes it locally or drops it; the traditional
+     * system may cross the global bus.
+     */
+    virtual void writeBack(Addr line, Cycle now) = 0;
+
+    /** A committed store wrote through/into memory state for
+     *  accounting purposes (write-noallocate miss path). */
+    virtual void storeMiss(Addr line, Cycle now) = 0;
+
+    /**
+     * Fetch an instruction line (program text). Always local in a
+     * DataScalar machine (text is replicated).
+     * @return completion cycle.
+     */
+    virtual Cycle fetchInstLine(Addr line, Cycle now) = 0;
+};
+
+} // namespace ooo
+} // namespace dscalar
+
+#endif // DSCALAR_OOO_MEM_BACKEND_HH

@@ -1,0 +1,52 @@
+#include "ooo/oracle_stream.hh"
+
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace ooo {
+
+bool
+OracleStream::available(InstSeq seq)
+{
+    panic_if(seq < base_, "stream record %llu already trimmed (base %llu)",
+             (unsigned long long)seq, (unsigned long long)base_);
+    while (!ended_ && seq >= base_ + buffer_.size()) {
+        if (maxInsts_ != 0 && base_ + buffer_.size() >= maxInsts_) {
+            ended_ = true;
+            end_ = maxInsts_;
+            break;
+        }
+        func::DynInst rec;
+        if (!sim_.step(&rec)) {
+            ended_ = true;
+            end_ = base_ + buffer_.size();
+            break;
+        }
+        buffer_.push_back(rec);
+        if (sim_.halted()) {
+            ended_ = true;
+            end_ = base_ + buffer_.size();
+        }
+    }
+    return seq < base_ + buffer_.size();
+}
+
+const func::DynInst &
+OracleStream::get(InstSeq seq)
+{
+    panic_if(!available(seq), "stream record %llu unavailable",
+             (unsigned long long)seq);
+    return buffer_[seq - base_];
+}
+
+void
+OracleStream::trim(InstSeq min_seq)
+{
+    while (base_ < min_seq && !buffer_.empty()) {
+        buffer_.pop_front();
+        ++base_;
+    }
+}
+
+} // namespace ooo
+} // namespace dscalar

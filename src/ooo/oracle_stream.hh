@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared dynamic-instruction stream.
+ *
+ * One functional simulator produces the true dynamic stream; every
+ * node's out-of-order core consumes it through a cursor. This models
+ * two things at once: the perfect branch prediction the paper assumes
+ * (Section 4.2), and the SPSD property that all DataScalar nodes
+ * execute the identical instruction stream.
+ */
+
+#ifndef DSCALAR_OOO_ORACLE_STREAM_HH
+#define DSCALAR_OOO_ORACLE_STREAM_HH
+
+#include <deque>
+
+#include "func/func_sim.hh"
+
+namespace dscalar {
+namespace ooo {
+
+/** Lazily extended, reference-counted window over the dynamic stream. */
+class OracleStream
+{
+  public:
+    /**
+     * @param sim functional oracle producing the stream.
+     * @param max_insts truncate the stream after this many dynamic
+     *        instructions (0 = run the program to completion). The
+     *        paper runs "100 million instructions or to completion,
+     *        whichever came first".
+     */
+    explicit OracleStream(func::FuncSim &sim, InstSeq max_insts = 0)
+        : sim_(sim), maxInsts_(max_insts)
+    {
+    }
+
+    /**
+     * @return true when instruction @p seq exists (extending the
+     * stream as needed); false once the program ends earlier.
+     */
+    bool available(InstSeq seq);
+
+    /** The record for @p seq; available(seq) must have returned true. */
+    const func::DynInst &get(InstSeq seq);
+
+    /** Drop records below @p min_seq (all consumers are past them). */
+    void trim(InstSeq min_seq);
+
+    /** True once the program has halted inside the stream. */
+    bool ended() const { return ended_; }
+
+    /** One past the last instruction; valid only when ended(). */
+    InstSeq endSeq() const { return end_; }
+
+    std::size_t bufferedCount() const { return buffer_.size(); }
+
+  private:
+    func::FuncSim &sim_;
+    InstSeq maxInsts_ = 0;
+    std::deque<func::DynInst> buffer_;
+    InstSeq base_ = 0;
+    bool ended_ = false;
+    InstSeq end_ = 0;
+};
+
+} // namespace ooo
+} // namespace dscalar
+
+#endif // DSCALAR_OOO_ORACLE_STREAM_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Text assembly frontend: parses `.s` source into a Program, so
+ * workloads can be written without recompiling the library.
+ *
+ * Syntax (one statement per line; `;` or `#` start a comment):
+ *
+ * @code
+ *         .global  buf, 8192        ; reserve zeroed global bytes
+ *         .heap    nodes, 4096      ; reserve heap bytes
+ *         .word    buf, 0, 42       ; poke32 at buf+0
+ *         .dword   buf, 8, 99       ; poke64 at buf+8
+ *         .double  buf, 16, 2.5     ; IEEE double at buf+16
+ *         .stack   65536            ; stack reservation
+ *
+ *         la    s1, buf             ; pseudo-ops: la, li, move
+ *         li    s0, 2048
+ * loop:   lw    t0, 0(s1)
+ *         add   s2, s2, t0
+ *         addi  s1, s1, 4
+ *         addi  s0, s0, -1
+ *         bne   s0, zero, loop
+ *         syscall 1                 ; print r4
+ *         halt
+ * @endcode
+ *
+ * Registers are r0..r31 or the conventional aliases (zero, v0,
+ * a0-a3, t0-t7, s0-s7, sp, fp, ra). Data symbols must be declared
+ * before they are referenced by `la`. Syntax errors are fatal()
+ * with the offending line number.
+ */
+
+#ifndef DSCALAR_PROG_ASM_PARSER_HH
+#define DSCALAR_PROG_ASM_PARSER_HH
+
+#include <string>
+
+#include "prog/program.hh"
+
+namespace dscalar {
+namespace prog {
+
+/**
+ * Assemble @p source into a fresh Program named @p name.
+ * fatal()s with a line number on any syntax error.
+ */
+Program assembleSource(const std::string &source,
+                       const std::string &name = "asm");
+
+/** Assemble the contents of @p path (fatal on I/O failure). */
+Program assembleFile(const std::string &path);
+
+} // namespace prog
+} // namespace dscalar
+
+#endif // DSCALAR_PROG_ASM_PARSER_HH

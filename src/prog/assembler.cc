@@ -1,0 +1,330 @@
+#include "prog/assembler.hh"
+
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace prog {
+
+using isa::Instruction;
+using isa::Opcode;
+
+void
+Assembler::label(const std::string &name)
+{
+    fatal_if(labels_.count(name), "label '%s' defined twice", name.c_str());
+    labels_[name] = here();
+}
+
+std::string
+Assembler::genLabel(const std::string &base)
+{
+    return base + "_" + std::to_string(labelCounter_++);
+}
+
+Addr
+Assembler::labelAddr(const std::string &name) const
+{
+    auto it = labels_.find(name);
+    fatal_if(it == labels_.end(), "label '%s' not defined", name.c_str());
+    return it->second;
+}
+
+Addr
+Assembler::emit(const Instruction &inst)
+{
+    panic_if(finalized_, "emit after finalize");
+    return prog_.appendText(isa::encode(inst));
+}
+
+namespace {
+
+Instruction
+rrr(Opcode op, RegIndex rd, RegIndex rs, RegIndex rt)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs = rs;
+    i.rt = rt;
+    return i;
+}
+
+Instruction
+rri(Opcode op, RegIndex rd, RegIndex rs, std::int32_t imm)
+{
+    fatal_if(imm < -32768 || imm > 65535,
+             "immediate %d out of 16-bit range", imm);
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs = rs;
+    i.imm = imm;
+    return i;
+}
+
+} // namespace
+
+#define DEF_RRR(fn, OP)                                                 \
+    void Assembler::fn(RegIndex rd, RegIndex rs, RegIndex rt)           \
+    {                                                                   \
+        emit(rrr(Opcode::OP, rd, rs, rt));                              \
+    }
+
+DEF_RRR(add, ADD)
+DEF_RRR(sub, SUB)
+DEF_RRR(mul, MUL)
+DEF_RRR(div, DIV)
+DEF_RRR(rem, REM)
+DEF_RRR(and_, AND)
+DEF_RRR(or_, OR)
+DEF_RRR(xor_, XOR)
+DEF_RRR(sll, SLL)
+DEF_RRR(srl, SRL)
+DEF_RRR(sra, SRA)
+DEF_RRR(slt, SLT)
+DEF_RRR(sltu, SLTU)
+DEF_RRR(fadd, FADD)
+DEF_RRR(fsub, FSUB)
+DEF_RRR(fmul, FMUL)
+DEF_RRR(fdiv, FDIV)
+DEF_RRR(fslt, FSLT)
+
+#undef DEF_RRR
+
+#define DEF_RRI(fn, OP)                                                 \
+    void Assembler::fn(RegIndex rd, RegIndex rs, std::int32_t imm)      \
+    {                                                                   \
+        emit(rri(Opcode::OP, rd, rs, imm));                             \
+    }
+
+DEF_RRI(addi, ADDI)
+DEF_RRI(andi, ANDI)
+DEF_RRI(ori, ORI)
+DEF_RRI(xori, XORI)
+DEF_RRI(slli, SLLI)
+DEF_RRI(srli, SRLI)
+DEF_RRI(srai, SRAI)
+DEF_RRI(slti, SLTI)
+
+#undef DEF_RRI
+
+void
+Assembler::lui(RegIndex rd, std::int32_t imm)
+{
+    Instruction i;
+    i.op = Opcode::LUI;
+    i.rd = rd;
+    i.imm = imm & 0xffff;
+    emit(i);
+}
+
+void
+Assembler::cvtif(RegIndex rd, RegIndex rs)
+{
+    emit(rri(Opcode::CVTIF, rd, rs, 0));
+}
+
+void
+Assembler::cvtfi(RegIndex rd, RegIndex rs)
+{
+    emit(rri(Opcode::CVTFI, rd, rs, 0));
+}
+
+namespace {
+
+Instruction
+memOp(Opcode op, RegIndex value_or_dest, RegIndex base, std::int32_t off)
+{
+    fatal_if(off < -32768 || off > 32767, "mem offset %d out of range",
+             off);
+    Instruction i;
+    i.op = op;
+    if (i.isLoad())
+        i.rd = value_or_dest;
+    else
+        i.rt = value_or_dest;
+    i.rs = base;
+    i.imm = off;
+    return i;
+}
+
+} // namespace
+
+void
+Assembler::lw(RegIndex rd, RegIndex base, std::int32_t off)
+{
+    emit(memOp(Opcode::LW, rd, base, off));
+}
+
+void
+Assembler::sw(RegIndex rt, RegIndex base, std::int32_t off)
+{
+    emit(memOp(Opcode::SW, rt, base, off));
+}
+
+void
+Assembler::ld(RegIndex rd, RegIndex base, std::int32_t off)
+{
+    emit(memOp(Opcode::LD, rd, base, off));
+}
+
+void
+Assembler::sd(RegIndex rt, RegIndex base, std::int32_t off)
+{
+    emit(memOp(Opcode::SD, rt, base, off));
+}
+
+void
+Assembler::lbu(RegIndex rd, RegIndex base, std::int32_t off)
+{
+    emit(memOp(Opcode::LBU, rd, base, off));
+}
+
+void
+Assembler::sb(RegIndex rt, RegIndex base, std::int32_t off)
+{
+    emit(memOp(Opcode::SB, rt, base, off));
+}
+
+void
+Assembler::emitBranch(Opcode op, RegIndex rs, RegIndex rt,
+                      const std::string &target)
+{
+    Instruction i;
+    i.op = op;
+    i.rs = rs;
+    i.rt = rt;
+    i.imm = 0;
+    Addr addr = emit(i);
+    fixups_.push_back({(addr - prog_.textBaseAddr()) / 4, target, true});
+}
+
+void
+Assembler::beq(RegIndex rs, RegIndex rt, const std::string &target)
+{
+    emitBranch(Opcode::BEQ, rs, rt, target);
+}
+
+void
+Assembler::bne(RegIndex rs, RegIndex rt, const std::string &target)
+{
+    emitBranch(Opcode::BNE, rs, rt, target);
+}
+
+void
+Assembler::blt(RegIndex rs, RegIndex rt, const std::string &target)
+{
+    emitBranch(Opcode::BLT, rs, rt, target);
+}
+
+void
+Assembler::bge(RegIndex rs, RegIndex rt, const std::string &target)
+{
+    emitBranch(Opcode::BGE, rs, rt, target);
+}
+
+void
+Assembler::j(const std::string &target)
+{
+    Instruction i;
+    i.op = Opcode::J;
+    Addr addr = emit(i);
+    fixups_.push_back({(addr - prog_.textBaseAddr()) / 4, target, false});
+}
+
+void
+Assembler::jal(const std::string &target)
+{
+    Instruction i;
+    i.op = Opcode::JAL;
+    Addr addr = emit(i);
+    fixups_.push_back({(addr - prog_.textBaseAddr()) / 4, target, false});
+}
+
+void
+Assembler::jr(RegIndex rs)
+{
+    Instruction i;
+    i.op = Opcode::JR;
+    i.rs = rs;
+    emit(i);
+}
+
+void
+Assembler::syscall(isa::Syscall code)
+{
+    Instruction i;
+    i.op = Opcode::SYSCALL;
+    i.imm = static_cast<std::int32_t>(code);
+    emit(i);
+}
+
+void
+Assembler::halt()
+{
+    Instruction i;
+    i.op = Opcode::HALT;
+    emit(i);
+}
+
+void
+Assembler::nop()
+{
+    emit(Instruction{});
+}
+
+void
+Assembler::li(RegIndex rd, std::int64_t value)
+{
+    fatal_if(value < INT32_MIN || value > INT32_MAX,
+             "li constant %lld exceeds 32 bits", (long long)value);
+    if (value >= -32768 && value <= 32767) {
+        addi(rd, reg::zero, static_cast<std::int32_t>(value));
+        return;
+    }
+    auto uval = static_cast<std::uint32_t>(value);
+    lui(rd, static_cast<std::int32_t>(uval >> 16));
+    if (uval & 0xffff)
+        ori(rd, rd, static_cast<std::int32_t>(uval & 0xffff));
+}
+
+void
+Assembler::la(RegIndex rd, Addr addr)
+{
+    fatal_if(addr > 0x7fffffffULL, "address 0x%llx exceeds la range",
+             (unsigned long long)addr);
+    li(rd, static_cast<std::int64_t>(addr));
+}
+
+void
+Assembler::move(RegIndex rd, RegIndex rs)
+{
+    add(rd, rs, reg::zero);
+}
+
+void
+Assembler::finalize()
+{
+    panic_if(finalized_, "finalize called twice");
+    for (const Fixup &fix : fixups_) {
+        Addr target = labelAddr(fix.label);
+        Instruction inst = isa::decode(prog_.textWord(fix.textIndex));
+        if (fix.isBranch) {
+            Addr pc = prog_.textBaseAddr() + 4 * fix.textIndex;
+            std::int64_t off =
+                (static_cast<std::int64_t>(target) -
+                 static_cast<std::int64_t>(pc) - 4) / 4;
+            fatal_if(off < -32768 || off > 32767,
+                     "branch to '%s' out of range (%lld words)",
+                     fix.label.c_str(), (long long)off);
+            inst.imm = static_cast<std::int32_t>(off);
+        } else {
+            inst.imm = static_cast<std::int32_t>(target / 4);
+        }
+        prog_.setTextWord(fix.textIndex, isa::encode(inst));
+    }
+    finalized_ = true;
+}
+
+} // namespace prog
+} // namespace dscalar

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * In-C++ assembler DSL used by the synthetic workload builders.
+ *
+ * Typical use:
+ * @code
+ *   Program p;
+ *   Assembler a(p);
+ *   a.label("loop");
+ *   a.lw(5, 4, 0);
+ *   a.addi(4, 4, 4);
+ *   a.bne(4, 6, "loop");
+ *   a.halt();
+ *   a.finalize();
+ * @endcode
+ */
+
+#ifndef DSCALAR_PROG_ASSEMBLER_HH
+#define DSCALAR_PROG_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "prog/program.hh"
+
+namespace dscalar {
+namespace prog {
+
+/** Register-name conventions used by workloads. */
+namespace reg {
+inline constexpr RegIndex zero = 0;
+inline constexpr RegIndex v0 = 2;   ///< results / syscall return
+inline constexpr RegIndex a0 = 4;   ///< first argument
+inline constexpr RegIndex a1 = 5;
+inline constexpr RegIndex a2 = 6;
+inline constexpr RegIndex a3 = 7;
+inline constexpr RegIndex t0 = 8;   ///< t0..t7 = r8..r15 temporaries
+inline constexpr RegIndex t1 = 9;
+inline constexpr RegIndex t2 = 10;
+inline constexpr RegIndex t3 = 11;
+inline constexpr RegIndex t4 = 12;
+inline constexpr RegIndex t5 = 13;
+inline constexpr RegIndex t6 = 14;
+inline constexpr RegIndex t7 = 15;
+inline constexpr RegIndex s0 = 16;  ///< s0..s7 = r16..r23 saved
+inline constexpr RegIndex s1 = 17;
+inline constexpr RegIndex s2 = 18;
+inline constexpr RegIndex s3 = 19;
+inline constexpr RegIndex s4 = 20;
+inline constexpr RegIndex s5 = 21;
+inline constexpr RegIndex s6 = 22;
+inline constexpr RegIndex s7 = 23;
+inline constexpr RegIndex sp = 29;
+inline constexpr RegIndex fp = 30;
+inline constexpr RegIndex ra = 31;
+} // namespace reg
+
+/** Streaming assembler over a Program's text segment. */
+class Assembler
+{
+  public:
+    explicit Assembler(Program &prog) : prog_(prog) {}
+
+    /** Address the next emitted instruction will occupy. */
+    Addr here() const { return prog_.textLimit(); }
+
+    /** Bind @p name to the current position. */
+    void label(const std::string &name);
+
+    /** Create a fresh label name, e.g.\ genLabel("loop") -> "loop_7". */
+    std::string genLabel(const std::string &base);
+
+    /** Address of a bound label; fatal if unbound at finalize time. */
+    Addr labelAddr(const std::string &name) const;
+
+    /** Emit a raw decoded instruction. */
+    Addr emit(const isa::Instruction &inst);
+
+    // Integer ALU ---------------------------------------------------
+    void add(RegIndex rd, RegIndex rs, RegIndex rt);
+    void sub(RegIndex rd, RegIndex rs, RegIndex rt);
+    void mul(RegIndex rd, RegIndex rs, RegIndex rt);
+    void div(RegIndex rd, RegIndex rs, RegIndex rt);
+    void rem(RegIndex rd, RegIndex rs, RegIndex rt);
+    void and_(RegIndex rd, RegIndex rs, RegIndex rt);
+    void or_(RegIndex rd, RegIndex rs, RegIndex rt);
+    void xor_(RegIndex rd, RegIndex rs, RegIndex rt);
+    void sll(RegIndex rd, RegIndex rs, RegIndex rt);
+    void srl(RegIndex rd, RegIndex rs, RegIndex rt);
+    void sra(RegIndex rd, RegIndex rs, RegIndex rt);
+    void slt(RegIndex rd, RegIndex rs, RegIndex rt);
+    void sltu(RegIndex rd, RegIndex rs, RegIndex rt);
+
+    void addi(RegIndex rd, RegIndex rs, std::int32_t imm);
+    void andi(RegIndex rd, RegIndex rs, std::int32_t imm);
+    void ori(RegIndex rd, RegIndex rs, std::int32_t imm);
+    void xori(RegIndex rd, RegIndex rs, std::int32_t imm);
+    void slli(RegIndex rd, RegIndex rs, std::int32_t imm);
+    void srli(RegIndex rd, RegIndex rs, std::int32_t imm);
+    void srai(RegIndex rd, RegIndex rs, std::int32_t imm);
+    void slti(RegIndex rd, RegIndex rs, std::int32_t imm);
+    void lui(RegIndex rd, std::int32_t imm);
+
+    // Floating point ------------------------------------------------
+    void fadd(RegIndex rd, RegIndex rs, RegIndex rt);
+    void fsub(RegIndex rd, RegIndex rs, RegIndex rt);
+    void fmul(RegIndex rd, RegIndex rs, RegIndex rt);
+    void fdiv(RegIndex rd, RegIndex rs, RegIndex rt);
+    void fslt(RegIndex rd, RegIndex rs, RegIndex rt);
+    void cvtif(RegIndex rd, RegIndex rs);
+    void cvtfi(RegIndex rd, RegIndex rs);
+
+    // Memory ----------------------------------------------------------
+    void lw(RegIndex rd, RegIndex base, std::int32_t off);
+    void sw(RegIndex rt, RegIndex base, std::int32_t off);
+    void ld(RegIndex rd, RegIndex base, std::int32_t off);
+    void sd(RegIndex rt, RegIndex base, std::int32_t off);
+    void lbu(RegIndex rd, RegIndex base, std::int32_t off);
+    void sb(RegIndex rt, RegIndex base, std::int32_t off);
+
+    // Control ---------------------------------------------------------
+    void beq(RegIndex rs, RegIndex rt, const std::string &target);
+    void bne(RegIndex rs, RegIndex rt, const std::string &target);
+    void blt(RegIndex rs, RegIndex rt, const std::string &target);
+    void bge(RegIndex rs, RegIndex rt, const std::string &target);
+    void j(const std::string &target);
+    void jal(const std::string &target);
+    void jr(RegIndex rs);
+    void ret() { jr(reg::ra); }
+
+    // System ----------------------------------------------------------
+    void syscall(isa::Syscall code);
+    void halt();
+    void nop();
+
+    // Pseudo-instructions ----------------------------------------------
+    /** Load a 32-bit constant (1-2 instructions). */
+    void li(RegIndex rd, std::int64_t value);
+    /** Load an address constant. */
+    void la(RegIndex rd, Addr addr);
+    void move(RegIndex rd, RegIndex rs);
+
+    /**
+     * Resolve every recorded label reference. Must be called once,
+     * after all code is emitted; fatal on undefined labels.
+     */
+    void finalize();
+
+  private:
+    struct Fixup
+    {
+        std::size_t textIndex;
+        std::string label;
+        bool isBranch; ///< else absolute jump
+    };
+
+    void emitBranch(isa::Opcode op, RegIndex rs, RegIndex rt,
+                    const std::string &target);
+
+    Program &prog_;
+    std::map<std::string, Addr> labels_;
+    std::vector<Fixup> fixups_;
+    unsigned labelCounter_ = 0;
+    bool finalized_ = false;
+};
+
+} // namespace prog
+} // namespace dscalar
+
+#endif // DSCALAR_PROG_ASSEMBLER_HH

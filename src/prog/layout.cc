@@ -1,0 +1,34 @@
+#include "prog/layout.hh"
+
+namespace dscalar {
+namespace prog {
+
+Segment
+segmentOf(Addr addr)
+{
+    if (addr < pageTableLimit)
+        return Segment::PageTable;
+    if (addr < globalBase)
+        return Segment::Text;
+    if (addr < heapBase)
+        return Segment::Global;
+    if (addr < stackTop - 0x0800'0000)
+        return Segment::Heap;
+    return Segment::Stack;
+}
+
+const char *
+segmentName(Segment seg)
+{
+    switch (seg) {
+      case Segment::PageTable: return "ptable";
+      case Segment::Text: return "text";
+      case Segment::Global: return "global";
+      case Segment::Heap: return "heap";
+      case Segment::Stack: return "stack";
+      default: return "?";
+    }
+}
+
+} // namespace prog
+} // namespace dscalar

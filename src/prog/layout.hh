@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Simulated address-space layout.
+ *
+ * The paper assumes a single-level page table locked in the low
+ * region of physical memory (replicated at every node), an 8 KB page
+ * size for distribution/replication decisions, and the usual
+ * text/global/heap/stack segments whose page counts Table 2 reports.
+ */
+
+#ifndef DSCALAR_PROG_LAYOUT_HH
+#define DSCALAR_PROG_LAYOUT_HH
+
+#include "common/types.hh"
+
+namespace dscalar {
+namespace prog {
+
+/** Page size used for ownership, distribution, and replication. */
+inline constexpr Addr pageSize = 8 * 1024;
+
+/** Low region reserved for the (replicated) page table itself. */
+inline constexpr Addr pageTableBase = 0x0000'0000;
+inline constexpr Addr pageTableLimit = 0x0001'0000;
+
+inline constexpr Addr textBase = 0x0001'0000;
+inline constexpr Addr globalBase = 0x1000'0000;
+inline constexpr Addr heapBase = 0x2000'0000;
+
+/** Stack grows down from stackTop. */
+inline constexpr Addr stackTop = 0x3000'0000;
+inline constexpr Addr defaultStackSize = 16 * pageSize;
+
+/** Program segment classification (Table 2 columns). */
+enum class Segment : std::uint8_t {
+    PageTable,
+    Text,
+    Global,
+    Heap,
+    Stack,
+    NUM_SEGMENTS
+};
+
+/** @return the segment containing @p addr (by layout region). */
+Segment segmentOf(Addr addr);
+
+/** @return a short printable name, e.g.\ "text". */
+const char *segmentName(Segment seg);
+
+/** @return the base address of the page containing @p addr. */
+inline Addr
+pageBase(Addr addr)
+{
+    return addr & ~(pageSize - 1);
+}
+
+} // namespace prog
+} // namespace dscalar
+
+#endif // DSCALAR_PROG_LAYOUT_HH

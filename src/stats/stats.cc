@@ -1,0 +1,92 @@
+#include "stats/stats.hh"
+
+#include <iomanip>
+
+namespace dscalar {
+namespace stats {
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    if (parent)
+        parent->registerStat(this);
+}
+
+void
+Counter::dump(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << ' '
+       << std::right << std::setw(16) << value_
+       << "  # " << desc() << '\n';
+}
+
+void
+Average::dump(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << ' '
+       << std::right << std::setw(16) << std::fixed
+       << std::setprecision(4) << mean()
+       << "  # " << desc() << " (n=" << count_ << ")\n";
+}
+
+Histogram::Histogram(StatGroup *parent, std::string name, std::string desc,
+                     std::uint64_t bucket_width, std::size_t bucket_count)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      bucketWidth_(bucket_width), buckets_(bucket_count, 0)
+{
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    std::size_t idx = v / bucketWidth_;
+    if (idx < buckets_.size())
+        ++buckets_[idx];
+    else
+        ++overflow_;
+    ++count_;
+    sum_ += static_cast<double>(v);
+}
+
+void
+Histogram::dump(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name()
+       << " mean=" << std::fixed << std::setprecision(3) << mean()
+       << " n=" << count_ << "  # " << desc() << '\n';
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        os << "  [" << i * bucketWidth_ << ',' << (i + 1) * bucketWidth_
+           << ") " << buckets_[i] << '\n';
+    }
+    if (overflow_)
+        os << "  overflow " << overflow_ << '\n';
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    count_ = 0;
+    sum_ = 0.0;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << "---- " << name_ << " ----\n";
+    for (const StatBase *s : stats_)
+        s->dump(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (StatBase *s : stats_)
+        s->reset();
+}
+
+} // namespace stats
+} // namespace dscalar

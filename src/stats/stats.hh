@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Minimal statistics package: named counters, running averages and
+ * histograms that register themselves with a StatGroup so whole
+ * subsystems can be dumped uniformly.
+ */
+
+#ifndef DSCALAR_STATS_STATS_HH
+#define DSCALAR_STATS_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dscalar {
+namespace stats {
+
+class StatGroup;
+
+/** Base class for anything dumpable by a StatGroup. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Write "name value # desc" lines to @p os. */
+    virtual void dump(std::ostream &os) const = 0;
+    /** Return the stat to its initial state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Monotonic event counter. */
+class Counter : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t v) { value_ += v; return *this; }
+
+    std::uint64_t value() const { return value_; }
+
+    void dump(std::ostream &os) const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running arithmetic mean of submitted samples. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    void dump(std::ostream &os) const override;
+    void reset() override { sum_ = 0.0; count_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram over [0, bucketCount * bucketWidth). */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(StatGroup *parent, std::string name, std::string desc,
+              std::uint64_t bucket_width, std::size_t bucket_count);
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::uint64_t overflow() const { return overflow_; }
+
+    void dump(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A named collection of stats; subsystems own one and expose it so
+ * drivers can dump or reset everything at once.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void registerStat(StatBase *stat) { stats_.push_back(stat); }
+
+    const std::string &name() const { return name_; }
+    const std::vector<StatBase *> &statList() const { return stats_; }
+
+    void dump(std::ostream &os) const;
+    void resetAll();
+
+  private:
+    std::string name_;
+    std::vector<StatBase *> stats_;
+};
+
+} // namespace stats
+} // namespace dscalar
+
+#endif // DSCALAR_STATS_STATS_HH

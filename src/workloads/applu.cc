@@ -1,0 +1,128 @@
+/**
+ * @file
+ * applu_s -- substitute for SPEC95 110.applu.
+ *
+ * Blocked SSOR-style solver: forward and backward sweeps over a
+ * 64x64 grid of 5-wide "blocks" of doubles, with multiply-add chains
+ * and periodic divides, reading neighbour blocks from the previous
+ * row/column. Sequential block traffic with a long dependence chain
+ * per block.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "prog/assembler.hh"
+
+namespace dscalar {
+namespace workloads {
+
+using namespace prog::reg;
+using prog::Assembler;
+using isa::Syscall;
+
+prog::Program
+buildApplu(unsigned scale)
+{
+    prog::Program p;
+    p.name = "applu_s";
+    Assembler a(p);
+
+    constexpr std::uint32_t n = 64;          // grid dimension
+    constexpr std::uint32_t blk = 5;         // block width (doubles)
+    constexpr std::uint32_t elems = n * n * blk; // 160 KB per array
+    const std::uint32_t sweeps = 2 * scale;
+
+    Addr u = allocArray(p, elems * 8);
+    Addr rsd = allocArray(p, elems * 8);
+    Addr consts = p.allocGlobal(2 * 8);
+    p.pokeDouble(consts, 0.8);
+    p.pokeDouble(consts + 8, 1.25);
+
+    for (std::uint32_t i = 0; i < elems; i += 3)
+        p.pokeDouble(u + 8ull * i, 0.5 + (i % 11) * 0.0625);
+    for (std::uint32_t i = 0; i < elems; i += 4)
+        p.pokeDouble(rsd + 8ull * i, 1.0 + (i % 7) * 0.03125);
+
+    constexpr std::int32_t row_bytes = 8 * n * blk; // 2560 B
+
+    // s0 sweep ctr, s1 &u, s2 &rsd, s3 omega, s4 inv, s5 block ptr
+    a.la(s1, u);
+    a.la(s2, rsd);
+    a.la(t0, consts);
+    a.ld(s3, t0, 0);
+    a.ld(s4, t0, 8);
+    a.li(s0, static_cast<std::int32_t>(sweeps));
+
+    a.label("sweep");
+
+    // Forward sweep: block (i,j) updated from (i-1,j) and (i,j-1).
+    a.li(s6, 1);                           // i = 1..n-1 collapsed:
+    a.label("fwd_outer");
+    a.li(s7, 1);
+    a.label("fwd_inner");
+    // block base = ((i * n) + j) * blk * 8
+    a.li(t0, static_cast<std::int32_t>(n));
+    a.mul(t1, s6, t0);
+    a.add(t1, t1, s7);
+    a.li(t0, blk * 8);
+    a.mul(t1, t1, t0);
+    a.add(s5, s1, t1);                     // &u block
+    a.add(t7, s2, t1);                     // &rsd block
+    // chained 5-element block update with a small triangular solve
+    a.ld(t2, s5, -row_bytes);              // north neighbour elem 0
+    a.ld(t3, s5, -static_cast<std::int32_t>(blk * 8)); // west elem 0
+    a.fadd(t2, t2, t3);
+    for (unsigned e = 0; e < blk; ++e) {
+        auto off = static_cast<std::int32_t>(8 * e);
+        a.ld(t3, s5, off);
+        a.fmul(t3, t3, s3);
+        a.fadd(t2, t2, t3);
+        a.fmul(t5, t2, s4);                // extra solve work per
+        a.fadd(t5, t5, t3);                // element (applu's dense
+        a.fmul(t5, t5, s3);                // 5x5 block solves)
+        a.fadd(t2, t2, t5);
+        a.ld(t4, t7, off);
+        a.fadd(t4, t4, t2);
+        a.fmul(t4, t4, s4);
+        a.sd(t4, s5, off);
+    }
+    a.addi(s7, s7, 1);
+    a.li(t0, static_cast<std::int32_t>(n));
+    a.blt(s7, t0, "fwd_inner");
+    a.addi(s6, s6, 1);
+    a.blt(s6, t0, "fwd_outer");
+
+    // Backward sweep: unit-stride walk back through rsd with a
+    // divide chain per block.
+    a.li(t0, static_cast<std::int32_t>(elems - blk));
+    a.label("bwd_loop");
+    a.slli(t1, t0, 3);
+    a.add(t1, s2, t1);
+    a.ld(t2, t1, 0);
+    a.ld(t3, t1, 8);
+    a.ld(t5, t1, 16);
+    a.fadd(t3, t3, s3);
+    a.fdiv(t2, t2, t3);
+    a.fmul(t2, t2, s4);
+    a.fadd(t2, t2, t5);
+    a.fmul(t5, t2, s3);
+    a.fadd(t5, t5, t3);
+    a.sd(t2, t1, 0);
+    a.sd(t5, t1, 8);
+    a.addi(t0, t0, -static_cast<std::int32_t>(blk));
+    a.bge(t0, zero, "bwd_loop");
+
+    a.addi(s0, s0, -1);
+    a.bne(s0, zero, "sweep");
+
+    a.ld(t1, s1, 8 * 17);
+    a.cvtfi(a0, t1);
+    a.syscall(Syscall::PrintInt);
+    a.syscall(Syscall::Exit);
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+} // namespace workloads
+} // namespace dscalar

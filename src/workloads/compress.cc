@@ -1,0 +1,138 @@
+/**
+ * @file
+ * compress_s -- substitute for SPEC95 129.compress.
+ *
+ * LZW-style coder: a software LCG produces the "input stream"; each
+ * symbol is hashed against a prefix code and looked up in a hash
+ * table. Misses insert (two stores); every emitted code is written
+ * to an output ring. The defining property the paper leans on is
+ * that compress "issues almost as many stores as loads", which makes
+ * ESP's elimination of off-chip write traffic dominant.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "prog/assembler.hh"
+
+namespace dscalar {
+namespace workloads {
+
+using namespace prog::reg;
+using prog::Assembler;
+using isa::Syscall;
+
+prog::Program
+buildCompress(unsigned scale)
+{
+    prog::Program p;
+    p.name = "compress_s";
+    Assembler a(p);
+
+    // Sized so table probes miss moderately (~1 per few symbols)
+    // while the sequential buffer stores miss constantly: compress's
+    // off-chip traffic is then dominated by write traffic, which ESP
+    // eliminates entirely (the paper's explanation for compress's
+    // standout result).
+    constexpr std::uint32_t table_entries = 4 * 1024;
+    constexpr std::uint32_t out_words = 16 * 1024;     // 64 KB ring
+    const std::uint32_t symbols = 60'000 * scale;
+
+    Addr keys = allocArray(p, table_entries * 4);   // 128 KB
+    Addr codes = allocArray(p, table_entries * 4);  // 128 KB
+    Addr out = allocArray(p, out_words * 4);        // 64 KB
+    Addr inbuf = allocArray(p, out_words * 4);      // 64 KB input ring
+    // Keys start empty (0 = free slot; key values are made nonzero).
+
+    // Register plan:
+    //   s0 = symbol counter     s1 = LCG state
+    //   s2 = prefix code        s3 = next free code
+    //   s4 = &keys  s5 = &codes  s6 = &out  s7 = out index
+    //   t0..t7 scratch
+    a.la(s4, keys);
+    a.la(s5, codes);
+    a.la(s6, out);
+    a.li(s7, 0);
+    a.li(s0, static_cast<std::int32_t>(symbols));
+    a.li(s1, 12345);
+    a.li(s2, 1);
+    a.li(s3, 2);
+
+    a.label("sym_loop");
+    // ch = LCG step, 8-bit symbol.
+    a.li(t0, 25173);
+    a.mul(s1, s1, t0);
+    a.li(t0, 13849);
+    a.add(s1, s1, t0);
+    a.li(t0, 0xffff);
+    a.and_(s1, s1, t0);
+    a.andi(t1, s1, 0xff); // t1 = ch
+
+    // Stage the symbol through the input ring (compress copies its
+    // input through a buffer; keeps stores ~= loads, the property
+    // the paper highlights for this benchmark).
+    a.li(t2, out_words - 1);
+    a.and_(t2, s0, t2);
+    a.slli(t2, t2, 2);
+    a.la(t3, inbuf);
+    a.add(t2, t3, t2);
+    a.sw(t1, t2, 0);
+
+    // key = mix(prefix, ch) | 1  (nonzero); h = key & (entries-1).
+    // The mixing rounds model compress's per-byte hashing work.
+    a.slli(t2, s2, 5);
+    a.xor_(t2, t2, t1);
+    a.li(t3, 2654435);
+    a.mul(t2, t2, t3);
+    a.srli(t3, t2, 13);
+    a.xor_(t2, t2, t3);
+    a.li(t3, 40503);
+    a.mul(t2, t2, t3);
+    a.srli(t3, t2, 9);
+    a.xor_(t2, t2, t3);
+    a.li(t3, 0x0fffffff);
+    a.and_(t2, t2, t3);
+    a.ori(t2, t2, 1);         // t2 = key
+    a.li(t3, table_entries - 1);
+    a.and_(t3, t2, t3);       // t3 = h
+    a.slli(t3, t3, 2);        // byte offset
+
+    a.add(t4, s4, t3);
+    a.lw(t5, t4, 0);          // probe keys[h]
+    a.beq(t5, t2, "hit");
+
+    // Miss: install key and a fresh code.
+    a.sw(t2, t4, 0);          // keys[h] = key
+    a.add(t6, s5, t3);
+    a.sw(s3, t6, 0);          // codes[h] = next code
+    a.addi(s3, s3, 1);
+    a.add(s2, t1, zero);      // prefix = ch
+    a.j("emit");
+
+    a.label("hit");
+    a.add(t6, s5, t3);
+    a.lw(s2, t6, 0);          // prefix = codes[h]
+
+    // Emit the current code to the output ring every symbol (the
+    // compressed output stream is written continuously).
+    a.label("emit");
+    a.andi(t7, s7, out_words - 1);
+    a.slli(t7, t7, 2);
+    a.add(t7, s6, t7);
+    a.sw(s2, t7, 0);
+    a.addi(s7, s7, 1);
+    a.addi(s0, s0, -1);
+    a.bne(s0, zero, "sym_loop");
+
+    // Print the number of emitted codes and the final prefix.
+    a.add(a0, s7, zero);
+    a.syscall(Syscall::PrintInt);
+    a.add(a0, s2, zero);
+    a.syscall(Syscall::PrintInt);
+    a.syscall(Syscall::Exit);
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+} // namespace workloads
+} // namespace dscalar

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * fpppp_s -- substitute for SPEC95 145.fpppp.
+ *
+ * Gaussian-integral-style code: a handful of enormous straight-line
+ * basic blocks (thousands of FP operations each, generated
+ * deterministically) over a small scratch array, looped. fpppp's
+ * signature in the paper is a very large text footprint with long
+ * instruction datathreads and a comparatively small data set.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/random.hh"
+#include "prog/assembler.hh"
+
+namespace dscalar {
+namespace workloads {
+
+using namespace prog::reg;
+using prog::Assembler;
+using isa::Syscall;
+
+prog::Program
+buildFpppp(unsigned scale)
+{
+    prog::Program p;
+    p.name = "fpppp_s";
+    Assembler a(p);
+
+    constexpr std::uint32_t scratch_elems = 2 * 1024; // 16 KB
+    constexpr unsigned nblocks = 4;
+    constexpr unsigned block_ops = 2'000;
+    const std::uint32_t iters = 6 * scale;
+
+    Addr scratch = p.allocGlobal(scratch_elems * 8);
+    for (std::uint32_t i = 0; i < scratch_elems; ++i)
+        p.pokeDouble(scratch + 8ull * i, 0.5 + (i % 29) * 0.03125);
+
+    // s1 = &scratch, s0 = iteration counter; FP values rotate
+    // through t0..t7 and s2..s7.
+    a.la(s1, scratch);
+    // Prime the register pool from memory.
+    for (RegIndex r = t0; r <= t7; ++r)
+        a.ld(r, s1, 8 * (r - t0));
+    for (RegIndex r = s2; r <= s7; ++r)
+        a.ld(r, s1, 8 * (8 + r - s2));
+    a.li(s0, static_cast<std::int32_t>(iters));
+
+    a.label("outer");
+    Random rng(0xf9f9f9);
+    const RegIndex pool[] = {t0, t1, t2, t3, t4,  t5, t6,
+                             t7, s2, s3, s4, s5, s6, s7};
+    constexpr unsigned pool_size = sizeof(pool) / sizeof(pool[0]);
+
+    for (unsigned b = 0; b < nblocks; ++b) {
+        for (unsigned op = 0; op < block_ops; ++op) {
+            auto rd = pool[rng.below(pool_size)];
+            auto rs = pool[rng.below(pool_size)];
+            auto rt = pool[rng.below(pool_size)];
+            switch (rng.below(16)) {
+              case 0:
+              case 1:
+              case 2:
+              case 3:
+              case 4:
+              case 5:
+                a.fadd(rd, rs, rt);
+                break;
+              case 6:
+              case 7:
+              case 8:
+              case 9:
+              case 10:
+                a.fmul(rd, rs, rt);
+                break;
+              case 11:
+              case 12:
+              case 13:
+                a.fsub(rd, rs, rt);
+                break;
+              case 14: {
+                auto off = static_cast<std::int32_t>(
+                    8 * rng.below(scratch_elems));
+                a.ld(rd, s1, off);
+                break;
+              }
+              default: {
+                auto off = static_cast<std::int32_t>(
+                    8 * rng.below(scratch_elems));
+                a.sd(rs, s1, off);
+                break;
+              }
+            }
+        }
+    }
+
+    a.addi(s0, s0, -1);
+    a.bne(s0, zero, "outer");
+
+    a.cvtfi(a0, t0);
+    a.li(t1, 0xffff);
+    a.and_(a0, a0, t1);
+    a.syscall(Syscall::PrintInt);
+    a.syscall(Syscall::Exit);
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+} // namespace workloads
+} // namespace dscalar

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * gcc_s -- substitute for SPEC95 126.gcc.
+ *
+ * Compiler-shaped pointer code: a heap of IR nodes (kind, two child
+ * pointers, a value) forms a random DAG; repeated passes walk it
+ * with an explicit work stack, branching on node kind and rewriting
+ * value fields. Pointer-chasing with irregular branches and a large
+ * text-to-data ratio.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "prog/assembler.hh"
+
+namespace dscalar {
+namespace workloads {
+
+using namespace prog::reg;
+using prog::Assembler;
+using isa::Syscall;
+
+prog::Program
+buildGcc(unsigned scale)
+{
+    prog::Program p;
+    p.name = "gcc_s";
+    Assembler a(p);
+
+    constexpr std::uint32_t nnodes = 8 * 1024; // x 16 B = 128 KB
+    const std::uint32_t passes = 24 * scale;
+
+    // Node layout (16 B): +0 kind, +4 left, +8 right, +12 value.
+    Addr nodes = p.allocHeap(nnodes * 16);
+    Addr work_stack = p.allocHeap(4 * 1024 * 4); // explicit stack
+
+    // Build a random DAG: children always at higher indices.
+    std::uint32_t lcg = 31337u;
+    for (std::uint32_t i = 0; i < nnodes; ++i) {
+        Addr base = nodes + 16ull * i;
+        lcg = lcg * 1664525u + 1013904223u;
+        std::uint32_t kind = (lcg >> 11) & 3;
+        std::uint32_t span = nnodes - i - 1;
+        auto pick_child = [&]() -> std::uint32_t {
+            if (span == 0)
+                return 0; // null
+            lcg = lcg * 1664525u + 1013904223u;
+            std::uint32_t child = i + 1 + (lcg >> 7) % span;
+            return static_cast<std::uint32_t>(nodes + 16ull * child);
+        };
+        if (span == 0)
+            kind = 0; // leaves terminate the walk
+        p.poke32(base + 0, kind);
+        p.poke32(base + 4, kind >= 1 ? pick_child() : 0);
+        p.poke32(base + 8, kind >= 2 ? pick_child() : 0);
+        p.poke32(base + 12, i * 7 + 1);
+    }
+
+    // s0 pass ctr, s1 &nodes, s2 stack base, s3 stack idx,
+    // s4 accumulator, s5 visit budget, t* scratch
+    a.la(s1, nodes);
+    a.la(s2, work_stack);
+    a.li(s4, 0);
+    a.li(s0, static_cast<std::int32_t>(passes));
+
+    a.label("pass");
+    // Push eight pass-dependent roots (functions of the pass
+    // counter) so a run of unlucky leaves cannot end the walk early.
+    a.li(s3, 0);
+    for (int k = 0; k < 8; ++k) {
+        a.li(t0, 1009);
+        a.mul(t1, s0, t0);
+        a.addi(t1, t1, 131 * k + 7);
+        a.li(t0, nnodes - 1);
+        a.and_(t1, t1, t0);
+        a.slli(t1, t1, 4);     // node index -> 16 B offset
+        a.add(t1, s1, t1);
+        a.slli(t2, s3, 2);
+        a.add(t2, s2, t2);
+        a.sw(t1, t2, 0);
+        a.addi(s3, s3, 1);
+    }
+    a.li(s5, 3000); // nodes visited per pass
+
+    a.label("walk");
+    a.beq(s3, zero, "pass_done");
+    a.beq(s5, zero, "pass_done");
+    a.addi(s5, s5, -1);
+    // pop
+    a.addi(s3, s3, -1);
+    a.slli(t0, s3, 2);
+    a.add(t0, s2, t0);
+    a.lw(t1, t0, 0);          // node ptr
+    a.beq(t1, zero, "walk");
+
+    a.lw(t2, t1, 0);          // kind
+    a.lw(t3, t1, 12);         // value
+    a.add(s4, s4, t3);
+    // mark the node visited (compiler passes stamp their nodes)
+    a.ori(t4, t3, 1);
+    a.sw(t4, t1, 12);
+
+    a.beq(t2, zero, "walk");  // leaf
+    // push left
+    a.lw(t4, t1, 4);
+    a.slli(t5, s3, 2);
+    a.add(t5, s2, t5);
+    a.sw(t4, t5, 0);
+    a.addi(s3, s3, 1);
+    a.li(t6, 2);
+    a.blt(t2, t6, "after_children");
+    // push right
+    a.lw(t4, t1, 8);
+    a.slli(t5, s3, 2);
+    a.add(t5, s2, t5);
+    a.sw(t4, t5, 0);
+    a.addi(s3, s3, 1);
+    a.label("after_children");
+    // kind 3 rewrites the node's value (a "transformation")
+    a.li(t6, 3);
+    a.bne(t2, t6, "walk");
+    a.slli(t7, t3, 1);
+    a.xori(t7, t7, 0x5a5);
+    a.sw(t7, t1, 12);
+    a.j("walk");
+
+    a.label("pass_done");
+    a.addi(s0, s0, -1);
+    a.bne(s0, zero, "pass");
+
+    a.li(t0, 0x7fff);
+    a.and_(a0, s4, t0);
+    a.syscall(Syscall::PrintInt);
+    a.syscall(Syscall::Exit);
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+} // namespace workloads
+} // namespace dscalar

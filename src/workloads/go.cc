@@ -1,0 +1,156 @@
+/**
+ * @file
+ * go_s -- substitute for SPEC95 099.go.
+ *
+ * Irregular, branchy integer code: repeated evaluation sweeps over
+ * board arrays with neighbour inspection and data-dependent control
+ * flow, plus pseudo-random play-outs updating the boards and a large
+ * pattern/history table. No floating point, poor spatial regularity
+ * -- the class of code the paper says resists parallelization and
+ * benefits from datathreading.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "prog/assembler.hh"
+
+namespace dscalar {
+namespace workloads {
+
+using namespace prog::reg;
+using prog::Assembler;
+using isa::Syscall;
+
+prog::Program
+buildGo(unsigned scale)
+{
+    prog::Program p;
+    p.name = "go_s";
+    Assembler a(p);
+
+    constexpr std::uint32_t dim = 32;            // padded 32x32 board
+    constexpr std::uint32_t board_words = dim * dim;
+    constexpr std::uint32_t history_words = 32 * 1024; // 128 KB
+    const std::uint32_t playouts = 200 * scale;
+
+    Addr board = allocArray(p, board_words * 4);
+    Addr shadow = allocArray(p, board_words * 4);
+    Addr history = allocArray(p, history_words * 4);
+
+    // Seed the board with a deterministic sprinkle of stones
+    // (0 empty, 1 black, 2 white); border ring = 3 (off-board).
+    std::uint32_t lcg = 987654321u;
+    for (std::uint32_t i = 0; i < dim; ++i) {
+        for (std::uint32_t j = 0; j < dim; ++j) {
+            std::uint32_t v;
+            if (i == 0 || j == 0 || i == dim - 1 || j == dim - 1) {
+                v = 3;
+            } else {
+                lcg = lcg * 1664525u + 1013904223u;
+                v = (lcg >> 13) % 4;
+                if (v == 3)
+                    v = 0;
+            }
+            p.poke32(board + 4 * (i * dim + j), v);
+        }
+    }
+
+    // Register plan:
+    //   s0 = playout counter  s1 = LCG state  s2 = &board
+    //   s3 = &history         s4 = score      s5 = &shadow
+    //   t0..t7 scratch
+    a.la(s2, board);
+    a.la(s3, history);
+    a.la(s5, shadow);
+    a.li(s1, 777);
+    a.li(s4, 0);
+    a.li(s0, static_cast<std::int32_t>(playouts));
+
+    a.label("playout");
+
+    // --- Random move: pick a point, branch on its contents. ---
+    a.li(t0, 1103);
+    a.mul(s1, s1, t0);
+    a.addi(s1, s1, 12345);
+    a.li(t0, 0x7fffffff);
+    a.and_(s1, s1, t0);
+    // point index within the interior
+    a.li(t0, board_words - 1);
+    a.and_(t1, s1, t0);
+    a.slli(t2, t1, 2);
+    a.add(t2, s2, t2);
+    a.lw(t3, t2, 0);          // stone at point
+    a.bne(t3, zero, "occupied");
+    // empty: place a stone coloured by the LCG parity
+    a.andi(t4, s1, 1);
+    a.addi(t4, t4, 1);
+    a.sw(t4, t2, 0);
+    a.addi(s4, s4, 1);
+    a.j("move_done");
+    a.label("occupied");
+    // occupied or border: record into the history table
+    a.srli(t4, s1, 7);
+    a.li(t5, history_words - 1);
+    a.and_(t4, t4, t5);
+    a.slli(t4, t4, 2);
+    a.add(t4, s3, t4);
+    a.lw(t5, t4, 0);
+    a.add(t5, t5, t3);
+    a.sw(t5, t4, 0);
+    a.label("move_done");
+
+    // --- Evaluation sweep every 16th playout: neighbour counting
+    //     over the whole board with data-dependent branches. ---
+    a.andi(t0, s0, 15);
+    a.bne(t0, zero, "skip_eval");
+
+    a.li(t0, dim + 1);        // linear index of (1,1)
+    a.label("eval_loop");
+    a.slli(t1, t0, 2);
+    a.add(t1, s2, t1);
+    a.lw(t2, t1, 0);          // centre stone
+    a.beq(t2, zero, "eval_next");
+    // count like-coloured neighbours (N, S, E, W)
+    a.lw(t3, t1, 4);
+    a.lw(t4, t1, -4);
+    a.lw(t5, t1, 4 * dim);
+    a.lw(t6, t1, -4 * static_cast<std::int32_t>(dim));
+    a.li(t7, 0);
+    a.bne(t3, t2, "go_n1");
+    a.addi(t7, t7, 1);
+    a.label("go_n1");
+    a.bne(t4, t2, "go_n2");
+    a.addi(t7, t7, 1);
+    a.label("go_n2");
+    a.bne(t5, t2, "go_n3");
+    a.addi(t7, t7, 1);
+    a.label("go_n3");
+    a.bne(t6, t2, "go_n4");
+    a.addi(t7, t7, 1);
+    a.label("go_n4");
+    // lonely stones get captured into the shadow board
+    a.bne(t7, zero, "eval_acc");
+    a.slli(t3, t0, 2);
+    a.add(t3, s5, t3);
+    a.sw(t2, t3, 0);
+    a.label("eval_acc");
+    a.add(s4, s4, t7);
+    a.label("eval_next");
+    a.addi(t0, t0, 1);
+    a.li(t1, board_words - dim - 1);
+    a.blt(t0, t1, "eval_loop");
+
+    a.label("skip_eval");
+    a.addi(s0, s0, -1);
+    a.bne(s0, zero, "playout");
+
+    a.add(a0, s4, zero);
+    a.syscall(Syscall::PrintInt);
+    a.syscall(Syscall::Exit);
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+} // namespace workloads
+} // namespace dscalar

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * hydro2d_s -- substitute for SPEC95 104.hydro2d.
+ *
+ * Navier-Stokes-style 2-D sweeps: a row pass at unit stride followed
+ * by a column pass striding a full row per access, over several
+ * hydrodynamic variables. The alternating access direction mixes
+ * long and short spatial runs.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "prog/assembler.hh"
+
+namespace dscalar {
+namespace workloads {
+
+using namespace prog::reg;
+using prog::Assembler;
+using isa::Syscall;
+
+prog::Program
+buildHydro2d(unsigned scale)
+{
+    prog::Program p;
+    p.name = "hydro2d_s";
+    Assembler a(p);
+
+    constexpr std::uint32_t n = 96;
+    constexpr std::uint32_t elems = n * n;
+    const std::uint32_t steps = 2 * scale;
+
+    Addr ro = allocArray(p, elems * 8);
+    Addr en = allocArray(p, elems * 8);
+    Addr fx = allocArray(p, elems * 8);
+    Addr consts = p.allocGlobal(8);
+    p.pokeDouble(consts, 0.2);
+
+    for (std::uint32_t i = 0; i < elems; i += 2) {
+        p.pokeDouble(ro + 8ull * i, 1.0 + (i % 23) * 0.015625);
+        p.pokeDouble(en + 8ull * i, 0.75 + (i % 13) * 0.03125);
+    }
+
+    constexpr std::int32_t row = 8 * n; // 768 B
+
+    a.la(s1, ro);
+    a.la(s2, en);
+    a.la(s3, fx);
+    a.la(t0, consts);
+    a.ld(s4, t0, 0);
+    a.li(s0, static_cast<std::int32_t>(steps));
+
+    a.label("step");
+
+    // Row pass: fx[i] = c * (ro[i+1] - ro[i-1]) + en[i], unit stride.
+    a.li(t0, 8);
+    a.label("row_loop");
+    a.add(t1, s1, t0);
+    a.ld(t2, t1, 8);
+    a.ld(t3, t1, -8);
+    a.fsub(t2, t2, t3);
+    a.fmul(t2, t2, s4);
+    a.add(t1, s2, t0);
+    a.ld(t3, t1, 0);
+    a.fadd(t2, t2, t3);
+    a.add(t1, s3, t0);
+    a.sd(t2, t1, 0);
+    a.addi(t0, t0, 8);
+    a.li(t1, static_cast<std::int32_t>((elems - 1) * 8));
+    a.blt(t0, t1, "row_loop");
+
+    // Column pass: en[i] += c * (fx[i+n] - fx[i-n]), row stride,
+    // walking down one column then moving to the next.
+    a.li(s5, 0); // column index
+    a.label("col_outer");
+    a.slli(t0, s5, 3);
+    a.addi(t0, t0, row); // start at row 1 of this column
+    a.li(s6, 1);         // row counter
+    a.label("col_inner");
+    a.add(t1, s3, t0);
+    a.ld(t2, t1, row);
+    a.ld(t3, t1, -row);
+    a.fsub(t2, t2, t3);
+    a.fmul(t2, t2, s4);
+    a.add(t1, s2, t0);
+    a.ld(t3, t1, 0);
+    a.fadd(t3, t3, t2);
+    a.sd(t3, t1, 0);
+    a.addi(t0, t0, row);
+    a.addi(s6, s6, 1);
+    a.li(t1, static_cast<std::int32_t>(n - 1));
+    a.blt(s6, t1, "col_inner");
+    a.addi(s5, s5, 1);
+    a.li(t1, static_cast<std::int32_t>(n));
+    a.blt(s5, t1, "col_outer");
+
+    a.addi(s0, s0, -1);
+    a.bne(s0, zero, "step");
+
+    a.ld(t1, s2, 8 * 50);
+    a.cvtfi(a0, t1);
+    a.syscall(Syscall::PrintInt);
+    a.syscall(Syscall::Exit);
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+} // namespace workloads
+} // namespace dscalar

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * li_s -- substitute for SPEC95 130.li.
+ *
+ * Lisp-interpreter heap behaviour: cons cells (car, cdr) scattered
+ * through a small heap form several lists; repeated passes chase
+ * cdr chains summing cars, destructively increment cars, and splice
+ * cells between lists. The data set is deliberately small -- the
+ * paper notes most of li's data ends up replicated, giving it very
+ * long datathreads.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "prog/assembler.hh"
+
+namespace dscalar {
+namespace workloads {
+
+using namespace prog::reg;
+using prog::Assembler;
+using isa::Syscall;
+
+prog::Program
+buildLi(unsigned scale)
+{
+    prog::Program p;
+    p.name = "li_s";
+    Assembler a(p);
+
+    constexpr std::uint32_t ncells = 3 * 1024; // x 8 B = 24 KB heap
+    constexpr std::uint32_t nlists = 4;
+    const std::uint32_t passes = 30 * scale;
+
+    // Cell layout (8 B): +0 car (int32), +4 cdr (ptr32).
+    Addr cells = p.allocHeap(ncells * 8);
+    Addr heads = p.allocGlobal(nlists * 4);
+
+    // Thread the cells into lists in shuffled order so cdr chains
+    // hop around the heap (true pointer chasing).
+    std::vector<std::uint32_t> order(ncells);
+    for (std::uint32_t i = 0; i < ncells; ++i)
+        order[i] = i;
+    std::uint32_t lcg = 424242u;
+    for (std::uint32_t i = ncells - 1; i > 0; --i) {
+        lcg = lcg * 1664525u + 1013904223u;
+        std::swap(order[i], order[lcg % (i + 1)]);
+    }
+    for (std::uint32_t l = 0; l < nlists; ++l) {
+        std::uint32_t prev = 0; // null
+        for (std::uint32_t k = l; k < ncells; k += nlists) {
+            std::uint32_t cell = order[k];
+            Addr base = cells + 8ull * cell;
+            p.poke32(base + 0, cell + 1);
+            p.poke32(base + 4, prev);
+            prev = static_cast<std::uint32_t>(base);
+        }
+        p.poke32(heads + 4ull * l, prev);
+    }
+
+    // s0 pass ctr, s1 &heads, s2 list idx, s3 cursor, s4 sum
+    a.la(s1, heads);
+    a.li(s4, 0);
+    a.li(s0, static_cast<std::int32_t>(passes));
+
+    a.label("pass");
+    a.li(s2, 0);
+    a.label("list_loop");
+    a.slli(t0, s2, 2);
+    a.add(t0, s1, t0);
+    a.lw(s3, t0, 0);          // cursor = head
+
+    a.label("chase");
+    a.beq(s3, zero, "list_done");
+    a.lw(t1, s3, 0);          // car
+    a.add(s4, s4, t1);
+    // destructive update on every 8th car value
+    a.andi(t2, t1, 7);
+    a.bne(t2, zero, "no_update");
+    a.addi(t1, t1, 1);
+    a.sw(t1, s3, 0);
+    a.label("no_update");
+    a.lw(s3, s3, 4);          // cursor = cdr
+    a.j("chase");
+
+    a.label("list_done");
+    a.addi(s2, s2, 1);
+    a.li(t0, nlists);
+    a.blt(s2, t0, "list_loop");
+
+    a.addi(s0, s0, -1);
+    a.bne(s0, zero, "pass");
+
+    a.li(t0, 0xffff);
+    a.and_(a0, s4, t0);
+    a.syscall(Syscall::PrintInt);
+    a.syscall(Syscall::Exit);
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+} // namespace workloads
+} // namespace dscalar

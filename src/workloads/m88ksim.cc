@@ -1,0 +1,190 @@
+/**
+ * @file
+ * m88ksim_s -- substitute for SPEC95 124.m88ksim.
+ *
+ * A CPU emulator emulating a CPU: guest "instructions" are fetched
+ * from a guest text array, decoded through an in-memory dispatch
+ * table of handler addresses (indirect jumps), and executed against
+ * a guest register file and guest data memory. Table-driven integer
+ * code with modest working set and frequent indirect control flow.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "prog/assembler.hh"
+
+namespace dscalar {
+namespace workloads {
+
+using namespace prog::reg;
+using prog::Assembler;
+using isa::Syscall;
+
+prog::Program
+buildM88ksim(unsigned scale)
+{
+    prog::Program p;
+    p.name = "m88ksim_s";
+    Assembler a(p);
+
+    constexpr std::uint32_t guest_words = 16 * 1024; // 64 KB text
+    constexpr std::uint32_t guest_data_words = 32 * 1024; // 128 KB
+    constexpr std::uint32_t nhandlers = 8;
+    const std::uint32_t guest_insts = 40'000 * scale;
+
+    Addr guest_text = allocArray(p, guest_words * 4);
+    Addr guest_data = allocArray(p, guest_data_words * 4);
+    Addr guest_regs = p.allocGlobal(32 * 8);
+    Addr dispatch = p.allocGlobal(nhandlers * 8);
+
+    // Deterministic guest program: op in low 3 bits, register and
+    // immediate fields above.
+    std::uint32_t lcg = 555u;
+    for (std::uint32_t i = 0; i < guest_words; ++i) {
+        lcg = lcg * 1664525u + 1013904223u;
+        p.poke32(guest_text + 4ull * i, lcg);
+    }
+    for (std::uint32_t i = 0; i < guest_data_words; i += 3)
+        p.poke32(guest_data + 4ull * i, i * 2654435761u);
+
+    // Register plan:
+    //   s0 = remaining guest insts   s1 = guest pc (word index)
+    //   s2 = &guest_text  s3 = &guest_regs  s4 = &guest_data
+    //   s5 = &dispatch    s6 = accumulator
+    //   t0 = current guest word, t1..t7 scratch
+    a.la(s2, guest_text);
+    a.la(s3, guest_regs);
+    a.la(s4, guest_data);
+    a.la(s5, dispatch);
+    a.li(s6, 0);
+    a.li(s1, 0);
+    a.li(s0, static_cast<std::int32_t>(guest_insts));
+
+    a.label("fetch");
+    a.li(t1, guest_words - 1);
+    a.and_(s1, s1, t1);       // wrap guest pc
+    a.slli(t1, s1, 2);
+    a.add(t1, s2, t1);
+    a.lw(t0, t1, 0);          // guest instruction word
+    a.addi(s1, s1, 1);
+    a.andi(t2, t0, nhandlers - 1);
+    a.slli(t2, t2, 3);
+    a.add(t2, s5, t2);
+    a.ld(t3, t2, 0);          // handler address
+    a.jr(t3);
+
+    // Handler helpers: guest reg fields rA = bits [7:3], rB = [12:8].
+    auto guest_reg_a = [&] {
+        a.srli(t4, t0, 3);
+        a.andi(t4, t4, 31);
+        a.slli(t4, t4, 3);
+        a.add(t4, s3, t4); // &regs[rA]
+    };
+    auto guest_reg_b = [&] {
+        a.srli(t5, t0, 8);
+        a.andi(t5, t5, 31);
+        a.slli(t5, t5, 3);
+        a.add(t5, s3, t5); // &regs[rB]
+    };
+
+    // h0: add -- regs[rA] += regs[rB]
+    a.label("h0");
+    guest_reg_a();
+    guest_reg_b();
+    a.ld(t6, t4, 0);
+    a.ld(t7, t5, 0);
+    a.add(t6, t6, t7);
+    a.sd(t6, t4, 0);
+    a.j("next");
+
+    // h1: addi -- regs[rA] += imm (bits [28:13])
+    a.label("h1");
+    guest_reg_a();
+    a.srli(t6, t0, 13);
+    a.ld(t7, t4, 0);
+    a.add(t7, t7, t6);
+    a.sd(t7, t4, 0);
+    a.j("next");
+
+    // h2: load -- regs[rA] = guest_data[imm & mask]
+    a.label("h2");
+    guest_reg_a();
+    a.srli(t6, t0, 9);
+    a.li(t7, guest_data_words - 1);
+    a.and_(t6, t6, t7);
+    a.slli(t6, t6, 2);
+    a.add(t6, s4, t6);
+    a.lw(t7, t6, 0);
+    a.sd(t7, t4, 0);
+    a.j("next");
+
+    // h3: store -- guest_data[imm & mask] = regs[rA]
+    a.label("h3");
+    guest_reg_a();
+    a.ld(t7, t4, 0);
+    a.srli(t6, t0, 9);
+    a.li(t5, guest_data_words - 1);
+    a.and_(t6, t6, t5);
+    a.slli(t6, t6, 2);
+    a.add(t6, s4, t6);
+    a.sw(t7, t6, 0);
+    a.j("next");
+
+    // h4: branch -- if regs[rA] odd, hop the guest pc forward
+    a.label("h4");
+    guest_reg_a();
+    a.ld(t6, t4, 0);
+    a.andi(t6, t6, 1);
+    a.beq(t6, zero, "next");
+    a.srli(t7, t0, 11);
+    a.andi(t7, t7, 1023);
+    a.add(s1, s1, t7);
+    a.j("next");
+
+    // h5: logic -- regs[rA] ^= regs[rB] rotated
+    a.label("h5");
+    guest_reg_a();
+    guest_reg_b();
+    a.ld(t6, t4, 0);
+    a.ld(t7, t5, 0);
+    a.slli(t7, t7, 5);
+    a.xor_(t6, t6, t7);
+    a.sd(t6, t4, 0);
+    a.j("next");
+
+    // h6: mul accumulate into the emulator's own accumulator
+    a.label("h6");
+    guest_reg_a();
+    a.ld(t6, t4, 0);
+    a.li(t7, 31);
+    a.mul(t6, t6, t7);
+    a.add(s6, s6, t6);
+    a.j("next");
+
+    // h7: nop-ish bookkeeping
+    a.label("h7");
+    a.addi(s6, s6, 1);
+    a.j("next");
+
+    a.label("next");
+    a.addi(s0, s0, -1);
+    a.bne(s0, zero, "fetch");
+
+    a.li(t0, 0xffff);
+    a.and_(a0, s6, t0);
+    a.syscall(Syscall::PrintInt);
+    a.syscall(Syscall::Exit);
+    a.halt();
+
+    // Fill the dispatch table now that handler labels are bound.
+    const char *handler_names[nhandlers] = {"h0", "h1", "h2", "h3",
+                                            "h4", "h5", "h6", "h7"};
+    for (std::uint32_t h = 0; h < nhandlers; ++h)
+        p.poke64(dispatch + 8ull * h, a.labelAddr(handler_names[h]));
+
+    a.finalize();
+    return p;
+}
+
+} // namespace workloads
+} // namespace dscalar

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Partitionable workload for the hybrid SPMD/DataScalar study
+ * (paper Section 5.2): a 2-D Jacobi-style relaxation whose rows
+ * split cleanly across nodes.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "prog/assembler.hh"
+
+namespace dscalar {
+namespace workloads {
+
+using namespace prog::reg;
+using prog::Assembler;
+using isa::Syscall;
+
+prog::Program
+buildStencilStrip(unsigned node, unsigned num_nodes, unsigned scale)
+{
+    prog::Program p;
+    p.name = "stencil_strip_" + std::to_string(node) + "of" +
+             std::to_string(num_nodes);
+
+    constexpr std::uint32_t n = 128;         // full grid dimension
+    const std::uint32_t rows = n / num_nodes;
+    const std::uint32_t elems = rows * n;    // this node's strip
+    const std::uint32_t sweeps = 2 * scale;
+
+    Addr grid = allocArray(p, elems * 8);
+    Addr out = allocArray(p, elems * 8);
+    Addr consts = p.allocGlobal(8);
+    p.pokeDouble(consts, 0.25);
+
+    for (std::uint32_t i = 0; i < elems; i += 2) {
+        p.pokeDouble(grid + 8ull * i,
+                     1.0 + ((i + node * 37) % 21) * 0.0625);
+    }
+
+    constexpr std::int32_t row_bytes = 8 * n; // 1 KB
+
+    Assembler a(p);
+    a.la(s1, grid);
+    a.la(s2, out);
+    a.la(t0, consts);
+    a.ld(s3, t0, 0);
+    a.li(s0, static_cast<std::int32_t>(sweeps));
+
+    a.label("sweep");
+    a.li(s7, static_cast<std::int32_t>(n + 1)); // (1,1) of the strip
+    a.label("point");
+    a.slli(t0, s7, 3);
+    a.add(t1, s1, t0);
+    a.ld(t2, t1, 8);
+    a.ld(t3, t1, -8);
+    a.fadd(t2, t2, t3);
+    a.ld(t3, t1, row_bytes);
+    a.fadd(t2, t2, t3);
+    a.ld(t3, t1, -row_bytes);
+    a.fadd(t2, t2, t3);
+    a.fmul(t2, t2, s3);
+    a.add(t1, s2, t0);
+    a.sd(t2, t1, 0);
+    a.addi(s7, s7, 1);
+    a.li(t0, static_cast<std::int32_t>(elems - n - 1));
+    a.blt(s7, t0, "point");
+    a.addi(s0, s0, -1);
+    a.bne(s0, zero, "sweep");
+
+    a.li(t0, static_cast<std::int32_t>(elems / 2));
+    a.slli(t0, t0, 3);
+    a.add(t0, s2, t0);
+    a.ld(t1, t0, 0);
+    a.cvtfi(a0, t1);
+    a.syscall(Syscall::PrintInt);
+    a.syscall(Syscall::Exit);
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+} // namespace workloads
+} // namespace dscalar

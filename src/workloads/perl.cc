@@ -1,0 +1,113 @@
+/**
+ * @file
+ * perl_s -- substitute for SPEC95 134.perl.
+ *
+ * Scripting-language inner loops: word-packed "strings" drawn from a
+ * text pool are hashed token by token and inserted into a bucketed
+ * hash with per-bucket counters and a chain array -- associative
+ * data structure traffic with moderate stores and data-dependent
+ * string lengths.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "prog/assembler.hh"
+
+namespace dscalar {
+namespace workloads {
+
+using namespace prog::reg;
+using prog::Assembler;
+using isa::Syscall;
+
+prog::Program
+buildPerl(unsigned scale)
+{
+    prog::Program p;
+    p.name = "perl_s";
+    Assembler a(p);
+
+    constexpr std::uint32_t pool_words = 32 * 1024; // 128 KB text pool
+    constexpr std::uint32_t nbuckets = 4 * 1024;
+    constexpr std::uint32_t chain_words = 16 * 1024;
+    const std::uint32_t nstrings = 8'000 * scale;
+
+    Addr pool = allocArray(p, pool_words * 4);
+    Addr buckets = allocArray(p, nbuckets * 4);
+    Addr chains = allocArray(p, chain_words * 4);
+
+    std::uint32_t lcg = 20011u;
+    for (std::uint32_t i = 0; i < pool_words; ++i) {
+        lcg = lcg * 1664525u + 1013904223u;
+        p.poke32(pool + 4ull * i, lcg);
+    }
+
+    // s0 string ctr, s1 &pool, s2 &buckets, s3 &chains,
+    // s4 LCG, s5 chain cursor, s6 checksum
+    a.la(s1, pool);
+    a.la(s2, buckets);
+    a.la(s3, chains);
+    a.li(s4, 97);
+    a.li(s5, 0);
+    a.li(s6, 0);
+    a.li(s0, static_cast<std::int32_t>(nstrings));
+
+    a.label("string");
+    // pick offset and length from the LCG
+    a.li(t0, 69069);
+    a.mul(s4, s4, t0);
+    a.addi(s4, s4, 1);
+    a.li(t0, 0x7fffffff);
+    a.and_(s4, s4, t0);
+    a.li(t0, pool_words - 64);
+    a.rem(t1, s4, t0);        // start word
+    a.andi(t2, s4, 15);
+    a.addi(t2, t2, 4);        // length 4..19 words
+
+    a.slli(t1, t1, 2);
+    a.add(t1, s1, t1);        // cursor into the pool
+    a.slli(t2, t2, 2);        // length in bytes
+    a.li(t3, 0);              // hash
+
+    // Byte-wise hashing, as string code really does.
+    a.label("hash_loop");
+    a.lbu(t4, t1, 0);
+    a.xor_(t3, t3, t4);
+    a.li(t5, 131);
+    a.mul(t3, t3, t5);
+    a.addi(t1, t1, 1);
+    a.addi(t2, t2, -1);
+    a.bne(t2, zero, "hash_loop");
+
+    // bucket insert
+    a.li(t5, nbuckets - 1);
+    a.and_(t6, t3, t5);
+    a.slli(t6, t6, 2);
+    a.add(t6, s2, t6);
+    a.lw(t7, t6, 0);
+    a.addi(t7, t7, 1);
+    a.sw(t7, t6, 0);
+
+    // append hash to the chain ring
+    a.li(t5, chain_words - 1);
+    a.and_(t7, s5, t5);
+    a.slli(t7, t7, 2);
+    a.add(t7, s3, t7);
+    a.sw(t3, t7, 0);
+    a.addi(s5, s5, 1);
+    a.add(s6, s6, t3);
+
+    a.addi(s0, s0, -1);
+    a.bne(s0, zero, "string");
+
+    a.li(t0, 0xffff);
+    a.and_(a0, s6, t0);
+    a.syscall(Syscall::PrintInt);
+    a.syscall(Syscall::Exit);
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+} // namespace workloads
+} // namespace dscalar

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * swim_s -- substitute for SPEC95 102.swim.
+ *
+ * Shallow-water time step over six large arrays: every point of the
+ * output arrays combines corresponding points of several input
+ * arrays (the c[i] = a[i] + b[i] shape). When those arrays land on
+ * different owners, the interleaving cuts datathreads short -- the
+ * effect the paper calls out for swim.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "prog/assembler.hh"
+
+namespace dscalar {
+namespace workloads {
+
+using namespace prog::reg;
+using prog::Assembler;
+using isa::Syscall;
+
+prog::Program
+buildSwim(unsigned scale)
+{
+    prog::Program p;
+    p.name = "swim_s";
+    Assembler a(p);
+
+    constexpr std::uint32_t n = 96;
+    constexpr std::uint32_t elems = n * n; // 72 KB per array
+    const std::uint32_t steps = 2 * scale;
+
+    Addr u = allocArray(p, elems * 8);
+    Addr v = allocArray(p, elems * 8);
+    Addr pr = allocArray(p, elems * 8);
+    Addr unew = allocArray(p, elems * 8);
+    Addr vnew = allocArray(p, elems * 8);
+    Addr pnew = allocArray(p, elems * 8);
+    Addr consts = p.allocGlobal(8);
+    p.pokeDouble(consts, 0.1);
+
+    for (std::uint32_t i = 0; i < elems; i += 2) {
+        p.pokeDouble(u + 8ull * i, 1.0 + (i % 19) * 0.03125);
+        p.pokeDouble(v + 8ull * i, 0.5 + (i % 7) * 0.0625);
+        p.pokeDouble(pr + 8ull * i, 2.0 + (i % 5) * 0.125);
+    }
+
+    // s0 step, s1..s3 inputs, s4..s6 outputs, s7 dt
+    a.la(s1, u);
+    a.la(s2, v);
+    a.la(s3, pr);
+    a.la(s4, unew);
+    a.la(s5, vnew);
+    a.la(s6, pnew);
+    a.la(t0, consts);
+    a.ld(s7, t0, 0);
+    a.li(s0, static_cast<std::int32_t>(steps));
+
+    a.label("step");
+    a.li(t0, 0); // flat element index in bytes, advanced by 8
+    a.label("point");
+    // unew = u + dt*(p - v); vnew = v + dt*(u - p); pnew = p + dt*(v - u)
+    a.add(t1, s1, t0);
+    a.ld(t2, t1, 0);          // u
+    a.add(t1, s2, t0);
+    a.ld(t3, t1, 0);          // v
+    a.add(t1, s3, t0);
+    a.ld(t4, t1, 0);          // p
+
+    a.fsub(t5, t4, t3);
+    a.fmul(t5, t5, s7);
+    a.fadd(t5, t5, t2);
+    a.add(t1, s4, t0);
+    a.sd(t5, t1, 0);
+
+    a.fsub(t5, t2, t4);
+    a.fmul(t5, t5, s7);
+    a.fadd(t5, t5, t3);
+    a.add(t1, s5, t0);
+    a.sd(t5, t1, 0);
+
+    a.fsub(t5, t3, t2);
+    a.fmul(t5, t5, s7);
+    a.fadd(t5, t5, t4);
+    a.add(t1, s6, t0);
+    a.sd(t5, t1, 0);
+
+    a.addi(t0, t0, 8);
+    a.li(t1, static_cast<std::int32_t>(elems * 8));
+    a.blt(t0, t1, "point");
+
+    // Copy-back pass: u <- unew etc., also interleaved streams.
+    a.li(t0, 0);
+    a.label("copy");
+    a.add(t1, s4, t0);
+    a.ld(t2, t1, 0);
+    a.add(t1, s1, t0);
+    a.sd(t2, t1, 0);
+    a.add(t1, s5, t0);
+    a.ld(t2, t1, 0);
+    a.add(t1, s2, t0);
+    a.sd(t2, t1, 0);
+    a.add(t1, s6, t0);
+    a.ld(t2, t1, 0);
+    a.add(t1, s3, t0);
+    a.sd(t2, t1, 0);
+    a.addi(t0, t0, 8);
+    a.li(t1, static_cast<std::int32_t>(elems * 8));
+    a.blt(t0, t1, "copy");
+
+    a.addi(s0, s0, -1);
+    a.bne(s0, zero, "step");
+
+    a.ld(t1, s1, 8 * 40);
+    a.cvtfi(a0, t1);
+    a.syscall(Syscall::PrintInt);
+    a.syscall(Syscall::Exit);
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+} // namespace workloads
+} // namespace dscalar

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * tomcatv_s -- substitute for SPEC95 101.tomcatv.
+ *
+ * Vectorized mesh-generation stencil: two coordinate arrays are
+ * relaxed with 4-neighbour stencils into residual arrays, then
+ * corrected. Long unit-stride runs with high spatial locality.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "prog/assembler.hh"
+
+namespace dscalar {
+namespace workloads {
+
+using namespace prog::reg;
+using prog::Assembler;
+using isa::Syscall;
+
+prog::Program
+buildTomcatv(unsigned scale)
+{
+    prog::Program p;
+    p.name = "tomcatv_s";
+    Assembler a(p);
+
+    constexpr std::uint32_t n = 64;
+    constexpr std::uint32_t elems = n * n; // 32 KB per array
+    const std::uint32_t iters = 2 * scale;
+
+    Addr x = allocArray(p, elems * 8);
+    Addr y = allocArray(p, elems * 8);
+    Addr rx = allocArray(p, elems * 8);
+    Addr ry = allocArray(p, elems * 8);
+    Addr consts = p.allocGlobal(2 * 8);
+    p.pokeDouble(consts, -4.0);
+    p.pokeDouble(consts + 8, 0.0625);
+
+    for (std::uint32_t i = 0; i < elems; ++i) {
+        p.pokeDouble(x + 8ull * i, (i % n) * 0.5);
+        p.pokeDouble(y + 8ull * i, (i / n) * 0.5);
+    }
+
+    constexpr std::int32_t row = 8 * n; // 512 B
+
+    // s0 iter, s1 &x, s2 &y, s3 &rx, s4 &ry, s5 -4.0, s6 0.0625
+    a.la(s1, x);
+    a.la(s2, y);
+    a.la(s3, rx);
+    a.la(s4, ry);
+    a.la(t0, consts);
+    a.ld(s5, t0, 0);
+    a.ld(s6, t0, 8);
+    a.li(s0, static_cast<std::int32_t>(iters));
+
+    a.label("iter");
+    // Residual pass over the interior, unit stride.
+    a.li(s7, static_cast<std::int32_t>(n + 1));
+    a.label("resid_loop");
+    a.slli(t0, s7, 3);
+
+    // rx[i] = x[e]+x[w]+x[n]+x[s] - 4 x[c]
+    a.add(t1, s1, t0);
+    a.ld(t2, t1, 8);
+    a.ld(t3, t1, -8);
+    a.fadd(t2, t2, t3);
+    a.ld(t3, t1, row);
+    a.fadd(t2, t2, t3);
+    a.ld(t3, t1, -row);
+    a.fadd(t2, t2, t3);
+    a.ld(t3, t1, 0);
+    a.fmul(t3, t3, s5);
+    a.fadd(t2, t2, t3);
+    a.add(t4, s3, t0);
+    a.sd(t2, t4, 0);
+
+    // same stencil for y into ry
+    a.add(t1, s2, t0);
+    a.ld(t2, t1, 8);
+    a.ld(t3, t1, -8);
+    a.fadd(t2, t2, t3);
+    a.ld(t3, t1, row);
+    a.fadd(t2, t2, t3);
+    a.ld(t3, t1, -row);
+    a.fadd(t2, t2, t3);
+    a.ld(t3, t1, 0);
+    a.fmul(t3, t3, s5);
+    a.fadd(t2, t2, t3);
+    a.add(t4, s4, t0);
+    a.sd(t2, t4, 0);
+
+    a.addi(s7, s7, 1);
+    a.li(t0, static_cast<std::int32_t>(elems - n - 1));
+    a.blt(s7, t0, "resid_loop");
+
+    // Correction pass: x += 0.0625 * rx (and y likewise).
+    a.li(s7, 0);
+    a.label("corr_loop");
+    a.slli(t0, s7, 3);
+    a.add(t1, s1, t0);
+    a.add(t2, s3, t0);
+    a.ld(t3, t2, 0);
+    a.fmul(t3, t3, s6);
+    a.ld(t4, t1, 0);
+    a.fadd(t4, t4, t3);
+    a.sd(t4, t1, 0);
+    a.add(t1, s2, t0);
+    a.add(t2, s4, t0);
+    a.ld(t3, t2, 0);
+    a.fmul(t3, t3, s6);
+    a.ld(t4, t1, 0);
+    a.fadd(t4, t4, t3);
+    a.sd(t4, t1, 0);
+    a.addi(s7, s7, 1);
+    a.li(t0, static_cast<std::int32_t>(elems));
+    a.blt(s7, t0, "corr_loop");
+
+    a.addi(s0, s0, -1);
+    a.bne(s0, zero, "iter");
+
+    a.ld(t1, s1, 8 * (n + 5));
+    a.cvtfi(a0, t1);
+    a.syscall(Syscall::PrintInt);
+    a.syscall(Syscall::Exit);
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+} // namespace workloads
+} // namespace dscalar

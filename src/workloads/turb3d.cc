@@ -1,0 +1,121 @@
+/**
+ * @file
+ * turb3d_s -- substitute for SPEC95 125.turb3d.
+ *
+ * In-place FFT-style butterfly passes over a 32K-element complex
+ * signal (512 KB): each pass pairs elements a power-of-two stride
+ * apart, halving the stride per pass. The large power-of-two strides
+ * in early passes hop across pages, which is what shortens turb3d's
+ * data datathreads in the paper's Table 2.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "prog/assembler.hh"
+
+namespace dscalar {
+namespace workloads {
+
+using namespace prog::reg;
+using prog::Assembler;
+using isa::Syscall;
+
+prog::Program
+buildTurb3d(unsigned scale)
+{
+    prog::Program p;
+    p.name = "turb3d_s";
+    Assembler a(p);
+
+    constexpr std::uint32_t nelems = 32 * 1024; // complex points
+    const std::uint32_t rounds = scale;
+
+    Addr re = allocArray(p, nelems * 8);  // 256 KB
+    Addr im = allocArray(p, nelems * 8);  // 256 KB
+    Addr consts = p.allocGlobal(2 * 8);
+    p.pokeDouble(consts, 0.70710678);     // twiddle-ish factor
+    p.pokeDouble(consts + 8, 0.5);
+
+    for (std::uint32_t i = 0; i < nelems; i += 2) {
+        p.pokeDouble(re + 8ull * i, 1.0 + (i % 17) * 0.0625);
+        p.pokeDouble(im + 8ull * i + 8, 0.25 * (i % 5));
+    }
+
+    // s0 round ctr, s1 &re, s2 &im, s3 twiddle, s4 half,
+    // s5 stride (elements), s6 index, s7 partner byte offset
+    a.la(s1, re);
+    a.la(s2, im);
+    a.la(t0, consts);
+    a.ld(s3, t0, 0);
+    a.ld(s4, t0, 8);
+    a.li(s0, static_cast<std::int32_t>(rounds));
+
+    a.label("round");
+    // First-stage stride of 2048 elements (16 KB): partners are
+    // exactly one cache-size apart and conflict in a direct-mapped
+    // L1 -- real FFTs suffer this at power-of-two sizes, and it is
+    // what drives turb3d's high false-hit/squash rates (Table 3) and
+    // its poor two-node showing in the paper. Later stages (512 and
+    // below) are conflict-free.
+    a.li(s5, 2048);
+
+    a.label("stage");
+    a.li(s6, 0);
+    a.slli(s7, s5, 3);                     // partner offset in bytes
+
+    a.label("butterfly");
+    // skip indices whose stride bit is set (each pair visited once)
+    a.and_(t0, s6, s5);
+    a.bne(t0, zero, "bf_next");
+    a.slli(t1, s6, 3);
+    a.add(t2, s1, t1);                     // &re[i]
+    a.add(t3, s2, t1);                     // &im[i]
+    a.add(t4, t2, s7);                     // &re[i+stride]
+    a.add(t5, t3, s7);                     // &im[i+stride]
+    a.ld(t6, t2, 0);
+    a.ld(t7, t4, 0);
+    a.fadd(t0, t6, t7);                    // re sum
+    a.fsub(t6, t6, t7);                    // re diff
+    a.fmul(t6, t6, s3);
+    a.sd(t0, t2, 0);
+    a.sd(t6, t4, 0);
+    a.ld(t6, t3, 0);
+    a.ld(t7, t5, 0);
+    a.fadd(t0, t6, t7);
+    a.fsub(t6, t6, t7);
+    a.fmul(t6, t6, s3);
+    // twiddle rotation (extra FP work per butterfly)
+    a.fmul(t7, t0, s4);
+    a.fadd(t0, t0, t7);
+    a.fmul(t7, t6, s3);
+    a.fadd(t6, t6, t7);
+    a.fmul(t7, t0, s3);
+    a.fsub(t0, t0, t7);
+    a.sd(t0, t3, 0);
+    a.sd(t6, t5, 0);
+    a.label("bf_next");
+    a.addi(s6, s6, 1);        // unit-stride walk; pairs once each
+    // Each stage covers a quarter of the signal per round, so the
+    // conflicting first stage contributes its false-hit behaviour
+    // without monopolizing the run.
+    a.li(t0, nelems / 4);
+    a.blt(s6, t0, "butterfly");
+
+    a.srli(s5, s5, 2);                     // stride /= 4 per stage
+    a.li(t0, 8);
+    a.bge(s5, t0, "stage");
+
+    a.addi(s0, s0, -1);
+    a.bne(s0, zero, "round");
+
+    a.ld(t1, s1, 8 * 33);
+    a.cvtfi(a0, t1);
+    a.syscall(Syscall::PrintInt);
+    a.syscall(Syscall::Exit);
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+} // namespace workloads
+} // namespace dscalar

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * wave5_s -- substitute for SPEC95 146.wave5.
+ *
+ * Particle-in-cell plasma step: a particle array (positions and
+ * velocities) is swept sequentially; each particle gathers a field
+ * value from a grid cell derived from its position, scatters charge
+ * back to that cell, and integrates its position. Sequential
+ * particle traffic plus data-dependent grid scatter.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "prog/assembler.hh"
+
+namespace dscalar {
+namespace workloads {
+
+using namespace prog::reg;
+using prog::Assembler;
+using isa::Syscall;
+
+prog::Program
+buildWave5(unsigned scale)
+{
+    prog::Program p;
+    p.name = "wave5_s";
+    Assembler a(p);
+
+    constexpr std::uint32_t nparticles = 16 * 1024;
+    constexpr std::uint32_t ncells = 8 * 1024;
+    const std::uint32_t steps = 2 * scale;
+
+    Addr pos = allocArray(p, nparticles * 8);   // 128 KB
+    Addr vel = allocArray(p, nparticles * 8);   // 128 KB
+    Addr field = allocArray(p, ncells * 8);     // 64 KB
+    Addr charge = allocArray(p, ncells * 8);    // 64 KB
+    Addr consts = p.allocGlobal(2 * 8);
+    p.pokeDouble(consts, 0.001);                // dt
+    p.pokeDouble(consts + 8, 0.125);            // deposit weight
+
+    std::uint32_t lcg = 24680u;
+    for (std::uint32_t i = 0; i < nparticles; ++i) {
+        lcg = lcg * 1664525u + 1013904223u;
+        p.pokeDouble(pos + 8ull * i,
+                     static_cast<double>(lcg % (ncells * 16)) / 16.0);
+        p.pokeDouble(vel + 8ull * i,
+                     0.5 + static_cast<double>(i % 9) * 0.0625);
+    }
+    for (std::uint32_t c = 0; c < ncells; c += 2)
+        p.pokeDouble(field + 8ull * c, 0.25 + (c % 31) * 0.015625);
+
+    // s0 step ctr, s1 &pos, s2 &vel, s3 &field, s4 &charge,
+    // s5 dt, s6 weight, s7 particle index
+    a.la(s1, pos);
+    a.la(s2, vel);
+    a.la(s3, field);
+    a.la(s4, charge);
+    a.la(t0, consts);
+    a.ld(s5, t0, 0);
+    a.ld(s6, t0, 8);
+    a.li(s0, static_cast<std::int32_t>(steps));
+
+    a.label("step");
+    a.li(s7, 0);
+    a.label("particle");
+    a.slli(t0, s7, 3);
+    a.add(t1, s1, t0);        // &pos[i]
+    a.add(t2, s2, t0);        // &vel[i]
+    a.ld(t3, t1, 0);          // x
+    a.ld(t4, t2, 0);          // v
+
+    // cell = (i/2 + jitter(x)) & (ncells-1): particles are kept
+    // spatially sorted (as PIC codes do), so deposits walk the grid
+    // with small data-dependent jitter.
+    a.cvtfi(t5, t3);
+    a.andi(t5, t5, 31);       // jitter from the position
+    a.srli(t6, s7, 1);
+    a.add(t5, t5, t6);
+    a.li(t6, ncells - 1);
+    a.and_(t5, t5, t6);
+    a.slli(t5, t5, 3);
+
+    // gather: v += dt * field[cell]
+    a.add(t6, s3, t5);
+    a.ld(t7, t6, 0);
+    a.fmul(t7, t7, s5);
+    a.fadd(t4, t4, t7);
+    a.sd(t4, t2, 0);
+
+    // scatter: charge[cell] += weight
+    a.add(t6, s4, t5);
+    a.ld(t7, t6, 0);
+    a.fadd(t7, t7, s6);
+    a.sd(t7, t6, 0);
+
+    // push: x += v * dt
+    a.fmul(t7, t4, s5);
+    a.fadd(t3, t3, t7);
+    a.sd(t3, t1, 0);
+
+    // energy accumulation (extra field work per particle)
+    a.fmul(t7, t4, t4);
+    a.fadd(t3, t3, t7);
+    a.fmul(t7, t3, s6);
+    a.fadd(t4, t4, t7);
+
+    a.addi(s7, s7, 1);
+    a.li(t0, nparticles);
+    a.blt(s7, t0, "particle");
+
+    a.addi(s0, s0, -1);
+    a.bne(s0, zero, "step");
+
+    a.ld(t1, s4, 8 * 100);
+    a.cvtfi(a0, t1);
+    a.syscall(Syscall::PrintInt);
+    a.syscall(Syscall::Exit);
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+} // namespace workloads
+} // namespace dscalar

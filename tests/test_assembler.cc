@@ -1,0 +1,192 @@
+/** @file Unit tests for the assembler DSL (labels, fixups, pseudos). */
+
+#include <gtest/gtest.h>
+
+#include "func/func_sim.hh"
+#include "prog/assembler.hh"
+#include "prog/program.hh"
+
+namespace dscalar {
+namespace prog {
+namespace {
+
+using namespace reg;
+
+/** Run a freshly assembled program and return the sim. */
+func::FuncSim
+runProgram(Program &p)
+{
+    func::FuncSim sim(p);
+    sim.run(1'000'000);
+    EXPECT_TRUE(sim.halted()) << "program did not halt";
+    return sim;
+}
+
+TEST(Assembler, ForwardAndBackwardBranches)
+{
+    Program p;
+    Assembler a(p);
+    a.li(t0, 5);
+    a.li(t1, 0);
+    a.label("loop");
+    a.add(t1, t1, t0);
+    a.addi(t0, t0, -1);
+    a.bne(t0, zero, "loop");  // backward
+    a.beq(t1, zero, "skip");  // forward, not taken
+    a.addi(t1, t1, 100);
+    a.label("skip");
+    a.halt();
+    a.finalize();
+
+    auto sim = runProgram(p);
+    EXPECT_EQ(sim.reg(t1), 5u + 4 + 3 + 2 + 1 + 100);
+}
+
+TEST(Assembler, JumpAndLink)
+{
+    Program p;
+    Assembler a(p);
+    a.li(t0, 1);
+    a.jal("func");
+    a.addi(t0, t0, 10); // executed after return
+    a.halt();
+    a.label("func");
+    a.addi(t0, t0, 100);
+    a.ret();
+    a.finalize();
+
+    auto sim = runProgram(p);
+    EXPECT_EQ(sim.reg(t0), 111u);
+}
+
+TEST(Assembler, LoadImmediateRanges)
+{
+    Program p;
+    Assembler a(p);
+    a.li(t0, 42);
+    a.li(t1, -42);
+    a.li(t2, 0x12345678);
+    a.li(t3, 65536);
+    a.li(t4, -32768);
+    a.halt();
+    a.finalize();
+
+    auto sim = runProgram(p);
+    EXPECT_EQ(sim.reg(t0), 42u);
+    EXPECT_EQ(static_cast<std::int64_t>(sim.reg(t1)), -42);
+    EXPECT_EQ(sim.reg(t2), 0x12345678u);
+    EXPECT_EQ(sim.reg(t3), 65536u);
+    EXPECT_EQ(static_cast<std::int64_t>(sim.reg(t4)), -32768);
+}
+
+TEST(Assembler, LoadAddressAndMemoryOps)
+{
+    Program p;
+    Addr g = p.allocGlobal(64);
+    p.poke64(g + 8, 0x1122334455667788ULL);
+    p.poke32(g + 16, 0xdeadbeef);
+
+    Assembler a(p);
+    a.la(s1, g);
+    a.ld(t0, s1, 8);
+    a.lw(t1, s1, 16);
+    a.sd(t0, s1, 24);
+    a.sw(t1, s1, 32);
+    a.halt();
+    a.finalize();
+
+    auto sim = runProgram(p);
+    EXPECT_EQ(sim.reg(t0), 0x1122334455667788ULL);
+    EXPECT_EQ(sim.reg(t1), 0xdeadbeefULL); // lw zero-extends
+    EXPECT_EQ(sim.memory().read(g + 24, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(sim.memory().read(g + 32, 4), 0xdeadbeefULL);
+}
+
+TEST(Assembler, GenLabelUnique)
+{
+    Program p;
+    Assembler a(p);
+    std::string l1 = a.genLabel("loop");
+    std::string l2 = a.genLabel("loop");
+    EXPECT_NE(l1, l2);
+}
+
+TEST(Assembler, MoveAndNop)
+{
+    Program p;
+    Assembler a(p);
+    a.li(t0, 77);
+    a.nop();
+    a.move(t1, t0);
+    a.halt();
+    a.finalize();
+    auto sim = runProgram(p);
+    EXPECT_EQ(sim.reg(t1), 77u);
+}
+
+TEST(AssemblerDeath, UndefinedLabelIsFatal)
+{
+    Program p;
+    Assembler a(p);
+    a.j("nowhere");
+    a.halt();
+    EXPECT_EXIT(a.finalize(), ::testing::ExitedWithCode(1),
+                "not defined");
+}
+
+TEST(AssemblerDeath, DuplicateLabelIsFatal)
+{
+    Program p;
+    Assembler a(p);
+    a.label("x");
+    EXPECT_EXIT(a.label("x"), ::testing::ExitedWithCode(1),
+                "defined twice");
+}
+
+TEST(AssemblerDeath, OutOfRangeImmediateIsFatal)
+{
+    Program p;
+    Assembler a(p);
+    EXPECT_EXIT(a.addi(t0, t0, 1 << 20),
+                ::testing::ExitedWithCode(1), "out of");
+}
+
+TEST(Assembler, LabelAddrMatchesBranchTarget)
+{
+    Program p;
+    Assembler a(p);
+    a.nop();
+    a.nop();
+    a.label("here");
+    Addr here = a.labelAddr("here");
+    EXPECT_EQ(here, p.textBaseAddr() + 8);
+}
+
+} // namespace
+} // namespace prog
+} // namespace dscalar
+
+namespace dscalar {
+namespace prog {
+namespace {
+
+TEST(AssemblerDeath, HugeLiConstantIsFatal)
+{
+    Program p;
+    Assembler a(p);
+    EXPECT_EXIT(a.li(reg::t0, 1LL << 40),
+                ::testing::ExitedWithCode(1), "exceeds 32 bits");
+}
+
+TEST(AssemblerDeath, EmitAfterFinalizePanics)
+{
+    Program p;
+    Assembler a(p);
+    a.halt();
+    a.finalize();
+    EXPECT_DEATH(a.nop(), "after finalize");
+}
+
+} // namespace
+} // namespace prog
+} // namespace dscalar

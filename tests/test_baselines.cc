@@ -1,0 +1,116 @@
+/** @file Tests for the traditional and perfect-cache baselines. */
+
+#include <gtest/gtest.h>
+
+#include "baseline/perfect.hh"
+#include "baseline/traditional.hh"
+#include "driver/driver.hh"
+#include "prog/assembler.hh"
+
+namespace dscalar {
+namespace baseline {
+namespace {
+
+using namespace prog::reg;
+using prog::Assembler;
+using prog::Program;
+
+Program
+streamProgram(unsigned data_pages)
+{
+    Program p;
+    Addr g = p.allocGlobal(data_pages * prog::pageSize);
+    for (Addr off = 0; off < data_pages * prog::pageSize; off += 32)
+        p.poke64(g + off, off);
+
+    Assembler a(p);
+    a.la(s1, g);
+    a.li(s2, 0);
+    a.li(s0, static_cast<std::int32_t>(data_pages * prog::pageSize / 8));
+    a.label("loop");
+    a.ld(t0, s1, 0);
+    a.add(s2, s2, t0);
+    a.sd(s2, s1, 0);
+    a.addi(s1, s1, 8);
+    a.addi(s0, s0, -1);
+    a.bne(s0, zero, "loop");
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+TEST(Traditional, RunsToCompletion)
+{
+    Program p = streamProgram(8);
+    core::SimConfig cfg = driver::paperConfig();
+    cfg.numNodes = 2;
+    TraditionalSystem sys(p, cfg, driver::figure7PageTable(p, 2));
+    core::RunResult r = sys.run();
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(sys.core().committedSeq(), r.instructions);
+}
+
+TEST(Traditional, OffChipTrafficUsesRequestResponse)
+{
+    Program p = streamProgram(8);
+    core::SimConfig cfg = driver::paperConfig();
+    cfg.numNodes = 2;
+    TraditionalSystem sys(p, cfg, driver::figure7PageTable(p, 2));
+    sys.run();
+
+    using interconnect::MsgKind;
+    // Requests and responses pair up.
+    EXPECT_EQ(sys.bus().messagesOf(MsgKind::Request),
+              sys.bus().messagesOf(MsgKind::Response));
+    EXPECT_GT(sys.bus().messagesOf(MsgKind::Request), 0u);
+    // Never broadcasts.
+    EXPECT_EQ(sys.bus().messagesOf(MsgKind::Broadcast), 0u);
+    // Streaming stores beyond the cache generate off-chip writes.
+    EXPECT_GT(sys.offChipWrites(), 0u);
+}
+
+TEST(Traditional, MoreMemoryOnChipIsFaster)
+{
+    Program p = streamProgram(8);
+    core::SimConfig cfg = driver::paperConfig();
+    // 1/2 on-chip vs 1/4 on-chip.
+    TraditionalSystem half(p, cfg, driver::figure7PageTable(p, 2));
+    TraditionalSystem quarter(p, cfg, driver::figure7PageTable(p, 4));
+    core::RunResult rh = half.run();
+    core::RunResult rq = quarter.run();
+    EXPECT_EQ(rh.instructions, rq.instructions);
+    EXPECT_LT(rh.cycles, rq.cycles);
+}
+
+TEST(Perfect, FasterThanTraditional)
+{
+    Program p = streamProgram(4);
+    core::SimConfig cfg = driver::paperConfig();
+    cfg.numNodes = 2;
+    core::RunResult perfect = driver::runPerfect(p, cfg);
+    core::RunResult trad = driver::runTraditional(p, cfg);
+    EXPECT_EQ(perfect.instructions, trad.instructions);
+    EXPECT_LT(perfect.cycles, trad.cycles);
+}
+
+TEST(Perfect, IpcBoundedByWidth)
+{
+    Program p = streamProgram(2);
+    core::SimConfig cfg = driver::paperConfig();
+    core::RunResult r = driver::runPerfect(p, cfg);
+    EXPECT_LE(r.ipc, cfg.core.issueWidth);
+    EXPECT_GT(r.ipc, 0.5);
+}
+
+TEST(Perfect, TruncationHonoursBudget)
+{
+    Program p = streamProgram(4);
+    core::SimConfig cfg = driver::paperConfig();
+    cfg.maxInsts = 1234;
+    core::RunResult r = driver::runPerfect(p, cfg);
+    EXPECT_EQ(r.instructions, 1234u);
+}
+
+} // namespace
+} // namespace baseline
+} // namespace dscalar

@@ -1,0 +1,79 @@
+/** @file Unit tests for common/bitutils.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+
+namespace dscalar {
+namespace {
+
+TEST(BitUtils, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+}
+
+TEST(BitUtils, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(4097), 12u);
+    EXPECT_EQ(floorLog2(~0ULL), 63u);
+}
+
+TEST(BitUtils, AlignDownUp)
+{
+    EXPECT_EQ(alignDown(0x1234, 0x1000), 0x1000u);
+    EXPECT_EQ(alignUp(0x1234, 0x1000), 0x2000u);
+    EXPECT_EQ(alignDown(0x1000, 0x1000), 0x1000u);
+    EXPECT_EQ(alignUp(0x1000, 0x1000), 0x1000u);
+    EXPECT_EQ(alignDown(31, 32), 0u);
+    EXPECT_EQ(alignUp(33, 32), 64u);
+}
+
+TEST(BitUtils, Bits)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 0), 0xbeefu);
+    EXPECT_EQ(bits(0xff, 3, 0), 0xfu);
+    EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+}
+
+TEST(BitUtils, SignExtend)
+{
+    EXPECT_EQ(sext(0xffff, 16), -1);
+    EXPECT_EQ(sext(0x8000, 16), -32768);
+    EXPECT_EQ(sext(0x7fff, 16), 32767);
+    EXPECT_EQ(sext(0x0, 16), 0);
+    EXPECT_EQ(sext(0x2000000, 26), -33554432);
+}
+
+class AlignParamTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AlignParamTest, DownUpInverse)
+{
+    std::uint64_t align = GetParam();
+    for (Addr a : {Addr(0), Addr(1), Addr(align - 1), Addr(align),
+                   Addr(align * 7 + 3), Addr(0x12345678)}) {
+        EXPECT_LE(alignDown(a, align), a);
+        EXPECT_GE(alignUp(a, align), a);
+        EXPECT_EQ(alignDown(a, align) % align, 0u);
+        EXPECT_EQ(alignUp(a, align) % align, 0u);
+        EXPECT_LT(a - alignDown(a, align), align);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alignments, AlignParamTest,
+                         ::testing::Values(1, 2, 8, 32, 4096, 8192));
+
+} // namespace
+} // namespace dscalar

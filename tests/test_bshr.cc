@@ -1,0 +1,124 @@
+/** @file Unit tests for the Broadcast Status Holding Registers. */
+
+#include <gtest/gtest.h>
+
+#include "core/bshr.hh"
+
+namespace dscalar {
+namespace core {
+namespace {
+
+constexpr Addr lineA = 0x1000;
+constexpr Addr lineB = 0x2000;
+
+TEST(Bshr, RequestThenDeliverWakesWaiter)
+{
+    Bshr b(1, 128);
+    Cycle ready = 0;
+    EXPECT_EQ(b.requestLine(lineA, 10, ready), Bshr::Lookup::Waiting);
+    EXPECT_EQ(b.occupancy(), 1u);
+    EXPECT_EQ(b.deliver(lineA, 50, ready), Bshr::Deliver::WokeWaiter);
+    EXPECT_EQ(ready, 51u); // + latency
+    EXPECT_EQ(b.occupancy(), 0u);
+    EXPECT_TRUE(b.drained());
+}
+
+TEST(Bshr, DeliverThenRequestFindsBuffered)
+{
+    Bshr b(2, 128);
+    Cycle ready = 0;
+    EXPECT_EQ(b.deliver(lineA, 10, ready), Bshr::Deliver::Buffered);
+    EXPECT_EQ(b.occupancy(), 1u);
+    EXPECT_EQ(b.requestLine(lineA, 30, ready),
+              Bshr::Lookup::FoundBuffered);
+    EXPECT_EQ(ready, 32u);
+    EXPECT_TRUE(b.drained());
+    EXPECT_EQ(b.bshrStats().bufferedHits, 1u);
+}
+
+TEST(Bshr, SquashBufferedImmediately)
+{
+    Bshr b(1, 128);
+    Cycle ready = 0;
+    b.deliver(lineA, 0, ready);
+    EXPECT_TRUE(b.registerSquash(lineA));
+    EXPECT_EQ(b.bshrStats().squashes, 1u);
+    EXPECT_TRUE(b.drained());
+}
+
+TEST(Bshr, SquashPendingDropsNextDelivery)
+{
+    Bshr b(1, 128);
+    Cycle ready = 0;
+    EXPECT_FALSE(b.registerSquash(lineA)); // nothing buffered yet
+    EXPECT_FALSE(b.drained());
+    EXPECT_EQ(b.deliver(lineA, 5, ready), Bshr::Deliver::Squashed);
+    EXPECT_TRUE(b.drained());
+}
+
+TEST(Bshr, SquashPriorityOverWaiter)
+{
+    // A pending squash (committed business) consumes the next
+    // delivery before a newer waiter does.
+    Bshr b(1, 128);
+    Cycle ready = 0;
+    b.registerSquash(lineA);
+    b.requestLine(lineA, 0, ready);
+    EXPECT_EQ(b.deliver(lineA, 10, ready), Bshr::Deliver::Squashed);
+    EXPECT_EQ(b.deliver(lineA, 20, ready), Bshr::Deliver::WokeWaiter);
+    EXPECT_TRUE(b.drained());
+}
+
+TEST(Bshr, LinesAreIndependent)
+{
+    Bshr b(1, 128);
+    Cycle ready = 0;
+    b.requestLine(lineA, 0, ready);
+    EXPECT_EQ(b.deliver(lineB, 5, ready), Bshr::Deliver::Buffered);
+    EXPECT_EQ(b.occupancy(), 2u);
+    EXPECT_EQ(b.deliver(lineA, 6, ready), Bshr::Deliver::WokeWaiter);
+    EXPECT_EQ(b.requestLine(lineB, 7, ready),
+              Bshr::Lookup::FoundBuffered);
+    EXPECT_TRUE(b.drained());
+}
+
+TEST(Bshr, OccupancyStatsTrackPeak)
+{
+    Bshr b(1, 2); // tiny capacity for overflow accounting
+    Cycle ready = 0;
+    b.deliver(0x100, 0, ready);
+    b.deliver(0x200, 0, ready);
+    b.deliver(0x300, 0, ready); // above capacity
+    EXPECT_EQ(b.bshrStats().maxOccupancy, 3u);
+    EXPECT_GE(b.bshrStats().overflowEvents, 1u);
+}
+
+TEST(Bshr, AccessesCountBothSides)
+{
+    Bshr b(1, 128);
+    Cycle ready = 0;
+    b.requestLine(lineA, 0, ready); // waiter alloc
+    b.deliver(lineA, 1, ready);     // delivery
+    b.deliver(lineB, 2, ready);     // delivery (buffered)
+    b.requestLine(lineB, 3, ready); // buffered hit
+    EXPECT_EQ(b.bshrStats().accesses(), 4u);
+}
+
+TEST(Bshr, FifoCountsPerLine)
+{
+    // Two buffered deliveries of the same line serve two requests.
+    Bshr b(1, 128);
+    Cycle ready = 0;
+    b.deliver(lineA, 0, ready);
+    b.deliver(lineA, 1, ready);
+    EXPECT_EQ(b.occupancy(), 2u);
+    EXPECT_EQ(b.requestLine(lineA, 2, ready),
+              Bshr::Lookup::FoundBuffered);
+    EXPECT_EQ(b.requestLine(lineA, 3, ready),
+              Bshr::Lookup::FoundBuffered);
+    EXPECT_TRUE(b.drained());
+}
+
+} // namespace
+} // namespace core
+} // namespace dscalar

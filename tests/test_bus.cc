@@ -1,0 +1,110 @@
+/** @file Unit tests for the global bus model. */
+
+#include <gtest/gtest.h>
+
+#include "interconnect/bus.hh"
+
+namespace dscalar {
+namespace interconnect {
+namespace {
+
+BusParams
+params(unsigned width, Cycle divisor, Cycle ni)
+{
+    BusParams p;
+    p.widthBytes = width;
+    p.clockDivisor = divisor;
+    p.headerBytes = 8;
+    p.interfacePenalty = ni;
+    return p;
+}
+
+TEST(Bus, MessageBytesByKind)
+{
+    EXPECT_EQ(messageBytes(MsgKind::Request, 32, 8), 8u);
+    EXPECT_EQ(messageBytes(MsgKind::Broadcast, 32, 8), 40u);
+    EXPECT_EQ(messageBytes(MsgKind::Response, 32, 8), 40u);
+    EXPECT_EQ(messageBytes(MsgKind::WriteBack, 32, 8), 40u);
+}
+
+TEST(Bus, OccupancyCalculation)
+{
+    Bus bus(params(8, 10, 2));
+    // 40 bytes on an 8-byte bus = 5 bus clocks = 50 core cycles.
+    EXPECT_EQ(bus.occupancyCycles(40), 50u);
+    EXPECT_EQ(bus.occupancyCycles(1), 10u);
+    EXPECT_EQ(bus.occupancyCycles(8), 10u);
+    EXPECT_EQ(bus.occupancyCycles(9), 20u);
+}
+
+TEST(Bus, SingleBroadcastDeliveryTime)
+{
+    Bus bus(params(8, 10, 2));
+    // Ready at 100, +2 interface, +50 transfer.
+    EXPECT_EQ(bus.send(MsgKind::Broadcast, 32, 100), 152u);
+}
+
+TEST(Bus, BackToBackMessagesSerialize)
+{
+    Bus bus(params(8, 10, 0));
+    Cycle d1 = bus.send(MsgKind::Broadcast, 32, 0);
+    Cycle d2 = bus.send(MsgKind::Broadcast, 32, 0);
+    EXPECT_EQ(d1, 50u);
+    EXPECT_EQ(d2, 100u); // waits for the bus
+    EXPECT_EQ(bus.busyCycles(), 100u);
+}
+
+TEST(Bus, IdleGapDoesNotAccumulate)
+{
+    Bus bus(params(8, 10, 0));
+    bus.send(MsgKind::Request, 32, 0);  // 8 B header: 10 cycles
+    Cycle d = bus.send(MsgKind::Request, 32, 1000);
+    EXPECT_EQ(d, 1010u);
+    EXPECT_EQ(bus.busyCycles(), 20u);
+}
+
+TEST(Bus, TrafficAccounting)
+{
+    Bus bus(params(8, 10, 2));
+    bus.send(MsgKind::Broadcast, 32, 0);
+    bus.send(MsgKind::Request, 32, 0);
+    bus.send(MsgKind::Response, 32, 0);
+    bus.send(MsgKind::WriteBack, 32, 0);
+    bus.send(MsgKind::WriteBack, 32, 0);
+    EXPECT_EQ(bus.totalMessages(), 5u);
+    EXPECT_EQ(bus.messagesOf(MsgKind::WriteBack), 2u);
+    EXPECT_EQ(bus.bytesOf(MsgKind::Request), 8u);
+    EXPECT_EQ(bus.bytesOf(MsgKind::Broadcast), 40u);
+    EXPECT_EQ(bus.totalBytes(), 40u + 8 + 40 + 40 + 40);
+}
+
+TEST(Bus, WiderBusIsFaster)
+{
+    Bus narrow(params(2, 10, 0));
+    Bus wide(params(32, 10, 0));
+    EXPECT_GT(narrow.send(MsgKind::Broadcast, 32, 0),
+              wide.send(MsgKind::Broadcast, 32, 0));
+}
+
+TEST(Bus, MessageKindNames)
+{
+    EXPECT_STREQ(msgKindName(MsgKind::Broadcast), "broadcast");
+    EXPECT_STREQ(msgKindName(MsgKind::ReparativeBroadcast),
+                 "reparative");
+    EXPECT_STREQ(msgKindName(MsgKind::Request), "request");
+    EXPECT_STREQ(msgKindName(MsgKind::Response), "response");
+    EXPECT_STREQ(msgKindName(MsgKind::WriteBack), "writeback");
+    EXPECT_STREQ(msgKindName(MsgKind::Write), "write");
+}
+
+TEST(BusDeath, BadParamsAreFatal)
+{
+    EXPECT_EXIT(Bus(params(0, 10, 0)), ::testing::ExitedWithCode(1),
+                "width");
+    EXPECT_EXIT(Bus(params(8, 0, 0)), ::testing::ExitedWithCode(1),
+                "divisor");
+}
+
+} // namespace
+} // namespace interconnect
+} // namespace dscalar

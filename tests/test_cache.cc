@@ -1,0 +1,156 @@
+/** @file Unit tests for the set-associative cache tag model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace dscalar {
+namespace mem {
+namespace {
+
+CacheParams
+smallCache(unsigned assoc, bool write_alloc)
+{
+    // 4 sets x assoc x 32 B lines.
+    return CacheParams{static_cast<std::uint64_t>(4 * assoc * 32), assoc,
+                       32, write_alloc};
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(smallCache(1, true));
+    EXPECT_FALSE(c.probe(0x100));
+    auto r = c.access(0x100, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.allocated);
+    EXPECT_FALSE(r.evicted);
+    EXPECT_TRUE(c.probe(0x100));
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    // Same line, different offset.
+    EXPECT_TRUE(c.access(0x11f, false).hit);
+    // Next line misses.
+    EXPECT_FALSE(c.access(0x120, false).hit);
+}
+
+TEST(Cache, DirectMappedConflictEviction)
+{
+    Cache c(smallCache(1, true)); // 4 sets * 32 B
+    c.access(0x000, false);
+    // 0x080 maps to the same set (4 sets x 32 B = 128 B period).
+    auto r = c.access(0x080, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.victimAddr, 0x000u);
+    EXPECT_FALSE(r.victimDirty);
+    EXPECT_FALSE(c.probe(0x000));
+}
+
+TEST(Cache, DirtyVictimReported)
+{
+    Cache c(smallCache(1, true));
+    c.access(0x000, true); // write-allocate makes it dirty
+    auto r = c.access(0x080, false);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_TRUE(r.victimDirty);
+    EXPECT_EQ(r.victimAddr, 0x000u);
+}
+
+TEST(Cache, WriteNoAllocateBypassesOnMiss)
+{
+    Cache c(smallCache(1, false));
+    auto r = c.access(0x100, true);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.allocated);
+    EXPECT_FALSE(c.probe(0x100));
+    // A write *hit* still dirties the line.
+    c.access(0x100, false);
+    c.access(0x100, true);
+    EXPECT_TRUE(c.probeDirty(0x100));
+}
+
+TEST(Cache, LruReplacementInSet)
+{
+    Cache c(smallCache(2, true)); // 2-way
+    // Three lines mapping to set 0 (period = 4 sets * 32 B = 128 B).
+    c.access(0x000, false);
+    c.access(0x100, false);
+    c.access(0x000, false); // touch to make 0x100 the LRU
+    auto r = c.access(0x200, false);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.victimAddr, 0x100u);
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_TRUE(c.probe(0x200));
+}
+
+TEST(Cache, ProbeDoesNotDisturbLru)
+{
+    Cache c(smallCache(2, true));
+    c.access(0x000, false);
+    c.access(0x100, false);
+    // Probing 0x000 must NOT make it MRU.
+    EXPECT_TRUE(c.probe(0x000));
+    auto r = c.access(0x200, false);
+    EXPECT_EQ(r.victimAddr, 0x000u);
+}
+
+TEST(Cache, InvalidateAndFlush)
+{
+    Cache c(smallCache(2, true));
+    c.access(0x000, true);
+    EXPECT_TRUE(c.invalidate(0x000));
+    EXPECT_FALSE(c.invalidate(0x000));
+    EXPECT_FALSE(c.probe(0x000));
+    c.access(0x100, false);
+    c.access(0x200, false);
+    EXPECT_EQ(c.validLineCount(), 2u);
+    c.flush();
+    EXPECT_EQ(c.validLineCount(), 0u);
+}
+
+TEST(Cache, LineAlign)
+{
+    Cache c(smallCache(1, true));
+    EXPECT_EQ(c.lineAlign(0x11f), 0x100u);
+    EXPECT_EQ(c.lineAlign(0x120), 0x120u);
+}
+
+TEST(CacheDeath, BadGeometryIsFatal)
+{
+    EXPECT_EXIT(Cache(CacheParams{100, 1, 32, true}),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(Cache(CacheParams{128, 0, 32, true}),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(Cache(CacheParams{128, 1, 33, true}),
+                ::testing::ExitedWithCode(1), "");
+}
+
+/** Property: valid line count never exceeds capacity, victims only
+ *  reported when the cache is full at that set. */
+class CacheSweepTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, bool>>
+{
+};
+
+TEST_P(CacheSweepTest, OccupancyBounded)
+{
+    auto [assoc, wa] = GetParam();
+    Cache c(CacheParams{8u * assoc * 32u, assoc, 32, wa});
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 5000; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        Addr addr = (x >> 16) & 0xffff;
+        bool wr = (x & 1) != 0;
+        c.access(addr, wr);
+        ASSERT_LE(c.validLineCount(), 8u * assoc);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweepTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Bool()));
+
+} // namespace
+} // namespace mem
+} // namespace dscalar

@@ -1,0 +1,139 @@
+/** @file
+ * Golden-model property test: the production Cache must agree with
+ * an obviously correct reference implementation (per-set LRU lists)
+ * on long random access streams, across geometries and policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <vector>
+
+#include "common/random.hh"
+#include "mem/cache.hh"
+
+namespace dscalar {
+namespace mem {
+namespace {
+
+/** Straightforward reference cache: per-set std::list, MRU front. */
+class RefCache
+{
+  public:
+    explicit RefCache(const CacheParams &p) : p_(p)
+    {
+        sets_.resize(p.sizeBytes / (p.lineSize * p.assoc));
+    }
+
+    struct Line
+    {
+        Addr tag;
+        bool dirty;
+    };
+
+    CacheAccessResult
+    access(Addr addr, bool is_write)
+    {
+        CacheAccessResult r;
+        auto &set = sets_[setIndex(addr)];
+        Addr tag = tagOf(addr);
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (it->tag == tag) {
+                r.hit = true;
+                if (is_write)
+                    it->dirty = true;
+                set.splice(set.begin(), set, it); // MRU
+                return r;
+            }
+        }
+        if (is_write && !p_.writeAllocate)
+            return r;
+        if (set.size() == p_.assoc) {
+            r.evicted = true;
+            r.victimDirty = set.back().dirty;
+            r.victimAddr = (set.back().tag * sets_.size() +
+                            setIndex(addr)) *
+                           p_.lineSize;
+            set.pop_back();
+        }
+        set.push_front(Line{tag, is_write});
+        r.allocated = true;
+        return r;
+    }
+
+    bool
+    probe(Addr addr) const
+    {
+        const auto &set = sets_[setIndex(addr)];
+        for (const Line &l : set)
+            if (l.tag == tagOf(addr))
+                return true;
+        return false;
+    }
+
+  private:
+    std::size_t
+    setIndex(Addr addr) const
+    {
+        return (addr / p_.lineSize) % sets_.size();
+    }
+    Addr
+    tagOf(Addr addr) const
+    {
+        return addr / p_.lineSize / sets_.size();
+    }
+
+    CacheParams p_;
+    std::vector<std::list<Line>> sets_;
+};
+
+class CacheModelTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, unsigned, bool>>
+{
+};
+
+TEST_P(CacheModelTest, AgreesWithReference)
+{
+    auto [size, assoc, write_alloc] = GetParam();
+    CacheParams p{size, assoc, 32, write_alloc};
+    Cache dut(p);
+    RefCache ref(p);
+
+    Random rng(size * 31 + assoc * 7 + (write_alloc ? 1 : 0));
+    for (int i = 0; i < 20'000; ++i) {
+        // Mix of clustered and scattered addresses.
+        Addr addr = rng.chance(0.7)
+                        ? rng.below(4 * size)
+                        : rng.below(1 << 22);
+        addr &= ~Addr(3);
+        bool is_write = rng.chance(0.3);
+
+        if (rng.chance(0.1)) {
+            // Interleave read-only probes.
+            ASSERT_EQ(dut.probe(addr), ref.probe(addr))
+                << "probe divergence at op " << i;
+            continue;
+        }
+
+        CacheAccessResult a = dut.access(addr, is_write);
+        CacheAccessResult b = ref.access(addr, is_write);
+        ASSERT_EQ(a.hit, b.hit) << "op " << i;
+        ASSERT_EQ(a.allocated, b.allocated) << "op " << i;
+        ASSERT_EQ(a.evicted, b.evicted) << "op " << i;
+        if (a.evicted) {
+            ASSERT_EQ(a.victimAddr, b.victimAddr) << "op " << i;
+            ASSERT_EQ(a.victimDirty, b.victimDirty) << "op " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheModelTest,
+    ::testing::Combine(::testing::Values(1024u, 4096u, 16384u),
+                       ::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Bool()));
+
+} // namespace
+} // namespace mem
+} // namespace dscalar

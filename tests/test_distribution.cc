@@ -1,0 +1,144 @@
+/** @file Unit tests for static page replication and distribution. */
+
+#include <gtest/gtest.h>
+
+#include "core/distribution.hh"
+#include "prog/assembler.hh"
+
+namespace dscalar {
+namespace core {
+namespace {
+
+prog::Program
+programWithPages(std::size_t text_words, std::size_t data_pages)
+{
+    prog::Program p;
+    prog::Assembler a(p);
+    for (std::size_t i = 0; i < text_words; ++i)
+        a.nop();
+    a.halt();
+    a.finalize();
+    p.allocGlobal(data_pages * prog::pageSize);
+    return p;
+}
+
+TEST(Distribution, TextReplicatedDataDistributed)
+{
+    prog::Program p = programWithPages(10, 8);
+    DistributionConfig cfg;
+    cfg.numNodes = 4;
+    ReplicationReport rep;
+    mem::PageTable table = buildPageTable(p, cfg, nullptr, &rep);
+
+    EXPECT_GE(rep.text, 1u);
+    EXPECT_EQ(rep.global, 0u);
+    EXPECT_TRUE(table.isReplicated(p.textBaseAddr()));
+
+    // Every data page has exactly one owner; coverage is balanced.
+    std::size_t owned[4] = {};
+    for (Addr page : p.touchedPages()) {
+        if (prog::segmentOf(page) == prog::Segment::Text)
+            continue;
+        EXPECT_FALSE(table.isReplicated(page));
+        ++owned[table.owner(page)];
+    }
+    std::size_t total = owned[0] + owned[1] + owned[2] + owned[3];
+    for (int n = 0; n < 4; ++n) {
+        EXPECT_GT(owned[n], 0u);
+        EXPECT_LE(owned[n], total / 4 + 1);
+    }
+}
+
+TEST(Distribution, RoundRobinBlockGranularity)
+{
+    prog::Program p = programWithPages(2, 12);
+    DistributionConfig cfg;
+    cfg.numNodes = 2;
+    cfg.blockPages = 3;
+    mem::PageTable table = buildPageTable(p, cfg);
+
+    // Walk the data pages: ownership must change only at block
+    // boundaries of 3 consecutive pages.
+    NodeId expect = 0;
+    unsigned in_block = 0;
+    for (Addr page : p.touchedPages()) {
+        if (prog::segmentOf(page) == prog::Segment::Text)
+            continue;
+        EXPECT_EQ(table.owner(page), expect);
+        if (++in_block == 3) {
+            in_block = 0;
+            expect = (expect + 1) % 2;
+        }
+    }
+}
+
+TEST(Distribution, HotPagesReplicatedByHeat)
+{
+    prog::Program p = programWithPages(2, 6);
+    Addr data0 = prog::globalBase;
+
+    PageHeat heat;
+    heat[data0 + 2 * prog::pageSize] = 1000; // hottest
+    heat[data0 + 4 * prog::pageSize] = 500;
+    heat[data0] = 1;
+
+    DistributionConfig cfg;
+    cfg.numNodes = 2;
+    cfg.replicatedDataPages = 2;
+    ReplicationReport rep;
+    mem::PageTable table = buildPageTable(p, cfg, &heat, &rep);
+
+    EXPECT_TRUE(table.isReplicated(data0 + 2 * prog::pageSize));
+    EXPECT_TRUE(table.isReplicated(data0 + 4 * prog::pageSize));
+    EXPECT_FALSE(table.isReplicated(data0));
+    EXPECT_EQ(rep.global, 2u);
+}
+
+TEST(Distribution, TextCanBeDistributedForStudies)
+{
+    prog::Program p = programWithPages(3000, 4); // >1 text page
+    DistributionConfig cfg;
+    cfg.numNodes = 2;
+    cfg.replicateText = false;
+    mem::PageTable table = buildPageTable(p, cfg);
+    EXPECT_FALSE(table.isReplicated(p.textBaseAddr()));
+}
+
+TEST(Distribution, StackPagesAreDistributedToo)
+{
+    prog::Program p = programWithPages(2, 2);
+    DistributionConfig cfg;
+    cfg.numNodes = 2;
+    mem::PageTable table = buildPageTable(p, cfg);
+    EXPECT_FALSE(table.isReplicated(p.stackBase()));
+}
+
+TEST(Distribution, DeterministicOnTies)
+{
+    prog::Program p = programWithPages(2, 6);
+    PageHeat heat; // all zero => ties broken by address
+    DistributionConfig cfg;
+    cfg.numNodes = 2;
+    cfg.replicatedDataPages = 3;
+    mem::PageTable t1 = buildPageTable(p, cfg, &heat);
+    mem::PageTable t2 = buildPageTable(p, cfg, &heat);
+    for (Addr page : p.touchedPages()) {
+        EXPECT_EQ(t1.isReplicated(page), t2.isReplicated(page));
+        if (!t1.isReplicated(page)) {
+            EXPECT_EQ(t1.owner(page), t2.owner(page));
+        }
+    }
+}
+
+TEST(DistributionDeath, HeatRequiredForHotReplication)
+{
+    prog::Program p = programWithPages(2, 2);
+    DistributionConfig cfg;
+    cfg.replicatedDataPages = 1;
+    EXPECT_EXIT(buildPageTable(p, cfg), ::testing::ExitedWithCode(1),
+                "heat");
+}
+
+} // namespace
+} // namespace core
+} // namespace dscalar

@@ -1,0 +1,205 @@
+/** @file Unit tests for instruction encoding/decoding/metadata. */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+
+namespace dscalar {
+namespace isa {
+namespace {
+
+Instruction
+make(Opcode op, RegIndex rd, RegIndex rs, RegIndex rt, std::int32_t imm)
+{
+    Instruction i;
+    i.op = op;
+    switch (opInfo(op).format) {
+      case Format::RRR:
+        i.rd = rd;
+        i.rs = rs;
+        i.rt = rt;
+        break;
+      case Format::RRI:
+        i.rd = rd;
+        i.rs = rs;
+        i.imm = imm;
+        break;
+      case Format::RI:
+        i.rd = rd;
+        i.imm = imm & 0xffff;
+        break;
+      case Format::Mem:
+        if (i.isLoad())
+            i.rd = rd;
+        else
+            i.rt = rt;
+        i.rs = rs;
+        i.imm = imm;
+        break;
+      case Format::Branch:
+        i.rs = rs;
+        i.rt = rt;
+        i.imm = imm;
+        break;
+      case Format::Jump:
+        i.imm = imm & 0x03ffffff;
+        break;
+      case Format::JumpReg:
+        i.rs = rs;
+        break;
+      case Format::Sys:
+        i.imm = imm & 0xffff;
+        break;
+      default:
+        break;
+    }
+    return i;
+}
+
+/** Round-trip every opcode through encode/decode. */
+class RoundTripTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RoundTripTest, EncodeDecodeIdentity)
+{
+    auto op = static_cast<Opcode>(GetParam());
+    // Logical immediates are zero-extended; use a positive value for
+    // them and a negative one elsewhere to cover sign extension.
+    bool zext = op == Opcode::ANDI || op == Opcode::ORI ||
+                op == Opcode::XORI || op == Opcode::LUI ||
+                op == Opcode::SYSCALL;
+    std::int32_t imm = zext ? 0xabc : -42;
+    Instruction original = make(op, 5, 17, 29, imm);
+    Instruction decoded = decode(encode(original));
+    EXPECT_EQ(original, decoded)
+        << "opcode " << opInfo(op).mnemonic << ": "
+        << disassemble(original) << " != " << disassemble(decoded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, RoundTripTest,
+    ::testing::Range(0, static_cast<int>(Opcode::NUM_OPCODES)));
+
+TEST(Isa, ImmediateSignRoundTrip)
+{
+    for (std::int32_t imm : {-32768, -1, 0, 1, 32767}) {
+        Instruction i = make(Opcode::ADDI, 3, 4, 0, imm);
+        EXPECT_EQ(decode(encode(i)).imm, imm) << "imm " << imm;
+    }
+}
+
+TEST(Isa, JumpImmediate26Bits)
+{
+    Instruction i = make(Opcode::J, 0, 0, 0, 0x03ffffff);
+    EXPECT_EQ(decode(encode(i)).imm, 0x03ffffff);
+}
+
+TEST(Isa, Classification)
+{
+    EXPECT_TRUE(make(Opcode::LW, 1, 2, 0, 0).isLoad());
+    EXPECT_TRUE(make(Opcode::LD, 1, 2, 0, 0).isLoad());
+    EXPECT_TRUE(make(Opcode::SW, 0, 2, 1, 0).isStore());
+    EXPECT_TRUE(make(Opcode::SD, 0, 2, 1, 0).isStore());
+    EXPECT_FALSE(make(Opcode::ADD, 1, 2, 3, 0).isMem());
+    EXPECT_TRUE(make(Opcode::BEQ, 0, 1, 2, 4).isBranch());
+    EXPECT_TRUE(make(Opcode::J, 0, 0, 0, 16).isCtrl());
+    EXPECT_FALSE(make(Opcode::J, 0, 0, 0, 16).isBranch());
+    EXPECT_EQ(make(Opcode::LW, 1, 2, 0, 0).memSize(), 4u);
+    EXPECT_EQ(make(Opcode::SD, 0, 2, 1, 0).memSize(), 8u);
+}
+
+TEST(Isa, DestRegisters)
+{
+    EXPECT_EQ(make(Opcode::ADD, 7, 1, 2, 0).destReg(), 7);
+    EXPECT_EQ(make(Opcode::ADD, 0, 1, 2, 0).destReg(), -1); // r0 sink
+    EXPECT_EQ(make(Opcode::LW, 9, 2, 0, 0).destReg(), 9);
+    EXPECT_EQ(make(Opcode::SW, 0, 2, 9, 0).destReg(), -1);
+    EXPECT_EQ(make(Opcode::JAL, 0, 0, 0, 100).destReg(), 31);
+    EXPECT_EQ(make(Opcode::BEQ, 0, 1, 2, 4).destReg(), -1);
+}
+
+TEST(Isa, SourceRegisters)
+{
+    RegIndex srcs[2];
+    EXPECT_EQ(make(Opcode::ADD, 7, 1, 2, 0).srcRegs(srcs), 2);
+    EXPECT_EQ(srcs[0], 1);
+    EXPECT_EQ(srcs[1], 2);
+
+    // r0 sources are dropped (always ready).
+    EXPECT_EQ(make(Opcode::ADD, 7, 0, 2, 0).srcRegs(srcs), 1);
+    EXPECT_EQ(srcs[0], 2);
+
+    EXPECT_EQ(make(Opcode::LW, 9, 4, 0, 0).srcRegs(srcs), 1);
+    EXPECT_EQ(srcs[0], 4);
+
+    // Stores read both the base and the value.
+    EXPECT_EQ(make(Opcode::SW, 0, 4, 9, 0).srcRegs(srcs), 2);
+
+    EXPECT_EQ(make(Opcode::J, 0, 0, 0, 4).srcRegs(srcs), 0);
+    EXPECT_EQ(make(Opcode::JR, 0, 31, 0, 0).srcRegs(srcs), 1);
+}
+
+TEST(Isa, Disassemble)
+{
+    EXPECT_EQ(disassemble(make(Opcode::ADDI, 4, 4, 0, 8)),
+              "addi r4, r4, 8");
+    EXPECT_EQ(disassemble(make(Opcode::LW, 5, 4, 0, -16)),
+              "lw r5, -16(r4)");
+    EXPECT_EQ(disassemble(make(Opcode::SW, 0, 4, 5, 12)),
+              "sw r5, 12(r4)");
+    EXPECT_EQ(disassemble(Instruction{}), "nop");
+}
+
+TEST(Isa, DisassembleEveryOpcodeNonEmpty)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NUM_OPCODES); ++i) {
+        auto op = static_cast<Opcode>(i);
+        Instruction inst = make(op, 1, 2, 3, 4);
+        std::string text = disassemble(inst);
+        EXPECT_FALSE(text.empty());
+        EXPECT_EQ(text.rfind(opInfo(op).mnemonic, 0), 0u)
+            << "disassembly must start with the mnemonic: " << text;
+    }
+}
+
+TEST(Isa, DecodeIsTotalOverValidOpcodes)
+{
+    // Fuzz: any word with a valid opcode field decodes, and decode
+    // is a fixpoint of decode(encode(.)).
+    std::uint64_t x = 0x243f6a8885a308d3ULL;
+    for (int i = 0; i < 20'000; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        auto word = static_cast<std::uint32_t>(x >> 16);
+        std::uint32_t opfield =
+            (x >> 48) % static_cast<std::uint32_t>(
+                            Opcode::NUM_OPCODES);
+        word = (word & 0x03ffffffu) | (opfield << 26);
+        Instruction d1 = decode(word);
+        Instruction d2 = decode(encode(d1));
+        ASSERT_EQ(d1, d2) << "word " << std::hex << word;
+    }
+}
+
+TEST(IsaDeath, BadOpcodeFieldPanics)
+{
+    std::uint32_t bad =
+        static_cast<std::uint32_t>(Opcode::NUM_OPCODES) << 26;
+    EXPECT_DEATH(decode(bad | 0x1234), "bad opcode");
+}
+
+TEST(Isa, OpClassesForTiming)
+{
+    EXPECT_EQ(opInfo(Opcode::MUL).opClass, OpClass::IntMul);
+    EXPECT_EQ(opInfo(Opcode::DIV).opClass, OpClass::IntDiv);
+    EXPECT_EQ(opInfo(Opcode::FADD).opClass, OpClass::FpAdd);
+    EXPECT_EQ(opInfo(Opcode::FMUL).opClass, OpClass::FpMul);
+    EXPECT_EQ(opInfo(Opcode::FDIV).opClass, OpClass::FpDiv);
+    EXPECT_EQ(opInfo(Opcode::LW).opClass, OpClass::MemRead);
+    EXPECT_EQ(opInfo(Opcode::SD).opClass, OpClass::MemWrite);
+    EXPECT_EQ(opInfo(Opcode::BNE).opClass, OpClass::Ctrl);
+}
+
+} // namespace
+} // namespace isa
+} // namespace dscalar

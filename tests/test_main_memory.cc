@@ -1,0 +1,84 @@
+/** @file Unit tests for the banked main-memory timing model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hh"
+
+namespace dscalar {
+namespace mem {
+namespace {
+
+MainMemoryParams
+params(Cycle lat, unsigned banks)
+{
+    MainMemoryParams p;
+    p.accessLatency = lat;
+    p.numBanks = banks;
+    p.lineSize = 32;
+    p.busBytesPerCycle = 32;
+    return p;
+}
+
+TEST(MainMemory, SingleAccessLatency)
+{
+    MainMemory m(params(8, 8));
+    // 8 cycles bank + 1 cycle 32B transfer on a 32B bus.
+    EXPECT_EQ(m.request(0x0, 100), 109u);
+    EXPECT_EQ(m.requestCount(), 1u);
+}
+
+TEST(MainMemory, SameBankSerializes)
+{
+    MainMemory m(params(8, 8));
+    Cycle t1 = m.request(0x0, 0);
+    // Same bank (same line index modulo banks): 8 banks * 32 B.
+    Cycle t2 = m.request(0x0 + 8 * 32, 0);
+    EXPECT_EQ(t1, 9u);
+    EXPECT_EQ(t2, 17u); // starts when bank frees at 8
+}
+
+TEST(MainMemory, DifferentBanksOverlap)
+{
+    MainMemory m(params(8, 8));
+    Cycle t1 = m.request(0 * 32, 0);
+    Cycle t2 = m.request(1 * 32, 0);
+    EXPECT_EQ(t1, t2); // parallel banks
+}
+
+TEST(MainMemory, TransferCyclesScaleWithBusWidth)
+{
+    MainMemoryParams p = params(8, 8);
+    p.busBytesPerCycle = 8; // 32 B line = 4 cycles
+    MainMemory m(p);
+    EXPECT_EQ(m.transferCycles(), 4u);
+    EXPECT_EQ(m.request(0, 0), 8u + 4u);
+}
+
+TEST(MainMemory, LateRequestStartsAtNow)
+{
+    MainMemory m(params(8, 2));
+    m.request(0, 0);
+    // Long after the bank freed: starts at now.
+    EXPECT_EQ(m.request(2 * 32, 1000), 1009u);
+}
+
+TEST(MainMemory, ManyRequestsRespectBankThroughput)
+{
+    MainMemory m(params(8, 4));
+    // 16 back-to-back requests to one bank: last completes no
+    // earlier than 16 * 8 cycles of bank occupancy.
+    Cycle last = 0;
+    for (int i = 0; i < 16; ++i)
+        last = m.request(0, 0);
+    EXPECT_GE(last, 16u * 8u);
+}
+
+TEST(MainMemoryDeath, ZeroBanksIsFatal)
+{
+    MainMemoryParams p = params(8, 0);
+    EXPECT_EXIT(MainMemory m(p), ::testing::ExitedWithCode(1), "bank");
+}
+
+} // namespace
+} // namespace mem
+} // namespace dscalar

@@ -1,0 +1,81 @@
+/** @file Unit tests for the synchronous Massive Memory Machine model. */
+
+#include <gtest/gtest.h>
+
+#include "baseline/mmm.hh"
+
+namespace dscalar {
+namespace baseline {
+namespace {
+
+TEST(Mmm, PaperFigure1ReferenceString)
+{
+    // Figure 1: w1..w9 with w5,w6,w7 on machine 1, all others on
+    // machine 0: two lead changes, three datathreads.
+    std::vector<NodeId> owners = {0, 0, 0, 0, 1, 1, 1, 0, 0};
+    MmmResult r = runMmmEsp(owners);
+    EXPECT_EQ(r.leadChanges, 2u);
+    ASSERT_EQ(r.threadLengths.size(), 3u);
+    EXPECT_EQ(r.threadLengths[0], 4u);
+    EXPECT_EQ(r.threadLengths[1], 3u);
+    EXPECT_EQ(r.threadLengths[2], 2u);
+    // Receive times strictly increase.
+    for (std::size_t i = 1; i < r.receiveTime.size(); ++i)
+        EXPECT_GT(r.receiveTime[i], r.receiveTime[i - 1]);
+}
+
+TEST(Mmm, SingleOwnerPipelinesFully)
+{
+    std::vector<NodeId> owners(10, 0);
+    MmmConfig cfg;
+    cfg.pipelinedStep = 1;
+    cfg.leadChangePenalty = 5;
+    MmmResult r = runMmmEsp(owners, cfg);
+    EXPECT_EQ(r.leadChanges, 0u);
+    EXPECT_EQ(r.totalCycles, 10u); // one per word after the first...
+}
+
+TEST(Mmm, AlternatingOwnersPayPenaltyEveryWord)
+{
+    std::vector<NodeId> owners = {0, 1, 0, 1, 0, 1};
+    MmmConfig cfg;
+    cfg.pipelinedStep = 1;
+    cfg.leadChangePenalty = 4;
+    MmmResult r = runMmmEsp(owners, cfg);
+    EXPECT_EQ(r.leadChanges, 5u);
+    EXPECT_EQ(r.totalCycles, 1u + 5 * 4);
+}
+
+TEST(Mmm, EmptyString)
+{
+    MmmResult r = runMmmEsp({});
+    EXPECT_EQ(r.totalCycles, 0u);
+    EXPECT_TRUE(r.threadLengths.empty());
+}
+
+TEST(Mmm, ChainCrossingsPaperFigure3)
+{
+    // x1..x3 on chip 0, x4 on chip 1, requester = chip 0:
+    // DataScalar pipelines to 2 serialized crossings; the
+    // traditional system pays request+response per remote operand.
+    EXPECT_EQ(chainCrossings({0, 0, 0, 1}).dataScalar, 2u);
+    EXPECT_EQ(chainCrossings({1, 1, 1, 1}).traditional, 8u);
+}
+
+TEST(Mmm, ChainCrossingsAllLocal)
+{
+    ChainCrossings c = chainCrossings({0, 0, 0});
+    EXPECT_EQ(c.dataScalar, 1u); // still broadcast once
+    EXPECT_EQ(c.traditional, 0u);
+}
+
+TEST(Mmm, ChainCrossingsScaleWithTransitions)
+{
+    ChainCrossings c = chainCrossings({0, 1, 2, 3});
+    EXPECT_EQ(c.dataScalar, 4u);
+    EXPECT_EQ(c.traditional, 6u);
+}
+
+} // namespace
+} // namespace baseline
+} // namespace dscalar

@@ -1,0 +1,101 @@
+/** @file Unit tests for the shared dynamic-instruction stream. */
+
+#include <gtest/gtest.h>
+
+#include "ooo/oracle_stream.hh"
+#include "prog/assembler.hh"
+
+namespace dscalar {
+namespace ooo {
+namespace {
+
+using namespace prog::reg;
+
+prog::Program
+countdownProgram(int n)
+{
+    prog::Program p;
+    prog::Assembler a(p);
+    a.li(t0, n);
+    a.label("loop");
+    a.addi(t0, t0, -1);
+    a.bne(t0, zero, "loop");
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+TEST(OracleStream, ProducesCompleteStream)
+{
+    prog::Program p = countdownProgram(3);
+    func::FuncSim sim(p);
+    OracleStream stream(sim);
+
+    // li, (addi, bne) x3, halt = 8 records.
+    EXPECT_TRUE(stream.available(7));
+    EXPECT_FALSE(stream.available(8));
+    EXPECT_TRUE(stream.ended());
+    EXPECT_EQ(stream.endSeq(), 8u);
+    EXPECT_EQ(stream.get(7).inst.op, isa::Opcode::HALT);
+}
+
+TEST(OracleStream, SequentialSeqNumbers)
+{
+    prog::Program p = countdownProgram(5);
+    func::FuncSim sim(p);
+    OracleStream stream(sim);
+    for (InstSeq s = 0; stream.available(s); ++s)
+        EXPECT_EQ(stream.get(s).seq, s);
+}
+
+TEST(OracleStream, MultipleConsumersSeeSameRecords)
+{
+    prog::Program p = countdownProgram(10);
+    func::FuncSim sim(p);
+    OracleStream stream(sim);
+
+    // Consumer A runs ahead; consumer B re-reads older entries.
+    ASSERT_TRUE(stream.available(15));
+    auto pc15 = stream.get(15).pc;
+    auto pc3 = stream.get(3).pc;
+    ASSERT_TRUE(stream.available(3));
+    EXPECT_EQ(stream.get(3).pc, pc3);
+    EXPECT_EQ(stream.get(15).pc, pc15);
+}
+
+TEST(OracleStream, TrimReleasesOnlyBelowMin)
+{
+    prog::Program p = countdownProgram(10);
+    func::FuncSim sim(p);
+    OracleStream stream(sim);
+    ASSERT_TRUE(stream.available(10));
+    std::size_t before = stream.bufferedCount();
+    stream.trim(5);
+    EXPECT_EQ(stream.bufferedCount(), before - 5);
+    EXPECT_EQ(stream.get(5).seq, 5u); // still accessible
+}
+
+TEST(OracleStream, MaxInstsTruncates)
+{
+    prog::Program p = countdownProgram(1000);
+    func::FuncSim sim(p);
+    OracleStream stream(sim, 50);
+    EXPECT_TRUE(stream.available(49));
+    EXPECT_FALSE(stream.available(50));
+    EXPECT_TRUE(stream.ended());
+    EXPECT_EQ(stream.endSeq(), 50u);
+}
+
+TEST(OracleStreamDeath, TrimmedAccessPanics)
+{
+    prog::Program p = countdownProgram(10);
+    func::FuncSim sim(p);
+    OracleStream stream(sim);
+    ASSERT_TRUE(stream.available(10));
+    stream.trim(5);
+    EXPECT_DEATH(stream.get(2), "trimmed");
+}
+
+} // namespace
+} // namespace ooo
+} // namespace dscalar

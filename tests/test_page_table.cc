@@ -1,0 +1,78 @@
+/** @file Unit tests for the DataScalar page table. */
+
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hh"
+
+namespace dscalar {
+namespace mem {
+namespace {
+
+TEST(PageTable, UnregisteredPagesAreReplicated)
+{
+    PageTable t(4);
+    EXPECT_TRUE(t.isReplicated(0xdead0000));
+    EXPECT_TRUE(t.isLocal(0xdead0000, 3));
+}
+
+TEST(PageTable, OwnedPageLocalOnlyToOwner)
+{
+    PageTable t(4);
+    Addr page = 2 * prog::pageSize;
+    t.setOwned(page, 2);
+    EXPECT_FALSE(t.isReplicated(page));
+    EXPECT_EQ(t.owner(page), 2u);
+    EXPECT_TRUE(t.isLocal(page, 2));
+    EXPECT_FALSE(t.isLocal(page, 0));
+    EXPECT_FALSE(t.isLocal(page + 100, 1)); // same page, any offset
+    EXPECT_TRUE(t.isLocal(page + 100, 2));
+}
+
+TEST(PageTable, ReplicatedPageLocalEverywhere)
+{
+    PageTable t(4);
+    Addr page = 5 * prog::pageSize;
+    t.setReplicated(page);
+    for (NodeId n = 0; n < 4; ++n)
+        EXPECT_TRUE(t.isLocal(page + 8, n));
+}
+
+TEST(PageTable, Reassignment)
+{
+    PageTable t(2);
+    Addr page = prog::pageSize;
+    t.setOwned(page, 0);
+    t.setOwned(page, 1);
+    EXPECT_EQ(t.owner(page), 1u);
+    t.setReplicated(page);
+    EXPECT_TRUE(t.isReplicated(page));
+    EXPECT_EQ(t.entryCount(), 1u);
+}
+
+TEST(PageTable, Counts)
+{
+    PageTable t(2);
+    t.setOwned(0 * prog::pageSize, 0);
+    t.setOwned(1 * prog::pageSize, 1);
+    t.setOwned(2 * prog::pageSize, 1);
+    t.setReplicated(3 * prog::pageSize);
+    EXPECT_EQ(t.ownedPageCount(0), 1u);
+    EXPECT_EQ(t.ownedPageCount(1), 2u);
+    EXPECT_EQ(t.replicatedPageCount(), 1u);
+}
+
+TEST(PageTableDeath, MisalignedPagePanics)
+{
+    PageTable t(2);
+    EXPECT_DEATH(t.setOwned(123, 0), "not a page base");
+}
+
+TEST(PageTableDeath, BadOwnerPanics)
+{
+    PageTable t(2);
+    EXPECT_DEATH(t.setOwned(prog::pageSize, 7), "out of range");
+}
+
+} // namespace
+} // namespace mem
+} // namespace dscalar

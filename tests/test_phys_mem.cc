@@ -1,0 +1,85 @@
+/** @file Unit tests for the sparse physical memory. */
+
+#include <gtest/gtest.h>
+
+#include "mem/phys_mem.hh"
+#include "prog/assembler.hh"
+#include "prog/program.hh"
+
+namespace dscalar {
+namespace mem {
+namespace {
+
+TEST(PhysMem, UnbackedReadsZero)
+{
+    PhysMem m;
+    EXPECT_EQ(m.read(0x12345678, 8), 0u);
+    EXPECT_EQ(m.backedPages(), 0u);
+}
+
+TEST(PhysMem, ReadWriteRoundTrip)
+{
+    PhysMem m;
+    m.write(0x1000, 8, 0xfedcba9876543210ULL);
+    EXPECT_EQ(m.read(0x1000, 8), 0xfedcba9876543210ULL);
+    // Little-endian sub-reads.
+    EXPECT_EQ(m.read(0x1000, 4), 0x76543210ULL);
+    EXPECT_EQ(m.read(0x1004, 4), 0xfedcba98ULL);
+    EXPECT_EQ(m.read(0x1000, 1), 0x10ULL);
+}
+
+TEST(PhysMem, WritesAreIsolatedBetweenPages)
+{
+    PhysMem m;
+    m.write(prog::pageSize - 8, 8, ~0ULL);
+    m.write(prog::pageSize, 8, 0x42);
+    EXPECT_EQ(m.read(prog::pageSize - 8, 8), ~0ULL);
+    EXPECT_EQ(m.read(prog::pageSize, 8), 0x42u);
+    EXPECT_EQ(m.backedPages(), 2u);
+}
+
+TEST(PhysMem, PartialWriteKeepsNeighbours)
+{
+    PhysMem m;
+    m.write(0x2000, 8, ~0ULL);
+    m.write(0x2002, 1, 0);
+    // Byte 2 (bits [23:16]) cleared, neighbours intact.
+    EXPECT_EQ(m.read(0x2000, 8), 0xffffffffff00ffffULL);
+}
+
+TEST(PhysMem, LoadProgramPlacesTextAndData)
+{
+    prog::Program p;
+    prog::Assembler a(p);
+    a.nop();
+    a.halt();
+    a.finalize();
+    Addr g = p.allocGlobal(16);
+    p.poke64(g, 0x1234);
+
+    PhysMem m;
+    m.loadProgram(p);
+    EXPECT_EQ(m.read(p.textBaseAddr(), 4),
+              static_cast<std::uint64_t>(p.textWord(0)));
+    EXPECT_EQ(m.read(g, 8), 0x1234u);
+    // Stack pages are backed.
+    EXPECT_GE(m.backedPages(),
+              2u + p.stackSize / prog::pageSize);
+}
+
+TEST(PhysMemDeath, PageCrossingAccessPanics)
+{
+    PhysMem m;
+    EXPECT_DEATH(m.read(prog::pageSize - 4, 8), "crosses a page");
+    EXPECT_DEATH(m.write(prog::pageSize - 1, 4, 0), "crosses a page");
+}
+
+TEST(PhysMemDeath, BadSizePanics)
+{
+    PhysMem m;
+    EXPECT_DEATH(m.read(0, 3), "unsupported access size");
+}
+
+} // namespace
+} // namespace mem
+} // namespace dscalar

@@ -1,0 +1,129 @@
+/** @file Unit tests for the program image and address-space layout. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "prog/layout.hh"
+#include "prog/program.hh"
+
+namespace dscalar {
+namespace prog {
+namespace {
+
+TEST(Layout, SegmentClassification)
+{
+    EXPECT_EQ(segmentOf(0x0), Segment::PageTable);
+    EXPECT_EQ(segmentOf(textBase), Segment::Text);
+    EXPECT_EQ(segmentOf(globalBase), Segment::Global);
+    EXPECT_EQ(segmentOf(heapBase), Segment::Heap);
+    EXPECT_EQ(segmentOf(stackTop - 8), Segment::Stack);
+}
+
+TEST(Layout, PageBase)
+{
+    EXPECT_EQ(pageBase(0), 0u);
+    EXPECT_EQ(pageBase(pageSize - 1), 0u);
+    EXPECT_EQ(pageBase(pageSize), pageSize);
+    EXPECT_EQ(pageBase(pageSize + 1), pageSize);
+}
+
+TEST(Program, GlobalAllocationSequentialAndAligned)
+{
+    Program p;
+    Addr a1 = p.allocGlobal(100, 8);
+    Addr a2 = p.allocGlobal(100, 64);
+    EXPECT_EQ(a1, globalBase);
+    EXPECT_EQ(a2 % 64, 0u);
+    EXPECT_GE(a2, a1 + 100);
+}
+
+TEST(Program, HeapAllocationSeparateFromGlobal)
+{
+    Program p;
+    Addr g = p.allocGlobal(16);
+    Addr h = p.allocHeap(16);
+    EXPECT_EQ(segmentOf(g), Segment::Global);
+    EXPECT_EQ(segmentOf(h), Segment::Heap);
+}
+
+TEST(Program, PokePeekRoundTrip)
+{
+    Program p;
+    Addr g = p.allocGlobal(64);
+    p.poke64(g, 0x0123456789abcdefULL);
+    EXPECT_EQ(p.peek64(g), 0x0123456789abcdefULL);
+    p.poke32(g + 8, 0xcafebabe);
+    EXPECT_EQ(p.peek64(g + 8) & 0xffffffff, 0xcafebabeULL);
+    p.pokeDouble(g + 16, 2.5);
+    double d;
+    std::uint64_t bits = p.peek64(g + 16);
+    std::memcpy(&d, &bits, 8);
+    EXPECT_DOUBLE_EQ(d, 2.5);
+}
+
+TEST(Program, TextAppendsSequentially)
+{
+    Program p;
+    Addr a1 = p.appendText(0x11111111);
+    Addr a2 = p.appendText(0x22222222);
+    EXPECT_EQ(a2, a1 + 4);
+    EXPECT_EQ(p.textWord(0), 0x11111111u);
+    EXPECT_EQ(p.textWord(1), 0x22222222u);
+    EXPECT_EQ(p.textLimit(), textBase + 8);
+}
+
+TEST(Program, TouchedPagesCoverAllSegments)
+{
+    Program p;
+    p.appendText(0);
+    p.allocGlobal(3 * pageSize);
+    p.allocHeap(16);
+    auto pages = p.touchedPages();
+
+    EXPECT_GE(p.pagesInSegment(Segment::Text), 1u);
+    EXPECT_GE(p.pagesInSegment(Segment::Global), 3u);
+    EXPECT_GE(p.pagesInSegment(Segment::Heap), 1u);
+    EXPECT_EQ(p.pagesInSegment(Segment::Stack),
+              defaultStackSize / pageSize);
+
+    // Pages are page-aligned, unique, and sorted.
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+        EXPECT_EQ(pages[i] % pageSize, 0u);
+        if (i > 0) {
+            EXPECT_LT(pages[i - 1], pages[i]);
+        }
+    }
+}
+
+TEST(Program, StackPointerInsideStack)
+{
+    Program p;
+    EXPECT_GT(p.initialSp(), p.stackBase());
+    EXPECT_LT(p.initialSp(), stackTop);
+}
+
+} // namespace
+} // namespace prog
+} // namespace dscalar
+
+namespace dscalar {
+namespace prog {
+namespace {
+
+TEST(ProgramDeath, GlobalSegmentOverflowIsFatal)
+{
+    Program p;
+    EXPECT_EXIT(p.allocGlobal(0x1000'0000ULL + pageSize),
+                ::testing::ExitedWithCode(1), "overflow");
+}
+
+TEST(ProgramDeath, MisalignedAllocationIsFatal)
+{
+    Program p;
+    EXPECT_DEATH(p.allocGlobal(64, 3), "power of two");
+}
+
+} // namespace
+} // namespace prog
+} // namespace dscalar

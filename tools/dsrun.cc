@@ -1,0 +1,182 @@
+/**
+ * @file
+ * dsrun — command-line driver: assemble a .s file (or pick a
+ * registered workload) and run it functionally or on any of the
+ * timing systems.
+ *
+ * Usage:
+ *   dsrun [options] <program.s | workload-name>
+ *
+ * Options:
+ *   --system=func|perfect|traditional|datascalar   (default func)
+ *   --nodes=N          node count (default 2)
+ *   --ring             use the ring interconnect (DataScalar only)
+ *   --max-insts=N      truncate the run (default: completion)
+ *   --scale=N          workload build scale (registered workloads)
+ *   --block-pages=N    round-robin distribution block (default 1)
+ *   --stats            print the full statistics dump
+ *   --trace            stream protocol events to stderr
+ *   --list             list registered workloads
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "baseline/perfect.hh"
+#include "baseline/traditional.hh"
+#include "core/datascalar.hh"
+#include "driver/driver.hh"
+#include "func/func_sim.hh"
+#include "prog/asm_parser.hh"
+#include "workloads/workloads.hh"
+
+using namespace dscalar;
+
+namespace {
+
+struct Options
+{
+    std::string system = "func";
+    unsigned nodes = 2;
+    bool ring = false;
+    InstSeq maxInsts = 0;
+    unsigned scale = 1;
+    unsigned blockPages = 1;
+    bool stats = false;
+    bool trace = false;
+    std::string target;
+};
+
+bool
+parseFlag(const std::string &arg, const char *name,
+          std::string &value)
+{
+    std::string prefix = std::string(name) + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    value = arg.substr(prefix.size());
+    return true;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: dsrun [--system=func|perfect|traditional|datascalar]"
+        "\n             [--nodes=N] [--ring] [--max-insts=N]"
+        "\n             [--scale=N] [--block-pages=N] [--stats]"
+        "\n             [--trace] <program.s | workload-name>\n"
+        "       dsrun --list\n");
+    return 2;
+}
+
+bool
+isRegisteredWorkload(const std::string &name)
+{
+    for (const auto &w : workloads::allWorkloads())
+        if (name == w.name)
+            return true;
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string value;
+        if (arg == "--list") {
+            for (const auto &w : workloads::allWorkloads())
+                std::printf("%-12s %-9s %s\n", w.name, w.spec,
+                            w.desc);
+            return 0;
+        } else if (parseFlag(arg, "--system", value)) {
+            opt.system = value;
+        } else if (parseFlag(arg, "--nodes", value)) {
+            opt.nodes = static_cast<unsigned>(std::stoul(value));
+        } else if (arg == "--ring") {
+            opt.ring = true;
+        } else if (parseFlag(arg, "--max-insts", value)) {
+            opt.maxInsts = std::stoull(value);
+        } else if (parseFlag(arg, "--scale", value)) {
+            opt.scale = static_cast<unsigned>(std::stoul(value));
+        } else if (parseFlag(arg, "--block-pages", value)) {
+            opt.blockPages =
+                static_cast<unsigned>(std::stoul(value));
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (arg == "--trace") {
+            opt.trace = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            opt.target = arg;
+        }
+    }
+    if (opt.target.empty())
+        return usage();
+
+    prog::Program program =
+        isRegisteredWorkload(opt.target)
+            ? workloads::findWorkload(opt.target).build(opt.scale)
+            : prog::assembleFile(opt.target);
+
+    core::SimConfig cfg = driver::paperConfig();
+    cfg.numNodes = opt.nodes;
+    cfg.maxInsts = opt.maxInsts;
+    if (opt.ring)
+        cfg.interconnect = core::InterconnectKind::Ring;
+
+    if (opt.system == "func") {
+        func::FuncSim sim(program);
+        sim.run(opt.maxInsts ? opt.maxInsts
+                             : ~static_cast<InstSeq>(0));
+        std::printf("%s", sim.output().c_str());
+        std::printf("-- %llu instructions, halted=%d\n",
+                    (unsigned long long)sim.retired(),
+                    sim.halted() ? 1 : 0);
+        return 0;
+    }
+
+    core::RunResult r;
+    if (opt.system == "perfect") {
+        baseline::PerfectSystem sys(program, cfg);
+        r = sys.run();
+        std::printf("%s", sys.oracle().output().c_str());
+    } else if (opt.system == "traditional") {
+        baseline::TraditionalSystem sys(
+            program, cfg,
+            driver::figure7PageTable(program, opt.nodes,
+                                     opt.blockPages));
+        r = sys.run();
+        std::printf("%s", sys.oracle().output().c_str());
+    } else if (opt.system == "datascalar") {
+        core::DataScalarSystem sys(
+            program, cfg,
+            driver::figure7PageTable(program, opt.nodes,
+                                     opt.blockPages));
+        if (opt.trace)
+            sys.setTrace(&std::cerr);
+        r = sys.run();
+        std::printf("%s", sys.oracle().output().c_str());
+        if (opt.stats)
+            sys.dumpStats(std::cout);
+        if (!sys.protocolDrained())
+            std::fprintf(stderr,
+                         "warning: protocol not drained\n");
+    } else {
+        return usage();
+    }
+
+    std::printf("-- %s: %llu instructions, %llu cycles, IPC %.3f\n",
+                opt.system.c_str(),
+                (unsigned long long)r.instructions,
+                (unsigned long long)r.cycles, r.ipc);
+    return 0;
+}
