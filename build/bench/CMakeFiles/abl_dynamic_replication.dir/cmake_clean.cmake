@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dynamic_replication.dir/abl_dynamic_replication.cc.o"
+  "CMakeFiles/abl_dynamic_replication.dir/abl_dynamic_replication.cc.o.d"
+  "abl_dynamic_replication"
+  "abl_dynamic_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dynamic_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

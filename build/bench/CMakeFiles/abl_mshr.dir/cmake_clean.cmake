@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mshr.dir/abl_mshr.cc.o"
+  "CMakeFiles/abl_mshr.dir/abl_mshr.cc.o.d"
+  "abl_mshr"
+  "abl_mshr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mshr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

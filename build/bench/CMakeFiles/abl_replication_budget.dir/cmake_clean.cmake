@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_replication_budget.dir/abl_replication_budget.cc.o"
+  "CMakeFiles/abl_replication_budget.dir/abl_replication_budget.cc.o.d"
+  "abl_replication_budget"
+  "abl_replication_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_replication_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

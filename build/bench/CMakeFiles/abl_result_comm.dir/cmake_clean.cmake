@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_result_comm.dir/abl_result_comm.cc.o"
+  "CMakeFiles/abl_result_comm.dir/abl_result_comm.cc.o.d"
+  "abl_result_comm"
+  "abl_result_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_result_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sync_vs_async_esp.dir/abl_sync_vs_async_esp.cc.o"
+  "CMakeFiles/abl_sync_vs_async_esp.dir/abl_sync_vs_async_esp.cc.o.d"
+  "abl_sync_vs_async_esp"
+  "abl_sync_vs_async_esp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sync_vs_async_esp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

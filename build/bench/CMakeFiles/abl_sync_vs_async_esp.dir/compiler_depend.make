@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_sync_vs_async_esp.
+# This may be replaced when dependencies are built.

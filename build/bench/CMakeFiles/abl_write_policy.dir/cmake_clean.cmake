@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_write_policy.dir/abl_write_policy.cc.o"
+  "CMakeFiles/abl_write_policy.dir/abl_write_policy.cc.o.d"
+  "abl_write_policy"
+  "abl_write_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_write_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_mmm_esp.dir/fig1_mmm_esp.cc.o"
+  "CMakeFiles/fig1_mmm_esp.dir/fig1_mmm_esp.cc.o.d"
+  "fig1_mmm_esp"
+  "fig1_mmm_esp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_mmm_esp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_datathread_pipeline.dir/fig3_datathread_pipeline.cc.o"
+  "CMakeFiles/fig3_datathread_pipeline.dir/fig3_datathread_pipeline.cc.o.d"
+  "fig3_datathread_pipeline"
+  "fig3_datathread_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_datathread_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ipc.dir/fig7_ipc.cc.o"
+  "CMakeFiles/fig7_ipc.dir/fig7_ipc.cc.o.d"
+  "fig7_ipc"
+  "fig7_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

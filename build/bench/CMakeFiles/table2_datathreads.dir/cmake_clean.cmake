@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_datathreads.dir/table2_datathreads.cc.o"
+  "CMakeFiles/table2_datathreads.dir/table2_datathreads.cc.o.d"
+  "table2_datathreads"
+  "table2_datathreads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_datathreads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

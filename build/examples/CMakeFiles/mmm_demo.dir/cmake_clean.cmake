@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmm_demo.dir/mmm_demo.cpp.o"
+  "CMakeFiles/mmm_demo.dir/mmm_demo.cpp.o.d"
+  "mmm_demo"
+  "mmm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/ds_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ds_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/ds_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/ooo/CMakeFiles/ds_ooo.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/ds_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ds_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ds_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/ds_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ds_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ds_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("isa")
+subdirs("prog")
+subdirs("mem")
+subdirs("interconnect")
+subdirs("func")
+subdirs("ooo")
+subdirs("core")
+subdirs("baseline")
+subdirs("workloads")
+subdirs("driver")

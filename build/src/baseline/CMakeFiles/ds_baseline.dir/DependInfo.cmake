@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/mmm.cc" "src/baseline/CMakeFiles/ds_baseline.dir/mmm.cc.o" "gcc" "src/baseline/CMakeFiles/ds_baseline.dir/mmm.cc.o.d"
+  "/root/repo/src/baseline/perfect.cc" "src/baseline/CMakeFiles/ds_baseline.dir/perfect.cc.o" "gcc" "src/baseline/CMakeFiles/ds_baseline.dir/perfect.cc.o.d"
+  "/root/repo/src/baseline/spmd.cc" "src/baseline/CMakeFiles/ds_baseline.dir/spmd.cc.o" "gcc" "src/baseline/CMakeFiles/ds_baseline.dir/spmd.cc.o.d"
+  "/root/repo/src/baseline/traditional.cc" "src/baseline/CMakeFiles/ds_baseline.dir/traditional.cc.o" "gcc" "src/baseline/CMakeFiles/ds_baseline.dir/traditional.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/ds_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/ooo/CMakeFiles/ds_ooo.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/ds_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ds_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/ds_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ds_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

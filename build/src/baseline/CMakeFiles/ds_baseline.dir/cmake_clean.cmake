@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_baseline.dir/mmm.cc.o"
+  "CMakeFiles/ds_baseline.dir/mmm.cc.o.d"
+  "CMakeFiles/ds_baseline.dir/perfect.cc.o"
+  "CMakeFiles/ds_baseline.dir/perfect.cc.o.d"
+  "CMakeFiles/ds_baseline.dir/spmd.cc.o"
+  "CMakeFiles/ds_baseline.dir/spmd.cc.o.d"
+  "CMakeFiles/ds_baseline.dir/traditional.cc.o"
+  "CMakeFiles/ds_baseline.dir/traditional.cc.o.d"
+  "libds_baseline.a"
+  "libds_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_core.dir/bshr.cc.o"
+  "CMakeFiles/ds_core.dir/bshr.cc.o.d"
+  "CMakeFiles/ds_core.dir/datascalar.cc.o"
+  "CMakeFiles/ds_core.dir/datascalar.cc.o.d"
+  "CMakeFiles/ds_core.dir/distribution.cc.o"
+  "CMakeFiles/ds_core.dir/distribution.cc.o.d"
+  "CMakeFiles/ds_core.dir/node.cc.o"
+  "CMakeFiles/ds_core.dir/node.cc.o.d"
+  "CMakeFiles/ds_core.dir/result_comm.cc.o"
+  "CMakeFiles/ds_core.dir/result_comm.cc.o.d"
+  "libds_core.a"
+  "libds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_driver.dir/driver.cc.o"
+  "CMakeFiles/ds_driver.dir/driver.cc.o.d"
+  "libds_driver.a"
+  "libds_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_func.dir/func_sim.cc.o"
+  "CMakeFiles/ds_func.dir/func_sim.cc.o.d"
+  "libds_func.a"
+  "libds_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_interconnect.dir/bus.cc.o"
+  "CMakeFiles/ds_interconnect.dir/bus.cc.o.d"
+  "CMakeFiles/ds_interconnect.dir/ring.cc.o"
+  "CMakeFiles/ds_interconnect.dir/ring.cc.o.d"
+  "libds_interconnect.a"
+  "libds_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_isa.dir/instruction.cc.o"
+  "CMakeFiles/ds_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/ds_isa.dir/opcodes.cc.o"
+  "CMakeFiles/ds_isa.dir/opcodes.cc.o.d"
+  "libds_isa.a"
+  "libds_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/ds_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/ds_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/main_memory.cc" "src/mem/CMakeFiles/ds_mem.dir/main_memory.cc.o" "gcc" "src/mem/CMakeFiles/ds_mem.dir/main_memory.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/mem/CMakeFiles/ds_mem.dir/page_table.cc.o" "gcc" "src/mem/CMakeFiles/ds_mem.dir/page_table.cc.o.d"
+  "/root/repo/src/mem/phys_mem.cc" "src/mem/CMakeFiles/ds_mem.dir/phys_mem.cc.o" "gcc" "src/mem/CMakeFiles/ds_mem.dir/phys_mem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/ds_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ds_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

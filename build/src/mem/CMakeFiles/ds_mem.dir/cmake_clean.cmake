@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_mem.dir/cache.cc.o"
+  "CMakeFiles/ds_mem.dir/cache.cc.o.d"
+  "CMakeFiles/ds_mem.dir/main_memory.cc.o"
+  "CMakeFiles/ds_mem.dir/main_memory.cc.o.d"
+  "CMakeFiles/ds_mem.dir/page_table.cc.o"
+  "CMakeFiles/ds_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/ds_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/ds_mem.dir/phys_mem.cc.o.d"
+  "libds_mem.a"
+  "libds_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_ooo.dir/core.cc.o"
+  "CMakeFiles/ds_ooo.dir/core.cc.o.d"
+  "CMakeFiles/ds_ooo.dir/oracle_stream.cc.o"
+  "CMakeFiles/ds_ooo.dir/oracle_stream.cc.o.d"
+  "libds_ooo.a"
+  "libds_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

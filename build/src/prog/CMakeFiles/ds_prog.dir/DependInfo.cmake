@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prog/asm_parser.cc" "src/prog/CMakeFiles/ds_prog.dir/asm_parser.cc.o" "gcc" "src/prog/CMakeFiles/ds_prog.dir/asm_parser.cc.o.d"
+  "/root/repo/src/prog/assembler.cc" "src/prog/CMakeFiles/ds_prog.dir/assembler.cc.o" "gcc" "src/prog/CMakeFiles/ds_prog.dir/assembler.cc.o.d"
+  "/root/repo/src/prog/layout.cc" "src/prog/CMakeFiles/ds_prog.dir/layout.cc.o" "gcc" "src/prog/CMakeFiles/ds_prog.dir/layout.cc.o.d"
+  "/root/repo/src/prog/program.cc" "src/prog/CMakeFiles/ds_prog.dir/program.cc.o" "gcc" "src/prog/CMakeFiles/ds_prog.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ds_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

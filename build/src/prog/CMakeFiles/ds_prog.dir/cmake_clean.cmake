@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_prog.dir/asm_parser.cc.o"
+  "CMakeFiles/ds_prog.dir/asm_parser.cc.o.d"
+  "CMakeFiles/ds_prog.dir/assembler.cc.o"
+  "CMakeFiles/ds_prog.dir/assembler.cc.o.d"
+  "CMakeFiles/ds_prog.dir/layout.cc.o"
+  "CMakeFiles/ds_prog.dir/layout.cc.o.d"
+  "CMakeFiles/ds_prog.dir/program.cc.o"
+  "CMakeFiles/ds_prog.dir/program.cc.o.d"
+  "libds_prog.a"
+  "libds_prog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

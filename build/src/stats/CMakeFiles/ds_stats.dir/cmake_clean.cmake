@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_stats.dir/stats.cc.o"
+  "CMakeFiles/ds_stats.dir/stats.cc.o.d"
+  "CMakeFiles/ds_stats.dir/table.cc.o"
+  "CMakeFiles/ds_stats.dir/table.cc.o.d"
+  "libds_stats.a"
+  "libds_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

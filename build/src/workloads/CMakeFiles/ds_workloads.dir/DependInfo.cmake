@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/applu.cc" "src/workloads/CMakeFiles/ds_workloads.dir/applu.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/applu.cc.o.d"
+  "/root/repo/src/workloads/compress.cc" "src/workloads/CMakeFiles/ds_workloads.dir/compress.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/compress.cc.o.d"
+  "/root/repo/src/workloads/fpppp.cc" "src/workloads/CMakeFiles/ds_workloads.dir/fpppp.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/fpppp.cc.o.d"
+  "/root/repo/src/workloads/gcc.cc" "src/workloads/CMakeFiles/ds_workloads.dir/gcc.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/gcc.cc.o.d"
+  "/root/repo/src/workloads/go.cc" "src/workloads/CMakeFiles/ds_workloads.dir/go.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/go.cc.o.d"
+  "/root/repo/src/workloads/hydro2d.cc" "src/workloads/CMakeFiles/ds_workloads.dir/hydro2d.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/hydro2d.cc.o.d"
+  "/root/repo/src/workloads/li.cc" "src/workloads/CMakeFiles/ds_workloads.dir/li.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/li.cc.o.d"
+  "/root/repo/src/workloads/m88ksim.cc" "src/workloads/CMakeFiles/ds_workloads.dir/m88ksim.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/m88ksim.cc.o.d"
+  "/root/repo/src/workloads/mgrid.cc" "src/workloads/CMakeFiles/ds_workloads.dir/mgrid.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/mgrid.cc.o.d"
+  "/root/repo/src/workloads/parallel.cc" "src/workloads/CMakeFiles/ds_workloads.dir/parallel.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/parallel.cc.o.d"
+  "/root/repo/src/workloads/perl.cc" "src/workloads/CMakeFiles/ds_workloads.dir/perl.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/perl.cc.o.d"
+  "/root/repo/src/workloads/swim.cc" "src/workloads/CMakeFiles/ds_workloads.dir/swim.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/swim.cc.o.d"
+  "/root/repo/src/workloads/tomcatv.cc" "src/workloads/CMakeFiles/ds_workloads.dir/tomcatv.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/tomcatv.cc.o.d"
+  "/root/repo/src/workloads/turb3d.cc" "src/workloads/CMakeFiles/ds_workloads.dir/turb3d.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/turb3d.cc.o.d"
+  "/root/repo/src/workloads/wave5.cc" "src/workloads/CMakeFiles/ds_workloads.dir/wave5.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/wave5.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/ds_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prog/CMakeFiles/ds_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ds_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bshr.dir/test_bshr.cc.o"
+  "CMakeFiles/test_bshr.dir/test_bshr.cc.o.d"
+  "test_bshr"
+  "test_bshr.pdb"
+  "test_bshr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bshr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

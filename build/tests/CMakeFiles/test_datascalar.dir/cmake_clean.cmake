@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datascalar.dir/test_datascalar.cc.o"
+  "CMakeFiles/test_datascalar.dir/test_datascalar.cc.o.d"
+  "test_datascalar"
+  "test_datascalar.pdb"
+  "test_datascalar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datascalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmm.dir/test_mmm.cc.o"
+  "CMakeFiles/test_mmm.dir/test_mmm.cc.o.d"
+  "test_mmm"
+  "test_mmm.pdb"
+  "test_mmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

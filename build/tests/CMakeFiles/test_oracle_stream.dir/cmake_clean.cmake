@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oracle_stream.dir/test_oracle_stream.cc.o"
+  "CMakeFiles/test_oracle_stream.dir/test_oracle_stream.cc.o.d"
+  "test_oracle_stream"
+  "test_oracle_stream.pdb"
+  "test_oracle_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oracle_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_result_comm.dir/test_result_comm.cc.o"
+  "CMakeFiles/test_result_comm.dir/test_result_comm.cc.o.d"
+  "test_result_comm"
+  "test_result_comm.pdb"
+  "test_result_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_result_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsrun.dir/dsrun.cc.o"
+  "CMakeFiles/dsrun.dir/dsrun.cc.o.d"
+  "dsrun"
+  "dsrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dsrun.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(dsrun_list "/root/repo/build/tools/dsrun" "--list")
+set_tests_properties(dsrun_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(dsrun_func "/root/repo/build/tools/dsrun" "--max-insts=20000" "compress_s")
+set_tests_properties(dsrun_func PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(dsrun_datascalar "/root/repo/build/tools/dsrun" "--system=datascalar" "--nodes=2" "--max-insts=20000" "--stats" "compress_s")
+set_tests_properties(dsrun_datascalar PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(dsrun_traditional "/root/repo/build/tools/dsrun" "--system=traditional" "--nodes=4" "--max-insts=20000" "go_s")
+set_tests_properties(dsrun_traditional PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(dsrun_ring "/root/repo/build/tools/dsrun" "--system=datascalar" "--nodes=4" "--ring" "--max-insts=20000" "wave5_s")
+set_tests_properties(dsrun_ring PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(dsrun_usage "/root/repo/build/tools/dsrun")
+set_tests_properties(dsrun_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
