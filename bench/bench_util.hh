@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "common/types.hh"
 
@@ -35,6 +36,24 @@ inline InstSeq
 defaultBudget(InstSeq base)
 {
     return base * benchScale();
+}
+
+/**
+ * Worker count for parallel experiment sweeps: the BENCH_JOBS
+ * environment variable, defaulting to hardware concurrency. Sweep
+ * output is byte-identical at any job count (results are ordered by
+ * point, not by completion), so parallelism is safe to default on.
+ */
+inline unsigned
+benchJobs()
+{
+    const char *env = std::getenv("BENCH_JOBS");
+    if (env) {
+        long v = std::atol(env);
+        return v >= 1 ? static_cast<unsigned>(v) : 1;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
 }
 
 /** Banner naming the experiment and its provenance in the paper. */

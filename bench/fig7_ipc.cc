@@ -6,6 +6,10 @@
  * the six timing benchmarks (applu, compress, go, mgrid, turb3d,
  * wave5).
  *
+ * The thirty (workload × system) points are independent simulations
+ * and run concurrently (BENCH_JOBS workers, default = hardware);
+ * output is byte-identical at any job count.
+ *
  * Paper's findings reproduced here as shape, not absolute numbers:
  *  - DataScalar outperforms the traditional system on (almost) all
  *    benchmarks, by more at four nodes (9%-15% in the paper);
@@ -19,7 +23,6 @@
 
 #include "bench/bench_util.hh"
 #include "driver/driver.hh"
-#include "stats/table.hh"
 #include "workloads/workloads.hh"
 
 using namespace dscalar;
@@ -30,31 +33,8 @@ main()
     bench::banner("Figure 7", "timing-simulation IPC comparison");
     InstSeq budget = bench::defaultBudget(300'000);
 
-    stats::Table table({"benchmark", "perfect", "DS-2", "DS-4",
-                        "trad-1/2", "trad-1/4", "DS2/trad2",
-                        "DS4/trad4"});
-
-    for (const auto &name : workloads::timingWorkloadNames()) {
-        prog::Program p = workloads::findWorkload(name).build(1);
-        core::SimConfig cfg = driver::paperConfig();
-        cfg.maxInsts = budget;
-
-        auto perfect = driver::runPerfect(p, cfg);
-        cfg.numNodes = 2;
-        auto ds2 = driver::runDataScalar(p, cfg);
-        auto t2 = driver::runTraditional(p, cfg);
-        cfg.numNodes = 4;
-        auto ds4 = driver::runDataScalar(p, cfg);
-        auto t4 = driver::runTraditional(p, cfg);
-
-        table.addRow({p.name, stats::Table::num(perfect.ipc, 3),
-                      stats::Table::num(ds2.ipc, 3),
-                      stats::Table::num(ds4.ipc, 3),
-                      stats::Table::num(t2.ipc, 3),
-                      stats::Table::num(t4.ipc, 3),
-                      stats::Table::num(ds2.ipc / t2.ipc, 2),
-                      stats::Table::num(ds4.ipc / t4.ipc, 2)});
-    }
+    stats::Table table = driver::fig7IpcTable(
+        workloads::timingWorkloadNames(), budget, bench::benchJobs());
     table.print(std::cout);
 
     std::printf("\npaper: 2-node DataScalar 7%% slower to 15%% "

@@ -10,6 +10,10 @@
  * Paper's findings: DataScalar consistently outperforms the
  * traditional runs across the range; the systems converge as memory
  * access time dominates; the gap grows as the global bus slows.
+ *
+ * Every (value x system) point of a sub-sweep is an independent
+ * simulation; they run concurrently (BENCH_JOBS workers, default =
+ * hardware) with output identical to the serial order.
  */
 
 #include <cstdio>
@@ -25,45 +29,43 @@ using namespace dscalar;
 
 namespace {
 
-struct FivePoint
-{
-    double perfect, ds2, ds4, t2, t4;
-};
-
-FivePoint
-measure(const prog::Program &p, core::SimConfig cfg)
-{
-    FivePoint r{};
-    r.perfect = driver::runPerfect(p, cfg).ipc;
-    cfg.numNodes = 2;
-    r.ds2 = driver::runDataScalar(p, cfg).ipc;
-    r.t2 = driver::runTraditional(p, cfg).ipc;
-    cfg.numNodes = 4;
-    r.ds4 = driver::runDataScalar(p, cfg).ipc;
-    r.t4 = driver::runTraditional(p, cfg).ipc;
-    return r;
-}
-
 void
-sweep(const prog::Program &p, const char *param,
+sweep(const std::string &workload, const char *param,
       const std::vector<std::uint64_t> &values,
       const std::function<void(core::SimConfig &, std::uint64_t)>
           &apply,
       InstSeq budget)
 {
-    stats::Table table({param, "perfect", "DS-2", "DS-4", "trad-1/2",
-                        "trad-1/4"});
+    // Five system points per parameter value, all independent.
+    std::vector<driver::SweepPoint> points;
     for (std::uint64_t v : values) {
         core::SimConfig cfg = driver::paperConfig();
         cfg.maxInsts = budget;
         apply(cfg, v);
-        FivePoint r = measure(p, cfg);
-        table.addRow({std::to_string(v),
-                      stats::Table::num(r.perfect, 3),
-                      stats::Table::num(r.ds2, 3),
-                      stats::Table::num(r.ds4, 3),
-                      stats::Table::num(r.t2, 3),
-                      stats::Table::num(r.t4, 3)});
+        auto add = [&](const char *system, unsigned nodes) {
+            cfg.numNodes = nodes;
+            points.push_back(
+                driver::SweepPoint{workload, system, cfg, 1, 1});
+        };
+        add("perfect", 2);
+        add("datascalar", 2);
+        add("datascalar", 4);
+        add("traditional", 2);
+        add("traditional", 4);
+    }
+
+    std::vector<core::RunResult> results =
+        driver::runSweep(points, bench::benchJobs());
+
+    stats::Table table({param, "perfect", "DS-2", "DS-4", "trad-1/2",
+                        "trad-1/4"});
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        table.addRow({std::to_string(values[i]),
+                      stats::Table::num(results[5 * i + 0].ipc, 3),
+                      stats::Table::num(results[5 * i + 1].ipc, 3),
+                      stats::Table::num(results[5 * i + 2].ipc, 3),
+                      stats::Table::num(results[5 * i + 3].ipc, 3),
+                      stats::Table::num(results[5 * i + 4].ipc, 3)});
     }
     table.print(std::cout);
     std::printf("\n");
@@ -82,14 +84,14 @@ main()
         std::printf("======== %s ========\n\n", p.name.c_str());
 
         std::printf("-- data cache size (KB) --\n");
-        sweep(p, "dcacheKB", {4, 16, 64, 128},
+        sweep(name, "dcacheKB", {4, 16, 64, 128},
               [](core::SimConfig &cfg, std::uint64_t v) {
                   cfg.core.dcache.sizeBytes = v * 1024;
               },
               budget);
 
         std::printf("-- memory access time (cycles @1GHz = ns) --\n");
-        sweep(p, "mem-ns", {4, 8, 32, 128},
+        sweep(name, "mem-ns", {4, 8, 32, 128},
               [](core::SimConfig &cfg, std::uint64_t v) {
                   cfg.mem.accessLatency = v;
               },
@@ -97,21 +99,21 @@ main()
 
         std::printf("-- global bus clock (core cycles per bus "
                     "clock) --\n");
-        sweep(p, "bus-div", {2, 5, 10, 20},
+        sweep(name, "bus-div", {2, 5, 10, 20},
               [](core::SimConfig &cfg, std::uint64_t v) {
                   cfg.bus.clockDivisor = v;
               },
               budget);
 
         std::printf("-- global bus width (bytes) --\n");
-        sweep(p, "bus-bytes", {2, 8, 16, 32},
+        sweep(name, "bus-bytes", {2, 8, 16, 32},
               [](core::SimConfig &cfg, std::uint64_t v) {
                   cfg.bus.widthBytes = static_cast<unsigned>(v);
               },
               budget);
 
         std::printf("-- RUU entries (LSQ = half) --\n");
-        sweep(p, "ruu", {16, 64, 256, 1024},
+        sweep(name, "ruu", {16, 64, 256, 1024},
               [](core::SimConfig &cfg, std::uint64_t v) {
                   cfg.core.ruuEntries = static_cast<unsigned>(v);
                   cfg.core.lsqEntries =

@@ -1,5 +1,7 @@
 #include "baseline/perfect.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace dscalar {
@@ -69,6 +71,15 @@ PerfectSystem::run()
                   (unsigned long long)config_.watchdogCycles);
         }
         ++now;
+        if (config_.eventDriven && !core_.done()) {
+            // Skip cycles where the core cannot act; a hung core
+            // still reaches the watchdog cycle and panics there.
+            Cycle deadline =
+                last_progress + config_.watchdogCycles + 1;
+            now = std::max(
+                now,
+                std::min(core_.nextEventCycle(now - 1), deadline));
+        }
     }
 
     core::RunResult result;

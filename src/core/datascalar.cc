@@ -72,28 +72,45 @@ DataScalarSystem::run()
     Cycle now = 0;
     Cycle last_progress_cycle = 0;
     InstSeq last_min_commit = 0;
+    std::uint64_t loop_ticks = 0;
+    const bool skipping = config_.eventDriven;
+    // Per-node wake times: the earliest cycle each core's tick could
+    // change any state (nextEventCycle contract). A core whose wake
+    // lies in the future is provably idle, so its ticks are no-ops
+    // and are elided entirely; an arriving delivery re-arms the
+    // recipient for the current cycle. Single-stepping mode pins
+    // every wake at "now" so every core ticks every cycle.
+    std::vector<Cycle> wake(nodes_.size(), 0);
 
     while (true) {
+        ++loop_ticks;
         while (!deliveries_.empty() && deliveries_.top().at <= now) {
             Delivery d = deliveries_.top();
             deliveries_.pop();
             if (d.targeted) {
                 nodes_[d.target]->deliverBroadcast(d.line, now);
+                wake[d.target] = now;
             } else {
                 for (auto &node : nodes_) {
-                    if (node->id() != d.src)
+                    if (node->id() != d.src) {
                         node->deliverBroadcast(d.line, now);
+                        wake[node->id()] = now;
+                    }
                 }
             }
         }
 
         bool all_done = true;
         InstSeq min_commit = ~static_cast<InstSeq>(0);
-        for (auto &node : nodes_) {
-            node->core().tick(now);
-            all_done = all_done && node->core().done();
-            min_commit =
-                std::min(min_commit, node->core().committedSeq());
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            ooo::OoOCore &core = nodes_[i]->core();
+            if (!skipping || wake[i] <= now) {
+                core.tick(now);
+                wake[i] = skipping ? core.nextEventCycle(now)
+                                   : now + 1;
+            }
+            all_done = all_done && core.done();
+            min_commit = std::min(min_commit, core.committedSeq());
         }
 
         if (all_done && deliveries_.empty())
@@ -117,11 +134,29 @@ DataScalarSystem::run()
                       : (unsigned long long)deliveries_.top().at,
                   all_done ? 1 : 0);
         }
-        ++now;
+
+        Cycle next = now + 1;
+        if (skipping) {
+            // Fast-forward to the earliest cycle anything can happen:
+            // a node making internal progress or a broadcast landing.
+            // Intermediate ticks are no-ops, so skipping them changes
+            // no simulated cycle count or statistic.
+            Cycle soonest = nextDeliveryCycle();
+            for (Cycle w : wake)
+                soonest = std::min(soonest, w);
+            // Never skip past the cycle where the watchdog would
+            // fire: a deadlocked run must panic at the same cycle
+            // the single-stepping loop panics at.
+            Cycle deadline =
+                last_progress_cycle + config_.watchdogCycles + 1;
+            next = std::max(now + 1, std::min(soonest, deadline));
+        }
+        now = next;
     }
 
     RunResult result;
     result.cycles = now + 1;
+    result.loopTicks = loop_ticks;
     result.instructions = stream_.endSeq();
     result.ipc = result.cycles
                      ? static_cast<double>(result.instructions) /

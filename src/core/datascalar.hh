@@ -54,6 +54,14 @@ class DataScalarSystem : public BroadcastPort
      */
     bool protocolDrained() const;
 
+    /** Cycle the next in-flight broadcast lands at a receiver, or
+     *  cycleMax when none is in flight. */
+    Cycle
+    nextDeliveryCycle() const
+    {
+        return deliveries_.empty() ? cycleMax : deliveries_.top().at;
+    }
+
     /** Stream per-node protocol events; nullptr disables. */
     void setTrace(std::ostream *os);
 

@@ -48,6 +48,15 @@ struct SimConfig
     /** Abort if no node commits for this many cycles (a protocol
      *  deadlock would otherwise hang silently). */
     Cycle watchdogCycles = 5'000'000;
+    /**
+     * Event-driven run loops: fast-forward the clock to the next
+     * cycle at which any node, delivery, or the watchdog can act,
+     * instead of stepping one cycle at a time. Simulated cycle
+     * counts and event statistics are identical either way (asserted
+     * by test_cycle_skip); disable to force the reference
+     * single-cycle-stepping loop. See docs/PERF.md.
+     */
+    bool eventDriven = true;
 };
 
 /** Aggregate outcome of one timing run. */
@@ -56,6 +65,10 @@ struct RunResult
     Cycle cycles = 0;
     InstSeq instructions = 0;
     double ipc = 0.0;
+    /** Run-loop iterations actually executed: equals @ref cycles when
+     *  single-stepping; smaller under event-driven skipping. Purely
+     *  diagnostic — excluded from equivalence comparisons. */
+    std::uint64_t loopTicks = 0;
 };
 
 } // namespace core

@@ -1,8 +1,10 @@
 #include "driver/driver.hh"
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "func/func_sim.hh"
 #include "mem/cache.hh"
+#include "workloads/workloads.hh"
 
 namespace dscalar {
 namespace driver {
@@ -235,6 +237,93 @@ runPerfect(const prog::Program &program, const core::SimConfig &config)
 {
     baseline::PerfectSystem system(program, config);
     return system.run();
+}
+
+// -------------------------------------------------------------------
+// Parallel experiment sweeps
+// -------------------------------------------------------------------
+
+namespace {
+
+core::RunResult
+runSweepPoint(const SweepPoint &pt)
+{
+    prog::Program program =
+        workloads::findWorkload(pt.workload).build(pt.scale);
+    if (pt.system == "perfect")
+        return runPerfect(program, pt.config);
+    if (pt.system == "traditional") {
+        baseline::TraditionalSystem system(
+            program, pt.config,
+            figure7PageTable(program, pt.config.numNodes,
+                             pt.blockPages));
+        return system.run();
+    }
+    if (pt.system == "datascalar") {
+        core::DataScalarSystem system(
+            program, pt.config,
+            figure7PageTable(program, pt.config.numNodes,
+                             pt.blockPages));
+        return system.run();
+    }
+    fatal("unknown sweep system '%s'", pt.system.c_str());
+}
+
+} // namespace
+
+std::vector<core::RunResult>
+runSweep(const std::vector<SweepPoint> &points, unsigned jobs)
+{
+    // Every point builds its own program and simulator state; the
+    // only shared write is each task's pre-assigned result slot.
+    std::vector<core::RunResult> results(points.size());
+    common::parallelFor(jobs, points.size(), [&](std::size_t i) {
+        results[i] = runSweepPoint(points[i]);
+    });
+    return results;
+}
+
+stats::Table
+fig7IpcTable(const std::vector<std::string> &workload_names,
+             InstSeq budget, unsigned jobs, bool event_driven)
+{
+    std::vector<SweepPoint> points;
+    for (const std::string &name : workload_names) {
+        core::SimConfig cfg = paperConfig();
+        cfg.maxInsts = budget;
+        cfg.eventDriven = event_driven;
+        auto add = [&](const char *system, unsigned nodes) {
+            cfg.numNodes = nodes;
+            points.push_back(SweepPoint{name, system, cfg, 1, 1});
+        };
+        add("perfect", 2);
+        add("datascalar", 2);
+        add("datascalar", 4);
+        add("traditional", 2);
+        add("traditional", 4);
+    }
+
+    std::vector<core::RunResult> results = runSweep(points, jobs);
+
+    stats::Table table({"benchmark", "perfect", "DS-2", "DS-4",
+                        "trad-1/2", "trad-1/4", "DS2/trad2",
+                        "DS4/trad4"});
+    for (std::size_t w = 0; w < workload_names.size(); ++w) {
+        const core::RunResult &perfect = results[5 * w + 0];
+        const core::RunResult &ds2 = results[5 * w + 1];
+        const core::RunResult &ds4 = results[5 * w + 2];
+        const core::RunResult &t2 = results[5 * w + 3];
+        const core::RunResult &t4 = results[5 * w + 4];
+        table.addRow({workload_names[w],
+                      stats::Table::num(perfect.ipc, 3),
+                      stats::Table::num(ds2.ipc, 3),
+                      stats::Table::num(ds4.ipc, 3),
+                      stats::Table::num(t2.ipc, 3),
+                      stats::Table::num(t4.ipc, 3),
+                      stats::Table::num(ds2.ipc / t2.ipc, 2),
+                      stats::Table::num(ds4.ipc / t4.ipc, 2)});
+    }
+    return table;
 }
 
 } // namespace driver

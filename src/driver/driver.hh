@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/datascalar.hh"
 #include "core/distribution.hh"
@@ -19,6 +20,7 @@
 #include "baseline/perfect.hh"
 #include "baseline/traditional.hh"
 #include "prog/program.hh"
+#include "stats/table.hh"
 
 namespace dscalar {
 namespace driver {
@@ -137,6 +139,46 @@ core::RunResult runTraditional(const prog::Program &program,
 /** Run the perfect-data-cache system. */
 core::RunResult runPerfect(const prog::Program &program,
                            const core::SimConfig &config);
+
+// -------------------------------------------------------------------
+// Parallel experiment sweeps
+// -------------------------------------------------------------------
+
+/**
+ * One independent timing-simulation point of a sweep: a registered
+ * workload run on one system under one configuration. Points share
+ * nothing, so a sweep is embarrassingly parallel.
+ */
+struct SweepPoint
+{
+    std::string workload; ///< registered workload name
+    std::string system;   ///< "perfect" | "datascalar" | "traditional"
+    core::SimConfig config;
+    unsigned scale = 1;      ///< workload build scale
+    unsigned blockPages = 1; ///< page-distribution block size
+};
+
+/**
+ * Run every point on up to @p jobs worker threads (1 = serial,
+ * 0 = hardware concurrency). Results come back in point order
+ * regardless of scheduling, so a parallel sweep is byte-identical
+ * to a serial one.
+ */
+std::vector<core::RunResult>
+runSweep(const std::vector<SweepPoint> &points, unsigned jobs = 1);
+
+/**
+ * The Figure 7 sweep — perfect, DataScalar at 2/4 nodes, and the
+ * traditional system at 1/2 and 1/4 memory — for each named
+ * workload, as a formatted IPC table. All five points of every row
+ * run concurrently under @p jobs. @p event_driven toggles cycle
+ * skipping in every point (the table is identical either way; see
+ * docs/PERF.md).
+ */
+stats::Table
+fig7IpcTable(const std::vector<std::string> &workload_names,
+             InstSeq budget, unsigned jobs = 1,
+             bool event_driven = true);
 
 } // namespace driver
 } // namespace dscalar

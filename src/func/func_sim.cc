@@ -76,16 +76,48 @@ FuncSim::doSyscall(std::int32_t code)
     }
 }
 
+const Instruction &
+FuncSim::fetchDecode(Addr pc)
+{
+    DecodeSlot &slot = decodeCache_[(pc >> 2) & (kDecodeSlots - 1)];
+    if (slot.pc != pc) {
+        auto word = static_cast<std::uint32_t>(mem_.read(pc, 4));
+        slot.inst = isa::decode(word);
+        slot.pc = pc;
+    }
+    return slot.inst;
+}
+
+void
+FuncSim::invalidateDecode(Addr addr, unsigned size)
+{
+    // Any 4-byte instruction word starting in [addr - 3, addr + size)
+    // overlaps the store.
+    Addr first = (addr >= 3 ? addr - 3 : 0) & ~static_cast<Addr>(3);
+    for (Addr pc = first; pc < addr + size; pc += 4) {
+        DecodeSlot &slot =
+            decodeCache_[(pc >> 2) & (kDecodeSlots - 1)];
+        if (slot.pc >= first && slot.pc < addr + size)
+            slot.pc = invalidAddr;
+    }
+}
+
 bool
 FuncSim::step(DynInst *out)
+{
+    return hooksEnabled_ ? stepImpl<true>(out) : stepImpl<false>(out);
+}
+
+template <bool kHooked>
+bool
+FuncSim::stepImpl(DynInst *out)
 {
     if (halted_)
         return false;
 
-    if (fetchHook_)
+    if (kHooked && fetchHook_)
         fetchHook_(pc_);
-    auto word = static_cast<std::uint32_t>(mem_.read(pc_, 4));
-    Instruction inst = isa::decode(word);
+    const Instruction &inst = fetchDecode(pc_);
 
     Addr cur_pc = pc_;
     Addr next_pc = pc_ + 4;
@@ -183,7 +215,7 @@ FuncSim::step(DynInst *out)
       case Opcode::LBU: {
         eff_addr = us + static_cast<std::int64_t>(inst.imm);
         mem_size = inst.memSize();
-        if (memHook_)
+        if (kHooked && memHook_)
             memHook_(eff_addr, mem_size, false);
         writeReg(inst.rd, mem_.read(eff_addr, mem_size));
         break;
@@ -193,9 +225,10 @@ FuncSim::step(DynInst *out)
       case Opcode::SB: {
         eff_addr = us + static_cast<std::int64_t>(inst.imm);
         mem_size = inst.memSize();
-        if (memHook_)
+        if (kHooked && memHook_)
             memHook_(eff_addr, mem_size, true);
         mem_.write(eff_addr, mem_size, ut);
+        invalidateDecode(eff_addr, mem_size);
         break;
       }
 
@@ -256,9 +289,15 @@ FuncSim::step(DynInst *out)
 InstSeq
 FuncSim::run(InstSeq max_insts)
 {
+    // Pick the interpreter variant once for the whole run.
     InstSeq n = 0;
-    while (n < max_insts && step())
-        ++n;
+    if (hooksEnabled_) {
+        while (n < max_insts && stepImpl<true>(nullptr))
+            ++n;
+    } else {
+        while (n < max_insts && stepImpl<false>(nullptr))
+            ++n;
+    }
     return n;
 }
 

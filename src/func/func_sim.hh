@@ -14,6 +14,7 @@
 #ifndef DSCALAR_FUNC_FUNC_SIM_HH
 #define DSCALAR_FUNC_FUNC_SIM_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -62,8 +63,20 @@ class FuncSim
     mem::PhysMem &memory() { return mem_; }
     const mem::PhysMem &memory() const { return mem_; }
 
-    void setMemHook(MemHook hook) { memHook_ = std::move(hook); }
-    void setFetchHook(FetchHook hook) { fetchHook_ = std::move(hook); }
+    void
+    setMemHook(MemHook hook)
+    {
+        memHook_ = std::move(hook);
+        hooksEnabled_ = static_cast<bool>(memHook_) ||
+                        static_cast<bool>(fetchHook_);
+    }
+    void
+    setFetchHook(FetchHook hook)
+    {
+        fetchHook_ = std::move(hook);
+        hooksEnabled_ = static_cast<bool>(memHook_) ||
+                        static_cast<bool>(fetchHook_);
+    }
 
     /**
      * Execute one instruction; no-op when halted.
@@ -83,6 +96,16 @@ class FuncSim
     void writeReg(RegIndex index, std::uint64_t value);
     void doSyscall(std::int32_t code);
 
+    /** step(), specialized at compile time on hook presence so the
+     *  common hook-free interpreter loop pays no per-instruction
+     *  std::function checks or calls. */
+    template <bool kHooked> bool stepImpl(DynInst *out);
+
+    /** Fetch + decode @p pc through the decode cache. */
+    const isa::Instruction &fetchDecode(Addr pc);
+    /** Drop cached decodes covered by a store (self-modifying code). */
+    void invalidateDecode(Addr addr, unsigned size);
+
     mem::PhysMem mem_;
     std::uint64_t regs_[32] = {};
     Addr pc_;
@@ -91,6 +114,19 @@ class FuncSim
     std::string output_;
     MemHook memHook_;
     FetchHook fetchHook_;
+    bool hooksEnabled_ = false;
+
+    // Direct-mapped decoded-instruction cache: the interpreter spends
+    // much of its time re-reading and re-decoding the same static
+    // instructions. Stores invalidate overlapping slots, so
+    // self-modifying code still refetches.
+    static constexpr std::size_t kDecodeSlots = 4096;
+    struct DecodeSlot
+    {
+        Addr pc = invalidAddr;
+        isa::Instruction inst;
+    };
+    DecodeSlot decodeCache_[kDecodeSlots];
 };
 
 } // namespace func

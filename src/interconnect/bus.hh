@@ -48,6 +48,14 @@ class Bus
     /** Core cycles a message of @p bytes occupies the bus. */
     Cycle occupancyCycles(std::size_t bytes) const;
 
+    /**
+     * Cycle at which the bus is next idle. Occupancy is resolved
+     * eagerly inside send(), so the event-driven run loops need this
+     * only as an invariant check / diagnostic: the wake-up times that
+     * matter are the delivery cycles send() returns.
+     */
+    Cycle nextFreeCycle() const { return freeAt_; }
+
     // Traffic accounting ---------------------------------------------
     std::uint64_t totalMessages() const { return messages_; }
     std::uint64_t totalBytes() const { return bytes_; }

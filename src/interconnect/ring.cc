@@ -24,6 +24,12 @@ Ring::serializationCycles(std::size_t nbytes) const
     return static_cast<Cycle>(clocks) * params_.clockDivisor;
 }
 
+Cycle
+Ring::nextFreeCycle() const
+{
+    return *std::min_element(linkFreeAt_.begin(), linkFreeAt_.end());
+}
+
 std::vector<RingDelivery>
 Ring::broadcast(MsgKind kind, unsigned line_size, NodeId src,
                 Cycle ready)

@@ -74,6 +74,14 @@ class Ring
     /** Core cycles a message occupies one link. */
     Cycle serializationCycles(std::size_t bytes) const;
 
+    /**
+     * Cycle at which the earliest link is next idle. Like
+     * Bus::nextFreeCycle() this is diagnostic: link occupancy is
+     * resolved eagerly in broadcast(), whose per-receiver delivery
+     * times are what the event-driven run loops wait on.
+     */
+    Cycle nextFreeCycle() const;
+
     std::uint64_t totalMessages() const { return messages_; }
     std::uint64_t totalBytes() const { return bytes_; }
     /** Sum of busy cycles over all links. */

@@ -6,64 +6,6 @@
 namespace dscalar {
 namespace isa {
 
-int
-Instruction::destReg() const
-{
-    switch (info().format) {
-      case Format::RRR:
-      case Format::RRI:
-      case Format::RI:
-        return rd == 0 ? -1 : rd;
-      case Format::Mem:
-        return isLoad() && rd != 0 ? rd : -1;
-      case Format::Jump:
-        return op == Opcode::JAL ? 31 : -1;
-      case Format::Sys:
-        return 2; // result register by convention
-      default:
-        return -1;
-    }
-}
-
-int
-Instruction::srcRegs(RegIndex srcs[2]) const
-{
-    int n = 0;
-    auto add = [&](RegIndex r) {
-        if (r != 0)
-            srcs[n++] = r;
-    };
-    switch (info().format) {
-      case Format::RRR:
-        add(rs);
-        add(rt);
-        break;
-      case Format::RRI:
-        add(rs);
-        break;
-      case Format::Mem:
-        add(rs);
-        if (isStore())
-            add(rt);
-        break;
-      case Format::Branch:
-        add(rs);
-        add(rt);
-        break;
-      case Format::JumpReg:
-        add(rs);
-        break;
-      case Format::Sys:
-        // Syscalls read r4/r5 by convention; modelled as two sources.
-        srcs[n++] = 4;
-        srcs[n++] = 5;
-        break;
-      default:
-        break;
-    }
-    return n;
-}
-
 namespace {
 
 constexpr std::uint32_t

@@ -77,14 +77,69 @@ struct Instruction
      * Destination register for dependence tracking, or -1 when the
      * instruction writes no register.
      */
-    int destReg() const;
+    int
+    destReg() const
+    {
+        switch (info().format) {
+          case Format::RRR:
+          case Format::RRI:
+          case Format::RI:
+            return rd == 0 ? -1 : rd;
+          case Format::Mem:
+            return isLoad() && rd != 0 ? rd : -1;
+          case Format::Jump:
+            return op == Opcode::JAL ? 31 : -1;
+          case Format::Sys:
+            return 2; // result register by convention
+          default:
+            return -1;
+        }
+    }
 
     /**
      * Source registers for dependence tracking.
      * @param srcs out-array of at least 2 entries.
      * @return number of sources written (0..2).
      */
-    int srcRegs(RegIndex srcs[2]) const;
+    int
+    srcRegs(RegIndex srcs[2]) const
+    {
+        int n = 0;
+        auto add = [&](RegIndex r) {
+            if (r != 0)
+                srcs[n++] = r;
+        };
+        switch (info().format) {
+          case Format::RRR:
+            add(rs);
+            add(rt);
+            break;
+          case Format::RRI:
+            add(rs);
+            break;
+          case Format::Mem:
+            add(rs);
+            if (isStore())
+                add(rt);
+            break;
+          case Format::Branch:
+            add(rs);
+            add(rt);
+            break;
+          case Format::JumpReg:
+            add(rs);
+            break;
+          case Format::Sys:
+            // Syscalls read r4/r5 by convention; modelled as two
+            // sources.
+            srcs[n++] = 4;
+            srcs[n++] = 5;
+            break;
+          default:
+            break;
+        }
+        return n;
+    }
 
     bool operator==(const Instruction &other) const = default;
 };

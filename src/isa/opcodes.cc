@@ -5,9 +5,10 @@
 namespace dscalar {
 namespace isa {
 
-namespace {
+namespace detail {
 
-constexpr OpInfo opTable[] = {
+const OpInfo opTable[static_cast<std::size_t>(
+    Opcode::NUM_OPCODES)] = {
     {"nop",     Format::None,    OpClass::Misc},
 
     {"add",     Format::RRR,     OpClass::IntAlu},
@@ -61,20 +62,13 @@ constexpr OpInfo opTable[] = {
     {"halt",    Format::None,    OpClass::Misc},
 };
 
-static_assert(sizeof(opTable) / sizeof(opTable[0]) ==
-              static_cast<std::size_t>(Opcode::NUM_OPCODES),
-              "opTable out of sync with Opcode enum");
-
-} // namespace
-
-const OpInfo &
-opInfo(Opcode op)
+void
+badOpcode(std::size_t idx)
 {
-    auto idx = static_cast<std::size_t>(op);
-    panic_if(idx >= static_cast<std::size_t>(Opcode::NUM_OPCODES),
-             "bad opcode %zu", idx);
-    return opTable[idx];
+    panic("bad opcode %zu", idx);
 }
+
+} // namespace detail
 
 } // namespace isa
 } // namespace dscalar

@@ -14,6 +14,7 @@
 #ifndef DSCALAR_ISA_OPCODES_HH
 #define DSCALAR_ISA_OPCODES_HH
 
+#include <cstddef>
 #include <cstdint>
 
 namespace dscalar {
@@ -94,8 +95,21 @@ struct OpInfo
     OpClass opClass;
 };
 
+namespace detail {
+extern const OpInfo opTable[static_cast<std::size_t>(
+    Opcode::NUM_OPCODES)];
+void badOpcode(std::size_t idx);
+} // namespace detail
+
 /** @return metadata for @p op; panics on an out-of-range value. */
-const OpInfo &opInfo(Opcode op);
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    auto idx = static_cast<std::size_t>(op);
+    if (idx >= static_cast<std::size_t>(Opcode::NUM_OPCODES))
+        detail::badOpcode(idx);
+    return detail::opTable[idx];
+}
 
 /** Syscall service numbers (carried in the imm field of SYSCALL). */
 enum class Syscall : std::int32_t {

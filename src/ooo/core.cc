@@ -77,51 +77,97 @@ OoOCore::tlbPenalty(mem::Cache *tlb, Addr addr,
     return params_.tlbWalkCycles;
 }
 
-OoOCore::Uop &
-OoOCore::uop(InstSeq seq)
-{
-    panic_if(!inWindow(seq), "uop %llu not in window",
-             (unsigned long long)seq);
-    return window_[seq - windowBase_];
-}
-
-const OoOCore::Uop &
-OoOCore::uop(InstSeq seq) const
-{
-    return const_cast<OoOCore *>(this)->uop(seq);
-}
-
-bool
-OoOCore::inWindow(InstSeq seq) const
-{
-    return seq >= windowBase_ && seq < windowBase_ + window_.size();
-}
-
 void
 OoOCore::tick(Cycle now)
 {
     if (done_)
         return;
+    tickProgressed_ = false;
     processCompletions(now);
     doCommit(now);
     doIssue(now);
     doFetch(now);
 }
 
+Cycle
+OoOCore::nextEventCycle(Cycle now) const
+{
+    if (done_)
+        return cycleMax;
+
+    // Fast path: a tick that completed, committed, issued, or
+    // dispatched anything may well act again next cycle. now + 1 is
+    // always a conservative answer, and skipping the full scan below
+    // keeps the query O(1) on busy cores, where it would otherwise
+    // re-do most of the issue stage's work every cycle. Stalled
+    // cores — the case skipping exists for — take the precise path.
+    if (tickProgressed_)
+        return now + 1;
+
+    // An empty window resolves within one tick: either fetch refills
+    // it, or doCommit's empty-window probe discovers the end of a
+    // truncated stream and flips done_.
+    if (window_.empty())
+        return now + 1;
+
+    // Commit: the head is complete but this cycle's commit width ran
+    // out before reaching it.
+    if (window_.front().completed)
+        return now + 1;
+
+    // Issue: a ready uop that is not waiting on a store address or an
+    // MSHR entry can issue next cycle — FU pools and issue width are
+    // per-cycle budgets. Blocked loads unblock only through events
+    // that are themselves tracked: the blocking store issuing (it is
+    // ready, or becomes so via a completion), a commit freeing a DCUB
+    // entry, or an external fill (which re-ticks the core anyway).
+    for (InstSeq seq : readyList_) {
+        const Uop &u = uop(seq);
+        if (!u.isLoad || (!loadBlockedByStore(u) && !mshrStalled(u)))
+            return now + 1;
+    }
+
+    Cycle next = cycleMax;
+
+    // Scheduled completions: FU latencies, cache hits, arrived fills.
+    if (!completionEvents_.empty())
+        next = completionEvents_.top().when;
+
+    // Fetch.
+    if (!fetchEnded_) {
+        if (now < fetchStallUntil_) {
+            next = std::min(next, fetchStallUntil_);
+        } else if (window_.size() < params_.ruuEntries) {
+            if (!stream_.available(nextFetchSeq_))
+                return now + 1; // a tick must discover the stream end
+            const func::DynInst &di = stream_.get(nextFetchSeq_);
+            if (!di.inst.isMem() || lsqOccupancy_ < params_.lsqEntries)
+                return now + 1;
+            // LSQ full on a memory instruction: dispatch resumes only
+            // after a commit, which a completion or fill must unblock.
+        }
+        // Window full: same — fetch resumes only after a commit.
+    }
+
+    return std::max(next, now + 1);
+}
+
 void
 OoOCore::scheduleCompletion(InstSeq seq, Cycle when)
 {
-    completionEvents_[when].push_back(seq);
+    completionEvents_.push(
+        CompletionEvent{when, completionOrder_++, seq});
 }
 
 void
 OoOCore::processCompletions(Cycle now)
 {
     while (!completionEvents_.empty() &&
-           completionEvents_.begin()->first <= now) {
-        auto node = completionEvents_.extract(completionEvents_.begin());
-        for (InstSeq seq : node.mapped())
-            complete(seq, node.key());
+           completionEvents_.top().when <= now) {
+        CompletionEvent e = completionEvents_.top();
+        completionEvents_.pop();
+        tickProgressed_ = true;
+        complete(e.seq, e.when);
     }
 }
 
@@ -137,7 +183,7 @@ OoOCore::complete(InstSeq seq, Cycle now)
         Uop &c = uop(consumer);
         panic_if(c.waitCount == 0, "consumer waitCount underflow");
         if (--c.waitCount == 0 && !c.issued)
-            readySet_.insert(consumer);
+            insertReady(consumer);
     }
     u.consumers.clear();
 }
@@ -174,6 +220,7 @@ OoOCore::doCommit(Cycle now)
         }
 
         ++stats_.committed;
+        tickProgressed_ = true;
         if (u.isLoad)
             ++stats_.loads;
         if (u.isStore) {
@@ -288,8 +335,26 @@ OoOCore::releaseDcubUser(Addr line)
 bool
 OoOCore::loadBlockedByStore(const Uop &u) const
 {
-    auto it = unknownAddrStores_.begin();
-    return it != unknownAddrStores_.end() && *it < u.seq;
+    // Dispatch pushes stores in ascending seq and issue erases in
+    // place, so the front is always the oldest unknown address.
+    return !unknownAddrStores_.empty() &&
+           unknownAddrStores_.front() < u.seq;
+}
+
+bool
+OoOCore::mshrStalled(const Uop &u) const
+{
+    // A load that would start a new line fill must wait for a free
+    // MSHR/DCUB entry (merging loads may proceed). The oldest
+    // instruction always bypasses the limit: without this reserve,
+    // two nodes whose MSHRs are full of waits on each other's
+    // broadcasts deadlock.
+    return params_.maxOutstandingFills != 0 &&
+           u.seq != windowBase_ &&
+           dcub_.size() >= params_.maxOutstandingFills &&
+           !params_.perfectData &&
+           dcub_.find(u.lineAddr) == dcub_.end() &&
+           !dcache_.probe(u.lineAddr) && !forwardingStore(u);
 }
 
 const OoOCore::Uop *
@@ -321,37 +386,36 @@ OoOCore::doIssue(Cycle now)
         params_.fpUnits ? params_.fpUnits : ~0u,
         params_.memPorts ? params_.memPorts : ~0u,
     };
-    for (auto it = readySet_.begin();
-         it != readySet_.end() && issued < params_.issueWidth;) {
-        Uop &u = uop(*it);
-        panic_if(u.issued, "ready set holds issued uop");
+    // One pass over the ready list in ascending seq (the order the
+    // former std::set iterated in), compacting out the entries that
+    // issue; blocked entries and everything past the issue-width
+    // budget stay, in order, without reallocating.
+    std::size_t out = 0;
+    for (std::size_t in = 0; in < readyList_.size(); ++in) {
+        InstSeq seq = readyList_[in];
+        if (issued >= params_.issueWidth) {
+            readyList_[out++] = seq;
+            continue;
+        }
+        Uop &u = uop(seq);
+        panic_if(u.issued, "ready list holds issued uop");
 
         if (u.isLoad && loadBlockedByStore(u)) {
             ++stats_.memOrderStallEvents;
-            ++it;
+            readyList_[out++] = seq;
             continue;
         }
 
-        // MSHR limit: a load that would start a new line fill must
-        // wait for a free entry (merging loads may proceed). The
-        // oldest instruction always bypasses the limit: without this
-        // reserve, two nodes whose MSHRs are full of waits on each
-        // other's broadcasts deadlock.
-        if (u.isLoad && params_.maxOutstandingFills != 0 &&
-            u.seq != windowBase_ &&
-            dcub_.size() >= params_.maxOutstandingFills &&
-            !params_.perfectData &&
-            dcub_.find(u.lineAddr) == dcub_.end() &&
-            !dcache_.probe(u.lineAddr) && !forwardingStore(u)) {
+        if (u.isLoad && mshrStalled(u)) {
             ++stats_.mshrStallEvents;
-            ++it;
+            readyList_[out++] = seq;
             continue;
         }
 
         unsigned pool = CoreParams::fuPool(u.cls);
         if (pool_left[pool] == 0) {
             ++stats_.fuStallEvents;
-            ++it;
+            readyList_[out++] = seq;
             continue;
         }
         --pool_left[pool];
@@ -360,14 +424,19 @@ OoOCore::doIssue(Cycle now)
         if (u.isLoad) {
             issueLoad(u, now);
         } else if (u.isStore) {
-            unknownAddrStores_.erase(u.seq);
+            auto st = std::find(unknownAddrStores_.begin(),
+                                unknownAddrStores_.end(), u.seq);
+            panic_if(st == unknownAddrStores_.end(),
+                     "issuing store missing from address queue");
+            unknownAddrStores_.erase(st);
             scheduleCompletion(u.seq, now + 1);
         } else {
             scheduleCompletion(u.seq, now + params_.opLatency(u.cls));
         }
         ++issued;
-        it = readySet_.erase(it);
+        tickProgressed_ = true;
     }
+    readyList_.resize(out);
 }
 
 void
@@ -542,14 +611,15 @@ OoOCore::doFetch(Cycle now)
             lastWriter_[dest] = seq + 1;
         if (window_.back().isStore) {
             windowStores_.push_back(seq);
-            unknownAddrStores_.insert(seq);
+            unknownAddrStores_.push_back(seq);
         }
         if (window_.back().isLoad || window_.back().isStore)
             ++lsqOccupancy_;
         if (ready)
-            readySet_.insert(seq);
+            readyList_.push_back(seq); // seq is the window maximum
 
         ++nextFetchSeq_;
+        tickProgressed_ = true;
     }
 }
 

@@ -19,13 +19,15 @@
 #ifndef DSCALAR_OOO_CORE_HH
 #define DSCALAR_OOO_CORE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <set>
+#include <queue>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
 #include "mem/cache.hh"
@@ -124,6 +126,17 @@ class OoOCore
     /** Advance one cycle. */
     void tick(Cycle now);
 
+    /**
+     * Earliest cycle after @p now at which tick() could change any
+     * state (commit, issue, completion, or fetch), assuming no
+     * external event intervenes. Returns cycleMax when the core is
+     * done or can only be unblocked by an external delivery
+     * (fillArrived). Must be queried after tick(now); ticking the
+     * core at intermediate cycles is a no-op, which is what lets the
+     * run loops fast-forward without changing cycle counts.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     /** True once the final instruction has committed. */
     bool done() const { return done_; }
 
@@ -179,9 +192,24 @@ class OoOCore
         std::vector<InstSeq> waiters; ///< loads blocked on the fill
     };
 
-    Uop &uop(InstSeq seq);
-    const Uop &uop(InstSeq seq) const;
-    bool inWindow(InstSeq seq) const;
+    Uop &
+    uop(InstSeq seq)
+    {
+        panic_if(!inWindow(seq), "uop %llu not in window",
+                 (unsigned long long)seq);
+        return window_[seq - windowBase_];
+    }
+    const Uop &
+    uop(InstSeq seq) const
+    {
+        return const_cast<OoOCore *>(this)->uop(seq);
+    }
+    bool
+    inWindow(InstSeq seq) const
+    {
+        return seq >= windowBase_ &&
+               seq < windowBase_ + window_.size();
+    }
 
     void processCompletions(Cycle now);
     void doCommit(Cycle now);
@@ -197,6 +225,8 @@ class OoOCore
 
     /** @return blocking store seq, or -1 when the load may proceed. */
     bool loadBlockedByStore(const Uop &u) const;
+    /** Load would start a new fill but all MSHR entries are taken. */
+    bool mshrStalled(const Uop &u) const;
     /** Youngest older overlapping store, or nullptr. */
     const Uop *forwardingStore(const Uop &u) const;
 
@@ -223,14 +253,53 @@ class OoOCore
     bool done_ = false;
 
     InstSeq lastWriter_[32];     ///< seq + 1, 0 = none
-    std::set<InstSeq> readySet_;
-    std::set<InstSeq> unknownAddrStores_;
+    /** Ready (waitCount == 0, not yet issued) uops in ascending seq.
+     *  A sorted vector instead of a std::set: iteration order is
+     *  identical, but insertion is a cheap memmove (usually a
+     *  push_back, since dispatch makes the youngest uop ready) and
+     *  the capacity is reused — the per-uop rb-tree node churn
+     *  dominated the tick profile. */
+    std::vector<InstSeq> readyList_;
+    void
+    insertReady(InstSeq seq)
+    {
+        readyList_.insert(std::upper_bound(readyList_.begin(),
+                                           readyList_.end(), seq),
+                          seq);
+    }
+    /** In-window stores not yet issued (address unknown), ascending
+     *  seq; vector because inserts are always at the back. */
+    std::vector<InstSeq> unknownAddrStores_;
     std::deque<InstSeq> windowStores_;
-    std::map<Cycle, std::vector<InstSeq>> completionEvents_;
+    /** Scheduled completions as a min-heap on (cycle, FIFO order) —
+     *  pops in exactly the order the former map-of-vectors yielded. */
+    struct CompletionEvent
+    {
+        Cycle when;
+        std::uint64_t order;
+        InstSeq seq;
+    };
+    struct CompletionLater
+    {
+        bool
+        operator()(const CompletionEvent &a,
+                   const CompletionEvent &b) const
+        {
+            return a.when != b.when ? a.when > b.when
+                                    : a.order > b.order;
+        }
+    };
+    std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
+                        CompletionLater>
+        completionEvents_;
+    std::uint64_t completionOrder_ = 0;
 
     std::map<Addr, DcubEntry> dcub_;
 
     Cycle fetchStallUntil_ = 0;
+    /** Whether the latest tick() completed, committed, issued, or
+     *  dispatched anything — nextEventCycle's O(1) busy-core path. */
+    bool tickProgressed_ = false;
     Addr lastFetchLine_ = invalidAddr;
 
     CoreStats stats_;

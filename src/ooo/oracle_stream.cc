@@ -6,7 +6,7 @@ namespace dscalar {
 namespace ooo {
 
 bool
-OracleStream::available(InstSeq seq)
+OracleStream::extend(InstSeq seq)
 {
     panic_if(seq < base_, "stream record %llu already trimmed (base %llu)",
              (unsigned long long)seq, (unsigned long long)base_);
@@ -29,14 +29,6 @@ OracleStream::available(InstSeq seq)
         }
     }
     return seq < base_ + buffer_.size();
-}
-
-const func::DynInst &
-OracleStream::get(InstSeq seq)
-{
-    panic_if(!available(seq), "stream record %llu unavailable",
-             (unsigned long long)seq);
-    return buffer_[seq - base_];
 }
 
 void

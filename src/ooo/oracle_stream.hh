@@ -14,6 +14,7 @@
 
 #include <deque>
 
+#include "common/logging.hh"
 #include "func/func_sim.hh"
 
 namespace dscalar {
@@ -39,10 +40,24 @@ class OracleStream
      * @return true when instruction @p seq exists (extending the
      * stream as needed); false once the program ends earlier.
      */
-    bool available(InstSeq seq);
+    bool
+    available(InstSeq seq)
+    {
+        // Hot path: the record is already buffered (the cores poll
+        // this every tick for every fetch/issue candidate).
+        if (seq >= base_ && seq - base_ < buffer_.size())
+            return true;
+        return extend(seq);
+    }
 
     /** The record for @p seq; available(seq) must have returned true. */
-    const func::DynInst &get(InstSeq seq);
+    const func::DynInst &
+    get(InstSeq seq)
+    {
+        panic_if(!available(seq), "stream record %llu unavailable",
+                 (unsigned long long)seq);
+        return buffer_[seq - base_];
+    }
 
     /** Drop records below @p min_seq (all consumers are past them). */
     void trim(InstSeq min_seq);
@@ -56,6 +71,10 @@ class OracleStream
     std::size_t bufferedCount() const { return buffer_.size(); }
 
   private:
+    /** Slow path of available(): run the functional oracle forward
+     *  until @p seq is buffered or the program ends. */
+    bool extend(InstSeq seq);
+
     func::FuncSim &sim_;
     InstSeq maxInsts_ = 0;
     std::deque<func::DynInst> buffer_;

@@ -14,8 +14,12 @@
  *   --max-insts=N      truncate the run (default: completion)
  *   --scale=N          workload build scale (registered workloads)
  *   --block-pages=N    round-robin distribution block (default 1)
+ *   --jobs=N           sweep worker threads (default 1; 0 = all cores)
+ *   --no-skip          disable event-driven cycle skipping
  *   --stats            print the full statistics dump
  *   --trace            stream protocol events to stderr
+ *   --sweep            run the Figure 7 sweep over the timing
+ *                      workloads instead of one program
  *   --list             list registered workloads
  */
 
@@ -44,8 +48,11 @@ struct Options
     InstSeq maxInsts = 0;
     unsigned scale = 1;
     unsigned blockPages = 1;
+    unsigned jobs = 1;
+    bool noSkip = false;
     bool stats = false;
     bool trace = false;
+    bool sweep = false;
     std::string target;
 };
 
@@ -67,8 +74,11 @@ usage()
         stderr,
         "usage: dsrun [--system=func|perfect|traditional|datascalar]"
         "\n             [--nodes=N] [--ring] [--max-insts=N]"
-        "\n             [--scale=N] [--block-pages=N] [--stats]"
-        "\n             [--trace] <program.s | workload-name>\n"
+        "\n             [--scale=N] [--block-pages=N] [--jobs=N]"
+        "\n             [--no-skip] [--stats] [--trace]"
+        "\n             <program.s | workload-name>\n"
+        "       dsrun --sweep [--max-insts=N] [--jobs=N] "
+        "[--no-skip]\n"
         "       dsrun --list\n");
     return 2;
 }
@@ -109,6 +119,12 @@ main(int argc, char **argv)
         } else if (parseFlag(arg, "--block-pages", value)) {
             opt.blockPages =
                 static_cast<unsigned>(std::stoul(value));
+        } else if (parseFlag(arg, "--jobs", value)) {
+            opt.jobs = static_cast<unsigned>(std::stoul(value));
+        } else if (arg == "--no-skip") {
+            opt.noSkip = true;
+        } else if (arg == "--sweep") {
+            opt.sweep = true;
         } else if (arg == "--stats") {
             opt.stats = true;
         } else if (arg == "--trace") {
@@ -118,6 +134,14 @@ main(int argc, char **argv)
         } else {
             opt.target = arg;
         }
+    }
+    if (opt.sweep) {
+        InstSeq budget = opt.maxInsts ? opt.maxInsts : 100'000;
+        stats::Table table = driver::fig7IpcTable(
+            workloads::timingWorkloadNames(), budget, opt.jobs,
+            !opt.noSkip);
+        table.print(std::cout);
+        return 0;
     }
     if (opt.target.empty())
         return usage();
@@ -130,6 +154,7 @@ main(int argc, char **argv)
     core::SimConfig cfg = driver::paperConfig();
     cfg.numNodes = opt.nodes;
     cfg.maxInsts = opt.maxInsts;
+    cfg.eventDriven = !opt.noSkip;
     if (opt.ring)
         cfg.interconnect = core::InterconnectKind::Ring;
 
