@@ -42,16 +42,16 @@ sweep(const std::string &workload, const char *param,
         core::SimConfig cfg = driver::paperConfig();
         cfg.maxInsts = budget;
         apply(cfg, v);
-        auto add = [&](const char *system, unsigned nodes) {
+        auto add = [&](driver::SystemKind system, unsigned nodes) {
             cfg.numNodes = nodes;
             points.push_back(
                 driver::SweepPoint{workload, system, cfg, 1, 1});
         };
-        add("perfect", 2);
-        add("datascalar", 2);
-        add("datascalar", 4);
-        add("traditional", 2);
-        add("traditional", 4);
+        add(driver::SystemKind::Perfect, 2);
+        add(driver::SystemKind::DataScalar, 2);
+        add(driver::SystemKind::DataScalar, 4);
+        add(driver::SystemKind::Traditional, 2);
+        add(driver::SystemKind::Traditional, 4);
     }
 
     std::vector<core::RunResult> results =

@@ -62,7 +62,8 @@ main(int argc, char **argv)
                                driver::figure7PageTable(p, 2));
 
     std::ostringstream trace;
-    sys.setTrace(&trace);
+    TextTraceSink sink(trace);
+    sys.setTraceSink(&sink);
     sys.run();
 
     std::printf("first %u protocol events:\n", max_events);

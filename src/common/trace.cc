@@ -1,0 +1,49 @@
+#include "common/trace.hh"
+
+#include "common/logging.hh"
+
+namespace dscalar {
+
+const char *
+traceEventKindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::Broadcast:
+        return "broadcast";
+      case TraceEventKind::ReparativeBroadcast:
+        return "reparative-broadcast";
+      case TraceEventKind::RecoveryBroadcast:
+        return "recovery-broadcast";
+      case TraceEventKind::Rerequest:
+        return "rerequest";
+      case TraceEventKind::BshrWake:
+        return "bshr-wake";
+      case TraceEventKind::BshrBuffer:
+        return "bshr-buffer";
+      case TraceEventKind::BshrSquash:
+        return "bshr-squash";
+      case TraceEventKind::BshrDropFull:
+        return "bshr-drop-full";
+      case TraceEventKind::FalseHit:
+        return "false-hit";
+      case TraceEventKind::FalseMiss:
+        return "false-miss";
+      case TraceEventKind::FaultDrop:
+        return "fault-drop";
+      case TraceEventKind::FaultDuplicate:
+        return "fault-dup";
+      case TraceEventKind::FaultDelay:
+        return "fault-delay";
+    }
+    panic("unknown TraceEventKind %d", static_cast<int>(kind));
+}
+
+void
+TextTraceSink::event(const ProtocolEvent &ev)
+{
+    os_ << "node " << ev.node << " @" << ev.cycle << ": "
+        << traceEventKindName(ev.kind) << " 0x" << std::hex << ev.line
+        << std::dec << '\n';
+}
+
+} // namespace dscalar

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Typed protocol-event tracing.
+ *
+ * Simulation components emit ProtocolEvent records to an abstract
+ * TraceSink instead of formatting text themselves: tools that want
+ * the human-readable log attach a TextTraceSink (whose output is the
+ * legacy `setTrace` format, line for line), while tests that want to
+ * count events without string matching attach a CountingTraceSink.
+ */
+
+#ifndef DSCALAR_COMMON_TRACE_HH
+#define DSCALAR_COMMON_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+
+#include "common/types.hh"
+
+namespace dscalar {
+
+/** Protocol event classes observable through a TraceSink. */
+enum class TraceEventKind : std::uint8_t {
+    Broadcast,           ///< owner pushed a line (ESP data push)
+    ReparativeBroadcast, ///< late broadcast repairing a false hit
+    RecoveryBroadcast,   ///< owner re-broadcast answering a re-request
+    Rerequest,           ///< waiter timed out and asked the owner again
+    BshrWake,            ///< broadcast woke a waiting BSHR entry
+    BshrBuffer,          ///< broadcast buffered for a future consumer
+    BshrSquash,          ///< broadcast consumed by a pending squash
+    BshrDropFull,        ///< hard-capacity BSHR refused to buffer
+    FalseHit,            ///< issue-time hit, canonical miss
+    FalseMiss,           ///< issue-time miss, canonical hit
+    FaultDrop,           ///< fault model lost a transmission
+    FaultDuplicate,      ///< fault model duplicated a transmission
+    FaultDelay           ///< fault model jittered a delivery
+};
+
+/** Number of TraceEventKind values (counter array sizes). */
+inline constexpr std::size_t numTraceEventKinds = 13;
+
+/** @return printable name of @p kind (stable; used by the text log). */
+const char *traceEventKindName(TraceEventKind kind);
+
+/** One typed protocol event. */
+struct ProtocolEvent
+{
+    NodeId node = 0;
+    Cycle cycle = 0;
+    TraceEventKind kind = TraceEventKind::Broadcast;
+    Addr line = invalidAddr;
+};
+
+/** Receiver of typed protocol events. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void event(const ProtocolEvent &ev) = 0;
+};
+
+/**
+ * Formats events in the legacy text-trace format:
+ * `node <id> @<cycle>: <event-name> 0x<line>`.
+ */
+class TextTraceSink final : public TraceSink
+{
+  public:
+    explicit TextTraceSink(std::ostream &os) : os_(os) {}
+    void event(const ProtocolEvent &ev) override;
+
+  private:
+    std::ostream &os_;
+};
+
+/** Counts events per kind; no formatting. */
+class CountingTraceSink final : public TraceSink
+{
+  public:
+    void
+    event(const ProtocolEvent &ev) override
+    {
+        ++counts_[static_cast<std::size_t>(ev.kind)];
+    }
+
+    std::uint64_t
+    count(TraceEventKind kind) const
+    {
+        return counts_[static_cast<std::size_t>(kind)];
+    }
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (auto c : counts_)
+            sum += c;
+        return sum;
+    }
+
+  private:
+    std::array<std::uint64_t, numTraceEventKinds> counts_{};
+};
+
+} // namespace dscalar
+
+#endif // DSCALAR_COMMON_TRACE_HH

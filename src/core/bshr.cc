@@ -43,6 +43,8 @@ Bshr::requestLine(Addr line, Cycle now, Cycle &ready_at)
         eraseIfIdle(line);
         return Lookup::FoundBuffered;
     }
+    if (ls.waiters == 0)
+        ls.firstWaitAt = now;
     ++ls.waiters;
     bumpOccupancy(+1);
     ++stats_.waiterAllocs;
@@ -64,14 +66,57 @@ Bshr::deliver(Addr line, Cycle now, Cycle &ready_at)
         --ls.waiters;
         bumpOccupancy(-1);
         ++stats_.wokenWaiters;
+        if (ls.waiters > 0)
+            ls.firstWaitAt = now; // remaining waiters' age restarts
         ready_at = now + latency_;
         eraseIfIdle(line);
         return Deliver::WokeWaiter;
+    }
+    if (hard_ && occupancy_ >= capacity_) {
+        // Full bank, nothing to consume the data: refuse to buffer.
+        // The line is recoverable — a node that later misses on it
+        // re-requests it from the owner.
+        ++stats_.fullDrops;
+        eraseIfIdle(line);
+        return Deliver::DroppedFull;
     }
     ++ls.buffered;
     bumpOccupancy(+1);
     ++stats_.buffered;
     return Deliver::Buffered;
+}
+
+bool
+Bshr::canAccept(Addr line) const
+{
+    if (!hard_ || occupancy_ < capacity_)
+        return true;
+    auto it = lines_.find(line);
+    return it != lines_.end() && it->second.buffered > 0;
+}
+
+unsigned
+Bshr::waiterCount(Addr line) const
+{
+    auto it = lines_.find(line);
+    return it == lines_.end() ? 0 : it->second.waiters;
+}
+
+std::vector<BshrEntryInfo>
+Bshr::entries() const
+{
+    std::vector<BshrEntryInfo> out;
+    out.reserve(lines_.size());
+    for (const auto &[line, ls] : lines_) {
+        out.push_back(BshrEntryInfo{line, ls.waiters, ls.buffered,
+                                    ls.pendingSquashes,
+                                    ls.firstWaitAt});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const BshrEntryInfo &a, const BshrEntryInfo &b) {
+                  return a.line < b.line;
+              });
+    return out;
 }
 
 bool

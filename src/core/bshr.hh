@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -32,6 +33,7 @@ struct BshrStats
     std::uint64_t squashes = 0;       ///< entries squashed (col 2)
     std::uint64_t maxOccupancy = 0;
     std::uint64_t overflowEvents = 0; ///< occupancy above capacity
+    std::uint64_t fullDrops = 0;      ///< hard mode refused to buffer
 
     /** Accesses = local lookups + deliveries (squash denominator). */
     std::uint64_t
@@ -41,12 +43,22 @@ struct BshrStats
     }
 };
 
+/** Diagnostic snapshot of one allocated BSHR line (watchdog dump). */
+struct BshrEntryInfo
+{
+    Addr line = invalidAddr;
+    unsigned waiters = 0;
+    unsigned buffered = 0;
+    unsigned pendingSquashes = 0;
+    Cycle firstWaitAt = 0; ///< cycle the oldest current waiter arrived
+};
+
 /** One node's BSHR bank. */
 class Bshr
 {
   public:
-    Bshr(Cycle latency, unsigned capacity)
-        : latency_(latency), capacity_(capacity)
+    Bshr(Cycle latency, unsigned capacity, bool hard_capacity = false)
+        : latency_(latency), capacity_(capacity), hard_(hard_capacity)
     {
     }
 
@@ -60,7 +72,8 @@ class Bshr
     enum class Deliver : std::uint8_t {
         WokeWaiter, ///< satisfied an outstanding local request
         Buffered,   ///< stored for a future local request
-        Squashed    ///< dropped (local node committed a false hit)
+        Squashed,   ///< dropped (local node committed a false hit)
+        DroppedFull ///< hard-capacity bank full; needs re-request
     };
 
     /**
@@ -86,6 +99,21 @@ class Bshr
     /** Waiters + buffered lines currently held. */
     std::size_t occupancy() const { return occupancy_; }
 
+    /**
+     * Hard-capacity flow control: can a new waiter for @p line be
+     * allocated? Always true in soft mode; in hard mode, true while
+     * the bank has a free entry or data for @p line already sit
+     * buffered (the request consumes, not allocates).
+     */
+    bool canAccept(Addr line) const;
+
+    /** Outstanding local waiters for @p line. */
+    unsigned waiterCount(Addr line) const;
+
+    /** Allocated lines (waiters/buffers/squashes), sorted by line
+     *  address — diagnostic, for the watchdog dump. */
+    std::vector<BshrEntryInfo> entries() const;
+
     /** True when no waiter, buffer, or pending squash remains. */
     bool drained() const;
 
@@ -97,6 +125,7 @@ class Bshr
         unsigned waiters = 0;
         unsigned buffered = 0;
         unsigned pendingSquashes = 0;
+        Cycle firstWaitAt = 0; ///< arrival of the oldest live waiter
         bool
         idle() const
         {
@@ -109,6 +138,7 @@ class Bshr
 
     Cycle latency_;
     unsigned capacity_;
+    bool hard_ = false;
     std::size_t occupancy_ = 0;
     std::unordered_map<Addr, LineState> lines_;
     BshrStats stats_;

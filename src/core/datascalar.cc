@@ -1,6 +1,7 @@
 #include "core/datascalar.hh"
 
 #include <algorithm>
+#include <iostream>
 
 #include "common/logging.hh"
 
@@ -12,9 +13,16 @@ DataScalarSystem::DataScalarSystem(const prog::Program &program,
                                    mem::PageTable ptable)
     : config_(config), oracle_(program),
       stream_(oracle_, config.maxInsts), ptable_(std::move(ptable)),
-      bus_(config.bus), ring_(config.numNodes, config.ring)
+      bus_(config.bus), ring_(config.numNodes, config.ring),
+      faults_(config.fault),
+      recoveryActive_(config.rerequestTimeout > 0)
 {
     fatal_if(config_.numNodes < 1, "need at least one node");
+    fatal_if(config_.bshrHardCapacity && !recoveryActive_,
+             "bshrHardCapacity drops broadcasts at a full bank and "
+             "needs re-request recovery (set rerequestTimeout > 0)");
+    bus_.setFaultModel(&faults_);
+    ring_.setFaultModel(&faults_);
     fatal_if(ptable_.numNodes() != config_.numNodes,
              "page table built for %u nodes, system has %u",
              ptable_.numNodes(), config_.numNodes);
@@ -43,16 +51,20 @@ DataScalarSystem::broadcast(NodeId src, Addr line,
         return;
     unsigned line_size = config_.core.dcache.lineSize;
     if (config_.interconnect == InterconnectKind::Ring) {
-        for (const interconnect::RingDelivery &d :
-             ring_.broadcast(kind, line_size, src, ready)) {
+        interconnect::RingBroadcastResult res =
+            ring_.broadcast(kind, line_size, src, line, ready);
+        for (const interconnect::RingDelivery &d : res.deliveries) {
             deliveries_.push(Delivery{d.at, deliveryOrder_++, src,
-                                      line, true, d.node});
+                                      line, kind, true, d.node});
         }
         return;
     }
-    Cycle delivered = bus_.send(kind, line_size, ready);
-    deliveries_.push(
-        Delivery{delivered, deliveryOrder_++, src, line});
+    interconnect::BusTransmitResult res =
+        bus_.transmit(kind, line_size, src, line, ready);
+    for (unsigned i = 0; i < res.numDeliveries; ++i) {
+        deliveries_.push(
+            Delivery{res.at[i], deliveryOrder_++, src, line, kind});
+    }
 }
 
 std::size_t
@@ -87,17 +99,29 @@ DataScalarSystem::run()
         while (!deliveries_.empty() && deliveries_.top().at <= now) {
             Delivery d = deliveries_.top();
             deliveries_.pop();
+            bool rereq = d.kind == interconnect::MsgKind::Rerequest;
             if (d.targeted) {
-                nodes_[d.target]->deliverBroadcast(d.line, now);
+                if (rereq)
+                    nodes_[d.target]->deliverRerequest(d.line, now);
+                else
+                    nodes_[d.target]->deliverBroadcast(d.line, now);
                 wake[d.target] = now;
             } else {
                 for (auto &node : nodes_) {
                     if (node->id() != d.src) {
-                        node->deliverBroadcast(d.line, now);
+                        if (rereq)
+                            node->deliverRerequest(d.line, now);
+                        else
+                            node->deliverBroadcast(d.line, now);
                         wake[node->id()] = now;
                     }
                 }
             }
+        }
+
+        if (recoveryActive_) {
+            for (auto &node : nodes_)
+                node->checkRecovery(now);
         }
 
         bool all_done = true;
@@ -122,6 +146,7 @@ DataScalarSystem::run()
             last_min_commit = min_commit;
             last_progress_cycle = now;
         } else if (now - last_progress_cycle > config_.watchdogCycles) {
+            watchdogDump(std::cerr, now);
             panic("no commit progress for %llu cycles "
                   "(min committed %llu @ cycle %llu; %zu deliveries "
                   "pending, next at %llu; all_done=%d) -- "
@@ -144,6 +169,13 @@ DataScalarSystem::run()
             Cycle soonest = nextDeliveryCycle();
             for (Cycle w : wake)
                 soonest = std::min(soonest, w);
+            if (recoveryActive_) {
+                // Re-requests must fire at the same cycle in both
+                // run-loop modes.
+                for (const auto &node : nodes_)
+                    soonest =
+                        std::min(soonest, node->nextRecoveryCycle());
+            }
             // Never skip past the cycle where the watchdog would
             // fire: a deadlocked run must panic at the same cycle
             // the single-stepping loop panics at.
@@ -167,10 +199,31 @@ DataScalarSystem::run()
 }
 
 void
-DataScalarSystem::setTrace(std::ostream *os)
+DataScalarSystem::setTraceSink(TraceSink *sink)
 {
     for (auto &node : nodes_)
-        node->setTrace(os);
+        node->setTraceSink(sink);
+    faults_.setTraceSink(sink);
+}
+
+void
+DataScalarSystem::watchdogDump(std::ostream &os, Cycle now) const
+{
+    os << "==== watchdog diagnostics @ cycle " << now << " ====\n";
+    for (const auto &node : nodes_)
+        node->watchdogDump(os, now);
+    os << "in-flight messages: " << deliveries_.size() << '\n';
+    auto copy = deliveries_;
+    while (!copy.empty()) {
+        const Delivery &d = copy.top();
+        os << "  " << interconnect::msgKindName(d.kind) << " 0x"
+           << std::hex << d.line << std::dec << " from node " << d.src
+           << ", delivers @" << d.at;
+        if (d.targeted)
+            os << " to node " << d.target;
+        os << '\n';
+        copy.pop();
+    }
 }
 
 void
@@ -197,6 +250,19 @@ DataScalarSystem::dumpStats(std::ostream &os) const
         os << "  ring_link_busy_cycles             "
            << ring_.linkBusyCycles()
            << "  # summed link occupancy\n";
+    }
+    if (faults_.enabled()) {
+        const interconnect::FaultStats &fs = faults_.faultStats();
+        os << "  fault_decisions                   " << fs.decisions
+           << "  # transmissions considered\n";
+        os << "  fault_drops                       " << fs.drops
+           << "  # transmissions lost\n";
+        os << "  fault_duplicates                  " << fs.duplicates
+           << "  # transmissions duplicated\n";
+        os << "  fault_delays                      " << fs.delays
+           << "  # deliveries jittered\n";
+        os << "  fault_delay_cycles                " << fs.delayCycles
+           << "  # summed injected jitter\n";
     }
     for (const auto &node : nodes_)
         node->dumpStats(os);

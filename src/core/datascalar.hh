@@ -15,10 +15,12 @@
 #include <queue>
 #include <vector>
 
+#include "common/trace.hh"
 #include "core/node.hh"
 #include "core/sim_config.hh"
 #include "func/func_sim.hh"
 #include "interconnect/bus.hh"
+#include "interconnect/fault_model.hh"
 #include "mem/page_table.hh"
 #include "ooo/oracle_stream.hh"
 #include "prog/program.hh"
@@ -40,6 +42,7 @@ class DataScalarSystem : public BroadcastPort
     const DataScalarNode &node(NodeId id) const { return *nodes_.at(id); }
     const interconnect::Bus &bus() const { return bus_; }
     const interconnect::Ring &ring() const { return ring_; }
+    const interconnect::FaultModel &faultModel() const { return faults_; }
 
     /** Pages held in node @p id's local memory (owned + replicated),
      *  the per-node capacity an IRAM part would need. */
@@ -51,6 +54,12 @@ class DataScalarSystem : public BroadcastPort
      * End-of-run protocol invariant: every broadcast was consumed —
      * no waiter, buffered line, or pending squash remains in any
      * BSHR, and no delivery is in flight.
+     *
+     * Holds only on a reliable medium. Injected faults and hard
+     * BSHR capacity deliberately break exactly-once delivery, so
+     * benign residue (a stranded pending squash, an unconsumed
+     * duplicate) is expected on such runs; completion there means
+     * every core committed and no waiter remains.
      */
     bool protocolDrained() const;
 
@@ -62,11 +71,17 @@ class DataScalarSystem : public BroadcastPort
         return deliveries_.empty() ? cycleMax : deliveries_.top().at;
     }
 
-    /** Stream per-node protocol events; nullptr disables. */
-    void setTrace(std::ostream *os);
+    /** Emit typed protocol events (per-node, core disparity, and
+     *  fault events) to @p sink; nullptr disables. */
+    void setTraceSink(TraceSink *sink);
 
     /** Write a gem5-style stats dump for the whole system. */
     void dumpStats(std::ostream &os) const;
+
+    /** Structured deadlock diagnostics: per-node pipeline heads,
+     *  BSHR contents with ages, and in-flight messages. Written to
+     *  stderr automatically when the watchdog fires. */
+    void watchdogDump(std::ostream &os, Cycle now) const;
 
     // BroadcastPort ---------------------------------------------------
     void broadcast(NodeId src, Addr line, interconnect::MsgKind kind,
@@ -79,6 +94,7 @@ class DataScalarSystem : public BroadcastPort
         std::uint64_t order; ///< tie-break for determinism
         NodeId src;
         Addr line;
+        interconnect::MsgKind kind = interconnect::MsgKind::Broadcast;
         /** Single receiver (ring), or all non-src nodes (bus). */
         bool targeted = false;
         NodeId target = 0;
@@ -97,6 +113,8 @@ class DataScalarSystem : public BroadcastPort
     mem::PageTable ptable_;
     interconnect::Bus bus_;
     interconnect::Ring ring_;
+    interconnect::FaultModel faults_;
+    bool recoveryActive_ = false;
     std::vector<std::unique_ptr<DataScalarNode>> nodes_;
     std::priority_queue<Delivery, std::vector<Delivery>,
                         std::greater<Delivery>>

@@ -1,5 +1,6 @@
 #include "core/node.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -14,7 +15,14 @@ DataScalarNode::DataScalarNode(NodeId id, const SimConfig &config,
                                ooo::OracleStream &stream,
                                BroadcastPort &port)
     : id_(id), ptable_(ptable), port_(port), localMem_(config.mem),
-      bshr_(config.bshrLatency, config.bshrCapacity),
+      bshr_(config.bshrLatency, config.bshrCapacity,
+            config.bshrHardCapacity),
+      rerequestTimeout_(config.rerequestTimeout),
+      backoffCap_(config.rerequestBackoffCap
+                      ? config.rerequestBackoffCap
+                      : 8 * config.rerequestTimeout),
+      maxRetries_(config.rerequestMaxRetries),
+      hardBshr_(config.bshrHardCapacity),
       core_(config.core, stream, *this)
 {
 }
@@ -40,7 +48,7 @@ DataScalarNode::startLineFetch(Addr line, Cycle now)
         if (isOwner(line)) {
             // ESP: push the operand to every other node.
             ++stats_.ownerBroadcasts;
-            traceEvent(now, "broadcast", line);
+            traceEvent(now, TraceEventKind::Broadcast, line);
             port_.broadcast(id_, line, MsgKind::Broadcast, done);
         }
         return {done, false};
@@ -52,6 +60,13 @@ DataScalarNode::startLineFetch(Addr line, Cycle now)
     Cycle ready = 0;
     if (bshr_.requestLine(line, now, ready) == Bshr::Lookup::FoundBuffered)
         return {ready, true};
+    if (rerequestTimeout_ > 0) {
+        // Arm recovery: if no broadcast lands within the timeout,
+        // re-request the line from its owner. An existing entry keeps
+        // its (earlier) deadline.
+        rerequests_.emplace(line,
+                            RetryState{0, now + rerequestTimeout_});
+    }
     return {cycleMax, false};
 }
 
@@ -68,7 +83,7 @@ DataScalarNode::onUnclaimedCanonicalMiss(Addr line, Cycle now)
         // Reparative broadcast: the other nodes are (or will be)
         // waiting for data this node's issue stream never missed on.
         ++stats_.reparativeBroadcasts;
-        traceEvent(now, "reparative-broadcast", line);
+        traceEvent(now, TraceEventKind::ReparativeBroadcast, line);
         port_.broadcast(id_, line, MsgKind::ReparativeBroadcast, now);
     } else {
         bshr_.registerSquash(line);
@@ -116,26 +131,115 @@ DataScalarNode::deliverBroadcast(Addr line, Cycle now)
     Cycle ready = 0;
     switch (bshr_.deliver(line, now, ready)) {
       case Bshr::Deliver::WokeWaiter:
-        traceEvent(now, "bshr-wake", line);
+        traceEvent(now, TraceEventKind::BshrWake, line);
         core_.fillArrived(line, ready, now);
+        recoverySettle(line, now);
         break;
       case Bshr::Deliver::Buffered:
-        traceEvent(now, "bshr-buffer", line);
+        traceEvent(now, TraceEventKind::BshrBuffer, line);
+        recoverySettle(line, now);
         break;
       case Bshr::Deliver::Squashed:
-        traceEvent(now, "bshr-squash", line);
+        traceEvent(now, TraceEventKind::BshrSquash, line);
+        break;
+      case Bshr::Deliver::DroppedFull:
+        // Hard-capacity bank refused the data; any node that later
+        // misses on the line recovers it via re-request.
+        traceEvent(now, TraceEventKind::BshrDropFull, line);
         break;
     }
 }
 
 void
-DataScalarNode::traceEvent(Cycle now, const char *event,
+DataScalarNode::deliverRerequest(Addr line, Cycle now)
+{
+    // Only the owner can answer; every other node sees the
+    // re-request on the broadcast medium and ignores it.
+    if (!isOwner(line))
+        return;
+    ++stats_.recoveryBroadcasts;
+    traceEvent(now, TraceEventKind::RecoveryBroadcast, line);
+    Cycle done = localMem_.request(line, now);
+    port_.broadcast(id_, line, MsgKind::Broadcast, done);
+}
+
+void
+DataScalarNode::recoverySettle(Addr line, Cycle now)
+{
+    if (rerequestTimeout_ == 0)
+        return;
+    auto it = rerequests_.find(line);
+    if (it == rerequests_.end())
+        return;
+    if (bshr_.waiterCount(line) > 0) {
+        // Data flowed but more waiters remain (e.g.\ a duplicate miss
+        // episode): restart the clock with a clean attempt count.
+        it->second = RetryState{0, now + rerequestTimeout_};
+    } else {
+        rerequests_.erase(it);
+    }
+}
+
+void
+DataScalarNode::checkRecovery(Cycle now)
+{
+    if (rerequestTimeout_ == 0)
+        return;
+    for (auto &[line, st] : rerequests_) {
+        if (st.nextAt > now)
+            continue;
+        if (bshr_.waiterCount(line) == 0) {
+            // Waiter satisfied through another path (e.g.\ buffered
+            // hit); the entry is swept here rather than erased
+            // mid-loop.
+            st.nextAt = cycleMax;
+            continue;
+        }
+        panic_if(st.attempts >= maxRetries_,
+                 "node %u: line 0x%llx still missing after %u "
+                 "re-requests -- owner unreachable?",
+                 id_, (unsigned long long)line, st.attempts);
+        ++stats_.rerequestsSent;
+        traceEvent(now, TraceEventKind::Rerequest, line);
+        port_.broadcast(id_, line, MsgKind::Rerequest, now);
+        ++st.attempts;
+        // Exponential backoff: timeout, 2*timeout, ... capped.
+        Cycle backoff = rerequestTimeout_;
+        for (unsigned i = 0; i < st.attempts && backoff < backoffCap_;
+             ++i)
+            backoff *= 2;
+        st.nextAt = now + std::min(backoff, backoffCap_);
+    }
+}
+
+Cycle
+DataScalarNode::nextRecoveryCycle() const
+{
+    Cycle soonest = cycleMax;
+    for (const auto &[line, st] : rerequests_)
+        soonest = std::min(soonest, st.nextAt);
+    return soonest;
+}
+
+void
+DataScalarNode::setTraceSink(TraceSink *sink)
+{
+    trace_ = sink;
+    core_.setTraceSink(sink, id_);
+}
+
+bool
+DataScalarNode::canAcceptFetch(Addr line) const
+{
+    return !hardBshr_ || isLocal(line) || bshr_.canAccept(line);
+}
+
+void
+DataScalarNode::traceEvent(Cycle now, TraceEventKind kind,
                            Addr line) const
 {
-    if (trace_) {
-        *trace_ << "node " << id_ << " @" << now << ": " << event
-                << " 0x" << std::hex << line << std::dec << '\n';
-    }
+    if (trace_)
+        trace_->event({id_, now, kind, line});
 }
 
 void
@@ -186,6 +290,49 @@ DataScalarNode::dumpStats(std::ostream &os) const
     line("bshr_squashes", bs.squashes, "squashed BSHR entries");
     line("bshr_max_occupancy", bs.maxOccupancy,
          "peak BSHR entries in use");
+    if (rerequestTimeout_ > 0) {
+        line("rerequests_sent", stats_.rerequestsSent,
+             "recovery re-requests issued");
+        line("recovery_broadcasts", stats_.recoveryBroadcasts,
+             "re-requests answered as owner");
+    }
+    if (hardBshr_) {
+        line("bshr_full_drops", bs.fullDrops,
+             "broadcasts refused by the full bank");
+        line("backend_stall_events", cs.backendStallEvents,
+             "loads stalled on BSHR flow control");
+    }
+}
+
+void
+DataScalarNode::watchdogDump(std::ostream &os, Cycle now) const
+{
+    os << "node " << id_ << ": committed "
+       << core_.coreStats().committed << ", window "
+       << core_.windowSize() << " uops, done "
+       << (core_.done() ? 1 : 0) << '\n';
+    auto entries = bshr_.entries();
+    os << "  bshr: " << bshr_.occupancy() << " occupied, "
+       << entries.size() << " lines\n";
+    for (const auto &e : entries) {
+        os << "    line 0x" << std::hex << e.line << std::dec << ": "
+           << e.waiters << " waiters, " << e.buffered << " buffered, "
+           << e.pendingSquashes << " pending squashes";
+        if (e.waiters > 0) {
+            os << ", oldest waiter age "
+               << (now >= e.firstWaitAt ? now - e.firstWaitAt : 0);
+        }
+        os << '\n';
+    }
+    for (const auto &[line, st] : rerequests_) {
+        os << "    rerequest 0x" << std::hex << line << std::dec
+           << ": " << st.attempts << " attempts, next at cycle ";
+        if (st.nextAt == cycleMax)
+            os << "never";
+        else
+            os << st.nextAt;
+        os << '\n';
+    }
 }
 
 } // namespace core

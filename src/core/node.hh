@@ -9,9 +9,11 @@
 #define DSCALAR_CORE_NODE_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <ostream>
 
+#include "common/trace.hh"
 #include "core/bshr.hh"
 #include "core/sim_config.hh"
 #include "interconnect/message.hh"
@@ -49,6 +51,8 @@ struct NodeStats
     std::uint64_t localStoreWrites = 0;
     std::uint64_t droppedStoreWrites = 0;
     std::uint64_t instLineFills = 0;
+    std::uint64_t rerequestsSent = 0;      ///< recovery retries issued
+    std::uint64_t recoveryBroadcasts = 0;  ///< re-requests answered
 
     std::uint64_t
     totalBroadcasts() const
@@ -75,12 +79,30 @@ class DataScalarNode : public ooo::MemBackend
     /** A broadcast arrived from the bus at cycle @p now. */
     void deliverBroadcast(Addr line, Cycle now);
 
-    /** Stream protocol events ("node 1 @c: broadcast 0x...") to
-     *  @p os; nullptr disables tracing. */
-    void setTrace(std::ostream *os) { trace_ = os; }
+    /** A MsgKind::Rerequest for @p line arrived at cycle @p now;
+     *  the owner answers with a fresh broadcast, others ignore it. */
+    void deliverRerequest(Addr line, Cycle now);
+
+    /**
+     * Re-request recovery scan: every armed line whose deadline has
+     * passed sends MsgKind::Rerequest to its owner and backs off
+     * exponentially. No-op unless rerequestTimeout > 0.
+     */
+    void checkRecovery(Cycle now);
+
+    /** Earliest cycle checkRecovery could act, or cycleMax — feeds
+     *  the event-driven run loop's skip horizon. */
+    Cycle nextRecoveryCycle() const;
+
+    /** Emit typed protocol events to @p sink; nullptr disables. */
+    void setTraceSink(TraceSink *sink);
 
     /** Write a gem5-style stats block for this node. */
     void dumpStats(std::ostream &os) const;
+
+    /** Structured deadlock diagnostics: pipeline head, BSHR contents
+     *  with ages, armed re-requests. */
+    void watchdogDump(std::ostream &os, Cycle now) const;
 
     // MemBackend interface --------------------------------------------
     ooo::FillResult startLineFetch(Addr line, Cycle now) override;
@@ -88,21 +110,41 @@ class DataScalarNode : public ooo::MemBackend
     void writeBack(Addr line, Cycle now) override;
     void storeMiss(Addr line, Cycle now) override;
     Cycle fetchInstLine(Addr line, Cycle now) override;
+    bool canAcceptFetch(Addr line) const override;
+    bool fetchesMayStall() const override { return hardBshr_; }
 
   private:
+    /** Re-request state for one line with a timed-out BSHR waiter. */
+    struct RetryState
+    {
+        unsigned attempts = 0;
+        Cycle nextAt = 0; ///< next re-request deadline
+    };
+
     bool isLocal(Addr line) const;
     bool isOwner(Addr line) const;
 
-    void traceEvent(Cycle now, const char *event, Addr line) const;
+    void traceEvent(Cycle now, TraceEventKind kind, Addr line) const;
+    /** Arm or clear retry tracking after data for @p line arrived. */
+    void recoverySettle(Addr line, Cycle now);
 
     NodeId id_;
     const mem::PageTable &ptable_;
     BroadcastPort &port_;
     mem::MainMemory localMem_;
     Bshr bshr_;
+    // Recovery configuration (0 timeout = recovery off). Initialized
+    // before core_: its constructor queries fetchesMayStall().
+    Cycle rerequestTimeout_ = 0;
+    Cycle backoffCap_ = 0;
+    unsigned maxRetries_ = 0;
+    bool hardBshr_ = false;
     ooo::OoOCore core_;
     NodeStats stats_;
-    std::ostream *trace_ = nullptr;
+    TraceSink *trace_ = nullptr;
+    /** Armed re-requests by line; ordered so scan order (and thus
+     *  interconnect call order) is deterministic. */
+    std::map<Addr, RetryState> rerequests_;
 };
 
 } // namespace core

@@ -10,6 +10,7 @@
 
 #include "common/types.hh"
 #include "interconnect/bus.hh"
+#include "interconnect/fault_model.hh"
 #include "interconnect/ring.hh"
 #include "mem/main_memory.hh"
 #include "ooo/core.hh"
@@ -33,9 +34,36 @@ struct SimConfig
     interconnect::RingParams ring;   ///< used when interconnect==Ring
     unsigned numNodes = 2;
     Cycle bshrLatency = 1;           ///< BSHR access time in cycles
-    /** Architected BSHR capacity; the model is soft (occupancy above
-     *  this is reported, not enforced, mirroring flow control). */
+    /** Architected BSHR capacity; the model is soft by default
+     *  (occupancy above this is reported, not enforced); see
+     *  @ref bshrHardCapacity. */
     unsigned bshrCapacity = 128;
+    /**
+     * Enforce bshrCapacity: a load that would allocate a BSHR waiter
+     * while the bank is full stalls at issue (NACK-free flow
+     * control; the oldest instruction bypasses the check so forward
+     * progress is never lost), and an arriving broadcast that would
+     * have to buffer in a full bank is dropped and recovered via
+     * re-request. Requires rerequestTimeout > 0.
+     */
+    bool bshrHardCapacity = false;
+    /** Interconnect fault injection (all-off defaults = the paper's
+     *  perfectly reliable medium). */
+    interconnect::FaultParams fault;
+    /**
+     * Re-request recovery: a node whose BSHR waiter has seen no data
+     * for this many cycles sends MsgKind::Rerequest to the owner,
+     * which re-broadcasts the line. Retries back off exponentially
+     * (doubling, capped at rerequestBackoffCap) up to
+     * rerequestMaxRetries attempts. 0 disables recovery (the paper's
+     * protocol, where a lost broadcast is fatal).
+     */
+    Cycle rerequestTimeout = 0;
+    /** Backoff ceiling; 0 = 8 * rerequestTimeout. */
+    Cycle rerequestBackoffCap = 0;
+    /** Give up (watchdog-style panic) after this many re-requests
+     *  for one line. */
+    unsigned rerequestMaxRetries = 16;
     /** Truncate runs after this many instructions (0 = completion). */
     InstSeq maxInsts = 0;
     /**

@@ -27,6 +27,37 @@ paperConfig()
     return cfg;
 }
 
+const char *
+systemKindName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Perfect: return "perfect";
+      case SystemKind::DataScalar: return "datascalar";
+      case SystemKind::Traditional: return "traditional";
+    }
+    fatal("unknown SystemKind %d", static_cast<int>(kind));
+}
+
+bool
+parseSystemKind(const std::string &name, SystemKind &out)
+{
+    if (name == "perfect")
+        out = SystemKind::Perfect;
+    else if (name == "datascalar")
+        out = SystemKind::DataScalar;
+    else if (name == "traditional")
+        out = SystemKind::Traditional;
+    else
+        return false;
+    return true;
+}
+
+mem::CacheParams
+table1CacheParams()
+{
+    return mem::CacheParams{64 * 1024, 2, 32, true};
+}
+
 core::PageHeat
 profilePages(const prog::Program &program, InstSeq max_insts)
 {
@@ -133,10 +164,10 @@ measureDatathreads(const prog::Program &program,
                    InstSeq max_insts)
 {
     func::FuncSim sim(program);
-    // Section 3's study cache: 64 KB two-way (shared approximation
-    // for both reference kinds; the paper filtered through its L1).
-    mem::Cache dcache({64 * 1024, 2, 32, true});
-    mem::Cache icache({64 * 1024, 2, 32, true});
+    // Section 3's study cache (shared approximation for both
+    // reference kinds; the paper filtered through its L1).
+    mem::Cache dcache(table1CacheParams());
+    mem::Cache icache(table1CacheParams());
 
     DatathreadResult result;
     result.replicated = rep;
@@ -215,28 +246,48 @@ figure7PageTable(const prog::Program &program, unsigned num_nodes,
 }
 
 core::RunResult
+runSystem(SystemKind system, const prog::Program &program,
+          const core::SimConfig &config, unsigned block_pages)
+{
+    switch (system) {
+      case SystemKind::Perfect: {
+        baseline::PerfectSystem sys(program, config);
+        return sys.run();
+      }
+      case SystemKind::DataScalar: {
+        core::DataScalarSystem sys(
+            program, config,
+            figure7PageTable(program, config.numNodes, block_pages));
+        return sys.run();
+      }
+      case SystemKind::Traditional: {
+        baseline::TraditionalSystem sys(
+            program, config,
+            figure7PageTable(program, config.numNodes, block_pages));
+        return sys.run();
+      }
+    }
+    fatal("unknown SystemKind %d", static_cast<int>(system));
+}
+
+core::RunResult
 runDataScalar(const prog::Program &program,
               const core::SimConfig &config)
 {
-    core::DataScalarSystem system(
-        program, config, figure7PageTable(program, config.numNodes));
-    return system.run();
+    return runSystem(SystemKind::DataScalar, program, config);
 }
 
 core::RunResult
 runTraditional(const prog::Program &program,
                const core::SimConfig &config)
 {
-    baseline::TraditionalSystem system(
-        program, config, figure7PageTable(program, config.numNodes));
-    return system.run();
+    return runSystem(SystemKind::Traditional, program, config);
 }
 
 core::RunResult
 runPerfect(const prog::Program &program, const core::SimConfig &config)
 {
-    baseline::PerfectSystem system(program, config);
-    return system.run();
+    return runSystem(SystemKind::Perfect, program, config);
 }
 
 // -------------------------------------------------------------------
@@ -250,23 +301,7 @@ runSweepPoint(const SweepPoint &pt)
 {
     prog::Program program =
         workloads::findWorkload(pt.workload).build(pt.scale);
-    if (pt.system == "perfect")
-        return runPerfect(program, pt.config);
-    if (pt.system == "traditional") {
-        baseline::TraditionalSystem system(
-            program, pt.config,
-            figure7PageTable(program, pt.config.numNodes,
-                             pt.blockPages));
-        return system.run();
-    }
-    if (pt.system == "datascalar") {
-        core::DataScalarSystem system(
-            program, pt.config,
-            figure7PageTable(program, pt.config.numNodes,
-                             pt.blockPages));
-        return system.run();
-    }
-    fatal("unknown sweep system '%s'", pt.system.c_str());
+    return runSystem(pt.system, program, pt.config, pt.blockPages);
 }
 
 } // namespace
@@ -292,15 +327,15 @@ fig7IpcTable(const std::vector<std::string> &workload_names,
         core::SimConfig cfg = paperConfig();
         cfg.maxInsts = budget;
         cfg.eventDriven = event_driven;
-        auto add = [&](const char *system, unsigned nodes) {
+        auto add = [&](SystemKind system, unsigned nodes) {
             cfg.numNodes = nodes;
             points.push_back(SweepPoint{name, system, cfg, 1, 1});
         };
-        add("perfect", 2);
-        add("datascalar", 2);
-        add("datascalar", 4);
-        add("traditional", 2);
-        add("traditional", 4);
+        add(SystemKind::Perfect, 2);
+        add(SystemKind::DataScalar, 2);
+        add(SystemKind::DataScalar, 4);
+        add(SystemKind::Traditional, 2);
+        add(SystemKind::Traditional, 4);
     }
 
     std::vector<core::RunResult> results = runSweep(points, jobs);

@@ -28,6 +28,27 @@ namespace driver {
 /** The paper's Section 4.2 system parameters. */
 core::SimConfig paperConfig();
 
+/** Simulated system family for a timing run. */
+enum class SystemKind : std::uint8_t {
+    Perfect,     ///< perfect-data-cache upper bound
+    DataScalar,  ///< the paper's machine
+    Traditional  ///< request/response baseline
+};
+
+/** @return printable name of @p kind ("perfect" | "datascalar" |
+ *  "traditional"). */
+const char *systemKindName(SystemKind kind);
+
+/**
+ * Parse a CLI system name.
+ * @return false when @p name matches no SystemKind (@p out untouched).
+ */
+bool parseSystemKind(const std::string &name, SystemKind &out);
+
+/** The Table 1 / Section 3 study cache: 64 KB two-way 32 B lines,
+ *  write-allocate write-back. */
+mem::CacheParams table1CacheParams();
+
 /**
  * Profile per-page access counts (instruction and data) with a
  * functional run, for hot-page replication decisions.
@@ -72,8 +93,8 @@ struct TrafficResult
  */
 TrafficResult measureEspTraffic(const prog::Program &program,
                                 InstSeq max_insts = 0,
-                                const mem::CacheParams &dcache = {
-                                    64 * 1024, 2, 32, true});
+                                const mem::CacheParams &dcache =
+                                    table1CacheParams());
 
 // -------------------------------------------------------------------
 // Table 2: datathread-length approximation
@@ -128,6 +149,17 @@ mem::PageTable figure7PageTable(const prog::Program &program,
                                 unsigned num_nodes,
                                 unsigned block_pages = 1);
 
+/**
+ * Run @p program on one system family under @p config — the single
+ * timing-run entry point every bench, test, and sweep goes through.
+ * @p block_pages sets the page-distribution block size (ignored by
+ * Perfect, which has no page table).
+ */
+core::RunResult runSystem(SystemKind system,
+                          const prog::Program &program,
+                          const core::SimConfig &config,
+                          unsigned block_pages = 1);
+
 /** Run an N-node DataScalar system; returns IPC and cycles. */
 core::RunResult runDataScalar(const prog::Program &program,
                               const core::SimConfig &config);
@@ -152,7 +184,7 @@ core::RunResult runPerfect(const prog::Program &program,
 struct SweepPoint
 {
     std::string workload; ///< registered workload name
-    std::string system;   ///< "perfect" | "datascalar" | "traditional"
+    SystemKind system = SystemKind::DataScalar;
     core::SimConfig config;
     unsigned scale = 1;      ///< workload build scale
     unsigned blockPages = 1; ///< page-distribution block size

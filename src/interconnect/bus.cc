@@ -13,6 +13,7 @@ msgKindName(MsgKind kind)
     switch (kind) {
       case MsgKind::Broadcast: return "broadcast";
       case MsgKind::ReparativeBroadcast: return "reparative";
+      case MsgKind::Rerequest: return "rerequest";
       case MsgKind::Request: return "request";
       case MsgKind::Response: return "response";
       case MsgKind::WriteBack: return "writeback";
@@ -53,6 +54,31 @@ Bus::send(MsgKind kind, unsigned line_size, Cycle ready)
     ++kindMessages_[k];
     kindBytes_[k] += nbytes;
     return freeAt_;
+}
+
+BusTransmitResult
+Bus::transmit(MsgKind kind, unsigned line_size, NodeId src,
+              Addr line, Cycle ready)
+{
+    BusTransmitResult res;
+    Cycle primary = send(kind, line_size, ready);
+    if (!faults_ || !faults_->enabled()) {
+        res.numDeliveries = 1;
+        res.at[0] = primary;
+        return res;
+    }
+
+    FaultDecision dec = faults_->decide(kind, src, line, ready);
+    if (dec.drop) {
+        res.dropped = true;
+        return res; // occupancy was charged; nothing is delivered
+    }
+    res.at[res.numDeliveries++] = primary + dec.delay;
+    if (dec.duplicate) {
+        res.duplicated = true;
+        res.at[res.numDeliveries++] = send(kind, line_size, primary);
+    }
+    return res;
 }
 
 std::uint64_t

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "interconnect/fault_model.hh"
 #include "interconnect/message.hh"
 
 namespace dscalar {
@@ -27,6 +28,15 @@ struct BusParams
     Cycle clockDivisor = 10;   ///< core cycles per bus clock
     unsigned headerBytes = 8;  ///< address/tag overhead per message
     Cycle interfacePenalty = 2; ///< queue penalty before bus entry
+};
+
+/** Result of one fault-aware bus transmission. */
+struct BusTransmitResult
+{
+    unsigned numDeliveries = 0; ///< 0 (dropped), 1, or 2 (duplicated)
+    Cycle at[2] = {0, 0};       ///< delivery cycles of each copy
+    bool dropped = false;
+    bool duplicated = false;
 };
 
 /** Occupancy + traffic-accounting model of the global bus. */
@@ -44,6 +54,20 @@ class Bus
      * @return core cycle at which delivery completes at receivers.
      */
     Cycle send(MsgKind kind, unsigned line_size, Cycle ready);
+
+    /** Attach the fault source consulted by transmit(); nullptr (the
+     *  default) models a perfect medium. */
+    void setFaultModel(FaultModel *faults) { faults_ = faults; }
+
+    /**
+     * Fault-aware variant of send(): the message from @p src for
+     * @p line occupies the bus as usual, but the attached FaultModel
+     * may drop the delivery (occupancy still charged — the wire was
+     * driven), duplicate it (a second send() back to back), or delay
+     * its arrival. Without a fault model this is exactly one send().
+     */
+    BusTransmitResult transmit(MsgKind kind, unsigned line_size,
+                               NodeId src, Addr line, Cycle ready);
 
     /** Core cycles a message of @p bytes occupies the bus. */
     Cycle occupancyCycles(std::size_t bytes) const;
@@ -65,15 +89,14 @@ class Bus
     Cycle busyCycles() const { return busy_; }
 
   private:
-    static constexpr std::size_t numKinds = 6;
-
     BusParams params_;
+    FaultModel *faults_ = nullptr;
     Cycle freeAt_ = 0;
     Cycle busy_ = 0;
     std::uint64_t messages_ = 0;
     std::uint64_t bytes_ = 0;
-    std::uint64_t kindMessages_[numKinds] = {};
-    std::uint64_t kindBytes_[numKinds] = {};
+    std::uint64_t kindMessages_[numMsgKinds] = {};
+    std::uint64_t kindBytes_[numMsgKinds] = {};
 };
 
 } // namespace interconnect

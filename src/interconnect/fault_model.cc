@@ -1,0 +1,75 @@
+#include "interconnect/fault_model.hh"
+
+namespace dscalar {
+namespace interconnect {
+
+namespace {
+
+/** One splitmix64 mixing step (same finalizer as common/random.hh). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Uniform double in [0, 1) from a raw 64-bit value. */
+double
+toReal(std::uint64_t v)
+{
+    return static_cast<double>(v >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+FaultDecision
+FaultModel::decide(MsgKind kind, NodeId src, Addr line, Cycle now)
+{
+    FaultDecision dec;
+    if (!enabled())
+        return dec;
+
+    ++stats_.decisions;
+
+    // Key the decision stream on the message identity and its
+    // occurrence index, never on global call order: the nth
+    // transmission of (kind, src, line) faults identically no matter
+    // how transmissions from other nodes interleave, which is what
+    // keeps fault patterns bit-identical across run-loop modes.
+    std::uint64_t key =
+        mix64(mix64(static_cast<std::uint64_t>(kind)) ^
+              mix64(0x517cc1b727220a95ULL * (src + 1)) ^ mix64(line));
+    std::uint64_t n = occurrence_[key]++;
+    std::uint64_t h = mix64(mix64(params_.seed ^ key) ^ n);
+
+    if (toReal(h) < params_.dropProb) {
+        dec.drop = true;
+        ++stats_.drops;
+        if (sink_)
+            sink_->event({src, now, TraceEventKind::FaultDrop, line});
+        return dec; // a lost message is neither duplicated nor late
+    }
+    h = mix64(h);
+    if (toReal(h) < params_.dupProb) {
+        dec.duplicate = true;
+        ++stats_.duplicates;
+        if (sink_) {
+            sink_->event(
+                {src, now, TraceEventKind::FaultDuplicate, line});
+        }
+    }
+    h = mix64(h);
+    if (params_.maxDelay > 0 && toReal(h) < params_.delayProb) {
+        dec.delay = 1 + mix64(h) % params_.maxDelay;
+        ++stats_.delays;
+        stats_.delayCycles += dec.delay;
+        if (sink_)
+            sink_->event({src, now, TraceEventKind::FaultDelay, line});
+    }
+    return dec;
+}
+
+} // namespace interconnect
+} // namespace dscalar

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic fault injection for the global interconnect.
+ *
+ * The ESP protocol as evaluated in the paper assumes a perfectly
+ * reliable broadcast medium; a single lost delivery silently
+ * deadlocks a run. This model makes delivery faults first-class:
+ * every transmission (bus message, ring hop) draws an independent
+ * drop / duplicate / delay decision from a seeded counter-based
+ * hash, so a run's fault pattern is a pure function of the seed and
+ * the message stream — identical across repeats, job counts, and
+ * the event-driven / single-stepping run loops.
+ *
+ * All probabilities default to zero: with the knobs off, decide()
+ * is never consulted and the interconnect behaves exactly as the
+ * paper's reproduced configuration.
+ */
+
+#ifndef DSCALAR_INTERCONNECT_FAULT_MODEL_HH
+#define DSCALAR_INTERCONNECT_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/trace.hh"
+#include "common/types.hh"
+#include "interconnect/message.hh"
+
+namespace dscalar {
+namespace interconnect {
+
+/** Fault-injection knobs; all-off defaults model a perfect medium. */
+struct FaultParams
+{
+    double dropProb = 0.0;  ///< P(transmission is lost)
+    double dupProb = 0.0;   ///< P(message is transmitted twice)
+    double delayProb = 0.0; ///< P(delivery is jittered)
+    Cycle maxDelay = 0;     ///< jitter uniform in [1, maxDelay]
+    std::uint64_t seed = 1; ///< decision-stream seed
+
+    bool
+    enabled() const
+    {
+        return dropProb > 0.0 || dupProb > 0.0 ||
+               (delayProb > 0.0 && maxDelay > 0);
+    }
+};
+
+/** Outcome of one fault decision for one transmission. */
+struct FaultDecision
+{
+    bool drop = false;      ///< primary copy never delivered
+    bool duplicate = false; ///< an extra copy is transmitted
+    Cycle delay = 0;        ///< extra delivery latency
+};
+
+/** Fault-event counters. */
+struct FaultStats
+{
+    std::uint64_t decisions = 0;  ///< transmissions considered
+    std::uint64_t drops = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t delayCycles = 0; ///< summed injected jitter
+};
+
+/**
+ * Seeded deterministic fault source shared by Bus and Ring.
+ *
+ * Decisions are keyed by (kind, src, line) with a per-key occurrence
+ * counter, hashed with the seed through splitmix64: the nth
+ * transmission of a given message identity always faults the same
+ * way, independent of how transmissions interleave globally.
+ */
+class FaultModel
+{
+  public:
+    FaultModel() = default;
+    explicit FaultModel(const FaultParams &params) : params_(params) {}
+
+    const FaultParams &params() const { return params_; }
+    bool enabled() const { return params_.enabled(); }
+
+    /** Observe fault events (FaultDrop/FaultDuplicate/FaultDelay,
+     *  attributed to the sending node); nullptr disables. */
+    void setTraceSink(TraceSink *sink) { sink_ = sink; }
+
+    /**
+     * Draw the fault outcome for one transmission of @p line from
+     * @p src at cycle @p now (trace timestamp only). Callers must
+     * check enabled() first on hot paths; calling while disabled
+     * returns a clean decision without consuming a draw.
+     */
+    FaultDecision decide(MsgKind kind, NodeId src, Addr line,
+                         Cycle now);
+
+    const FaultStats &faultStats() const { return stats_; }
+
+  private:
+    FaultParams params_;
+    TraceSink *sink_ = nullptr;
+    std::unordered_map<std::uint64_t, std::uint64_t> occurrence_;
+    FaultStats stats_;
+};
+
+} // namespace interconnect
+} // namespace dscalar
+
+#endif // DSCALAR_INTERCONNECT_FAULT_MODEL_HH

@@ -20,11 +20,15 @@ namespace interconnect {
 enum class MsgKind : std::uint8_t {
     Broadcast,           ///< ESP data push (line + address tag)
     ReparativeBroadcast, ///< late broadcast repairing a false hit
+    Rerequest,           ///< recovery: ask the owner to re-broadcast
     Request,             ///< traditional read request (address only)
     Response,            ///< traditional read response (line)
     WriteBack,           ///< traditional dirty-line write-back
     Write                ///< traditional store-miss word write
 };
+
+/** Number of MsgKind values (per-kind accounting array sizes). */
+inline constexpr std::size_t numMsgKinds = 7;
 
 /** @return printable name of @p kind. */
 const char *msgKindName(MsgKind kind);
@@ -44,6 +48,7 @@ messageBytes(MsgKind kind, unsigned line_size, unsigned header_bytes)
 {
     switch (kind) {
       case MsgKind::Request:
+      case MsgKind::Rerequest:
         return header_bytes;
       default:
         return header_bytes + line_size;

@@ -30,18 +30,10 @@ Ring::nextFreeCycle() const
     return *std::min_element(linkFreeAt_.begin(), linkFreeAt_.end());
 }
 
-std::vector<RingDelivery>
-Ring::broadcast(MsgKind kind, unsigned line_size, NodeId src,
-                Cycle ready)
+void
+Ring::traverse(MsgKind kind, NodeId src, Addr line, Cycle ser,
+               Cycle ready, bool faulty, RingBroadcastResult &res)
 {
-    std::size_t nbytes =
-        messageBytes(kind, line_size, params_.headerBytes);
-    Cycle ser = serializationCycles(nbytes);
-
-    ++messages_;
-    bytes_ += nbytes;
-
-    std::vector<RingDelivery> deliveries;
     // Head of the message leaves src when its outgoing link frees.
     Cycle head = ready + params_.interfacePenalty;
     NodeId hop = src;
@@ -51,10 +43,44 @@ Ring::broadcast(MsgKind kind, unsigned line_size, NodeId src,
         busy_ += ser;
         // Tail arrives at the next node after serialization + wire.
         head = start + ser + params_.hopLatency;
+
+        if (faulty) {
+            FaultDecision dec = faults_->decide(kind, src, line, start);
+            if (dec.drop) {
+                // The message dies on this link: this hop's receiver
+                // and everything downstream never see it.
+                res.dropped += numNodes_ - k;
+                return;
+            }
+            head += dec.delay;
+            if (dec.duplicate && k == 1 && !res.duplicated) {
+                // A second copy follows the first around the ring;
+                // its own hops draw no further faults.
+                res.duplicated = true;
+                traverse(kind, src, line, ser, head, false, res);
+            }
+        }
+
         hop = (hop + 1) % numNodes_;
-        deliveries.push_back(RingDelivery{hop, head});
+        res.deliveries.push_back(RingDelivery{hop, head});
     }
-    return deliveries;
+}
+
+RingBroadcastResult
+Ring::broadcast(MsgKind kind, unsigned line_size, NodeId src,
+                Addr line, Cycle ready)
+{
+    std::size_t nbytes =
+        messageBytes(kind, line_size, params_.headerBytes);
+    Cycle ser = serializationCycles(nbytes);
+
+    ++messages_;
+    bytes_ += nbytes;
+
+    RingBroadcastResult res;
+    bool faulty = faults_ && faults_->enabled();
+    traverse(kind, src, line, ser, ready, faulty, res);
+    return res;
 }
 
 } // namespace interconnect

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "interconnect/fault_model.hh"
 #include "interconnect/message.hh"
 
 namespace dscalar {
@@ -53,6 +54,14 @@ struct RingDelivery
     Cycle at;
 };
 
+/** Result of one (possibly faulty) ring broadcast. */
+struct RingBroadcastResult
+{
+    std::vector<RingDelivery> deliveries;
+    unsigned dropped = 0; ///< receivers the message never reached
+    bool duplicated = false;
+};
+
 /** Occupancy + traffic model of an N-node unidirectional ring. */
 class Ring
 {
@@ -61,15 +70,24 @@ class Ring
 
     const RingParams &params() const { return params_; }
 
+    /** Attach the fault source consulted by broadcast(); nullptr
+     *  (the default) models perfect links. */
+    void setFaultModel(FaultModel *faults) { faults_ = faults; }
+
     /**
-     * Broadcast from @p src, ready to inject at @p ready: the
-     * message visits every other node in ring order and is removed
-     * when it returns to the sender.
-     * @return per-receiver delivery times (all nodes except src).
+     * Broadcast @p line from @p src, ready to inject at @p ready:
+     * the message visits every other node in ring order and is
+     * removed when it returns to the sender. An attached FaultModel
+     * draws a per-hop decision: a drop kills the message at that
+     * link (downstream receivers never see it), a delay adds to the
+     * head propagation time (late for every later hop), and a
+     * duplicate — decided at the first hop only — sends a second
+     * full traversal behind the first.
+     * @return per-receiver delivery times (all nodes except src)
+     *         plus fault accounting.
      */
-    std::vector<RingDelivery> broadcast(MsgKind kind,
-                                        unsigned line_size,
-                                        NodeId src, Cycle ready);
+    RingBroadcastResult broadcast(MsgKind kind, unsigned line_size,
+                                  NodeId src, Addr line, Cycle ready);
 
     /** Core cycles a message occupies one link. */
     Cycle serializationCycles(std::size_t bytes) const;
@@ -88,8 +106,13 @@ class Ring
     Cycle linkBusyCycles() const { return busy_; }
 
   private:
+    /** One traversal of the ring; faults drawn only when @p faulty. */
+    void traverse(MsgKind kind, NodeId src, Addr line, Cycle ser,
+                  Cycle ready, bool faulty, RingBroadcastResult &res);
+
     unsigned numNodes_;
     RingParams params_;
+    FaultModel *faults_ = nullptr;
     std::vector<Cycle> linkFreeAt_; ///< indexed by source node
     std::uint64_t messages_ = 0;
     std::uint64_t bytes_ = 0;

@@ -47,6 +47,7 @@ CoreParams::fuPool(OpClass cls)
 OoOCore::OoOCore(const CoreParams &params, OracleStream &stream,
                  MemBackend &backend)
     : params_(params), stream_(stream), backend_(backend),
+      backendMayStall_(backend.fetchesMayStall()),
       icache_(params.icache), dcache_(params.dcache)
 {
     fatal_if(params_.ruuEntries == 0, "RUU must have entries");
@@ -123,7 +124,8 @@ OoOCore::nextEventCycle(Cycle now) const
     // entry, or an external fill (which re-ticks the core anyway).
     for (InstSeq seq : readyList_) {
         const Uop &u = uop(seq);
-        if (!u.isLoad || (!loadBlockedByStore(u) && !mshrStalled(u)))
+        if (!u.isLoad || (!loadBlockedByStore(u) && !mshrStalled(u) &&
+                          !backendStalled(u)))
             return now + 1;
     }
 
@@ -251,12 +253,24 @@ OoOCore::commitLoad(Uop &u, Cycle now)
 {
     mem::CacheAccessResult res = dcache_.access(u.lineAddr, false);
     if (res.hit) {
-        if (!u.issueHit)
+        if (!u.issueHit) {
             ++stats_.falseMisses;
+            if (traceSink_) {
+                traceSink_->event({traceNode_, now,
+                                   TraceEventKind::FalseMiss,
+                                   u.lineAddr});
+            }
+        }
     } else {
         ++stats_.canonicalLoadMisses;
-        if (u.issueHit)
+        if (u.issueHit) {
             ++stats_.falseHits;
+            if (traceSink_) {
+                traceSink_->event({traceNode_, now,
+                                   TraceEventKind::FalseHit,
+                                   u.lineAddr});
+            }
+        }
         if (res.evicted && res.victimDirty) {
             ++stats_.dirtyWriteBacks;
             backend_.writeBack(res.victimAddr, now);
@@ -357,6 +371,20 @@ OoOCore::mshrStalled(const Uop &u) const
            !dcache_.probe(u.lineAddr) && !forwardingStore(u);
 }
 
+bool
+OoOCore::backendStalled(const Uop &u) const
+{
+    // Backend (hard BSHR) flow control mirrors the MSHR reserve: a
+    // load that would start a new fetch waits until the backend can
+    // accept one, and the oldest instruction bypasses the check so
+    // forward progress survives a full bank.
+    return backendMayStall_ && u.seq != windowBase_ &&
+           !params_.perfectData &&
+           dcub_.find(u.lineAddr) == dcub_.end() &&
+           !dcache_.probe(u.lineAddr) && !forwardingStore(u) &&
+           !backend_.canAcceptFetch(u.lineAddr);
+}
+
 const OoOCore::Uop *
 OoOCore::forwardingStore(const Uop &u) const
 {
@@ -408,6 +436,12 @@ OoOCore::doIssue(Cycle now)
 
         if (u.isLoad && mshrStalled(u)) {
             ++stats_.mshrStallEvents;
+            readyList_[out++] = seq;
+            continue;
+        }
+
+        if (u.isLoad && backendStalled(u)) {
+            ++stats_.backendStallEvents;
             readyList_[out++] = seq;
             continue;
         }

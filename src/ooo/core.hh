@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
 #include "mem/cache.hh"
@@ -110,6 +111,7 @@ struct CoreStats
     std::uint64_t memOrderStallEvents = 0;
     std::uint64_t fuStallEvents = 0;
     std::uint64_t mshrStallEvents = 0;
+    std::uint64_t backendStallEvents = 0; ///< backend flow control
     std::uint64_t maxDcubOccupancy = 0;
 };
 
@@ -154,6 +156,15 @@ class OoOCore
 
     const CoreStats &coreStats() const { return stats_; }
     const mem::Cache &dcache() const { return dcache_; }
+
+    /** Emit commit-time disparity events (FalseHit/FalseMiss) for
+     *  node @p node to @p sink; nullptr disables. */
+    void
+    setTraceSink(TraceSink *sink, NodeId node)
+    {
+        traceSink_ = sink;
+        traceNode_ = node;
+    }
 
     /** Number of in-flight instructions (RUU occupancy). */
     std::size_t windowSize() const { return window_.size(); }
@@ -227,12 +238,20 @@ class OoOCore
     bool loadBlockedByStore(const Uop &u) const;
     /** Load would start a new fill but all MSHR entries are taken. */
     bool mshrStalled(const Uop &u) const;
+    /** Load would start a new fill but the backend refuses (hard
+     *  BSHR flow control); oldest instruction bypasses. */
+    bool backendStalled(const Uop &u) const;
     /** Youngest older overlapping store, or nullptr. */
     const Uop *forwardingStore(const Uop &u) const;
 
     CoreParams params_;
     OracleStream &stream_;
     MemBackend &backend_;
+    /** Cached backend_.fetchesMayStall(): keeps the default-config
+     *  issue path free of backend flow-control probes. */
+    bool backendMayStall_ = false;
+    TraceSink *traceSink_ = nullptr;
+    NodeId traceNode_ = 0;
 
     /** TLB as a one-set LRU cache over page-sized "lines".
      *  @return extra walk cycles (0 on a hit or when disabled). */

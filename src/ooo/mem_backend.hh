@@ -66,6 +66,22 @@ class MemBackend
      * @return completion cycle.
      */
     virtual Cycle fetchInstLine(Addr line, Cycle now) = 0;
+
+    /**
+     * Backend flow control: may a new fetch of @p line start now?
+     * False stalls the load at issue (retried every cycle); the core
+     * exempts the oldest instruction so progress is never lost. Only
+     * consulted when fetchesMayStall() is true.
+     */
+    virtual bool canAcceptFetch(Addr line) const
+    {
+        (void)line;
+        return true;
+    }
+
+    /** True when canAcceptFetch can ever return false (lets the core
+     *  skip the check entirely on its hot issue path). */
+    virtual bool fetchesMayStall() const { return false; }
 };
 
 } // namespace ooo

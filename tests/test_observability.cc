@@ -44,7 +44,8 @@ TEST(Trace, EventsMatchStats)
     core::DataScalarSystem sys(p, cfg,
                                driver::figure7PageTable(p, 2));
     std::ostringstream trace;
-    sys.setTrace(&trace);
+    TextTraceSink sink(trace);
+    sys.setTraceSink(&sink);
     sys.run();
 
     std::string t = trace.str();
@@ -70,6 +71,38 @@ TEST(Trace, EventsMatchStats)
     EXPECT_EQ(count(": broadcast "), sent);
     EXPECT_EQ(count("bshr-wake"), wakes);
     EXPECT_EQ(count("bshr-buffer"), buffers);
+}
+
+TEST(Trace, CountingSinkMatchesStats)
+{
+    prog::Program p = streamProgram(6);
+    core::SimConfig cfg = driver::paperConfig();
+    cfg.numNodes = 2;
+    core::DataScalarSystem sys(p, cfg,
+                               driver::figure7PageTable(p, 2));
+    CountingTraceSink sink;
+    sys.setTraceSink(&sink);
+    sys.run();
+
+    std::uint64_t sent = 0;
+    std::uint64_t wakes = 0;
+    std::uint64_t buffers = 0;
+    std::uint64_t false_hits = 0;
+    std::uint64_t false_misses = 0;
+    for (NodeId n = 0; n < 2; ++n) {
+        sent += sys.node(n).nodeStats().ownerBroadcasts;
+        wakes += sys.node(n).bshr().bshrStats().wokenWaiters;
+        buffers += sys.node(n).bshr().bshrStats().buffered;
+        false_hits += sys.node(n).core().coreStats().falseHits;
+        false_misses += sys.node(n).core().coreStats().falseMisses;
+    }
+    EXPECT_EQ(sink.count(TraceEventKind::Broadcast), sent);
+    EXPECT_EQ(sink.count(TraceEventKind::BshrWake), wakes);
+    EXPECT_EQ(sink.count(TraceEventKind::BshrBuffer), buffers);
+    EXPECT_EQ(sink.count(TraceEventKind::FalseHit), false_hits);
+    EXPECT_EQ(sink.count(TraceEventKind::FalseMiss), false_misses);
+    EXPECT_EQ(sink.count(TraceEventKind::FaultDrop), 0u);
+    EXPECT_GT(sink.total(), 0u);
 }
 
 TEST(Trace, DisabledByDefault)

@@ -26,7 +26,8 @@ params(Cycle hop, unsigned width, Cycle divisor)
 TEST(Ring, DeliveriesVisitAllOtherNodesInOrder)
 {
     Ring ring(4, params(4, 8, 10));
-    auto ds = ring.broadcast(MsgKind::Broadcast, 32, 1, 0);
+    auto ds = ring.broadcast(MsgKind::Broadcast, 32, 1, 0x1000, 0)
+                  .deliveries;
     ASSERT_EQ(ds.size(), 3u);
     EXPECT_EQ(ds[0].node, 2u);
     EXPECT_EQ(ds[1].node, 3u);
@@ -41,7 +42,8 @@ TEST(Ring, FirstHopTiming)
     Ring ring(2, params(4, 8, 10));
     // 40 bytes / 8 per clock = 5 clocks * 10 = 50 serialization;
     // +2 interface, +4 hop.
-    auto ds = ring.broadcast(MsgKind::Broadcast, 32, 0, 0);
+    auto ds = ring.broadcast(MsgKind::Broadcast, 32, 0, 0x1000, 0)
+                  .deliveries;
     ASSERT_EQ(ds.size(), 1u);
     EXPECT_EQ(ds[0].at, 2u + 50 + 4);
 }
@@ -51,24 +53,28 @@ TEST(Ring, DisjointSegmentsOverlap)
     // Two-node ring: node 0 and node 1 inject simultaneously and use
     // different links, so neither waits (a bus would serialize).
     Ring ring(2, params(4, 8, 10));
-    auto a = ring.broadcast(MsgKind::Broadcast, 32, 0, 0);
-    auto b = ring.broadcast(MsgKind::Broadcast, 32, 1, 0);
+    auto a = ring.broadcast(MsgKind::Broadcast, 32, 0, 0x1000, 0)
+                 .deliveries;
+    auto b = ring.broadcast(MsgKind::Broadcast, 32, 1, 0x2000, 0)
+                 .deliveries;
     EXPECT_EQ(a[0].at, b[0].at);
 }
 
 TEST(Ring, SameLinkSerializes)
 {
     Ring ring(2, params(0, 8, 10));
-    auto a = ring.broadcast(MsgKind::Broadcast, 32, 0, 0);
-    auto b = ring.broadcast(MsgKind::Broadcast, 32, 0, 0);
+    auto a = ring.broadcast(MsgKind::Broadcast, 32, 0, 0x1000, 0)
+                 .deliveries;
+    auto b = ring.broadcast(MsgKind::Broadcast, 32, 0, 0x2000, 0)
+                 .deliveries;
     EXPECT_EQ(b[0].at - a[0].at, ring.serializationCycles(40));
 }
 
 TEST(Ring, TrafficAccounting)
 {
     Ring ring(4, params(4, 8, 10));
-    ring.broadcast(MsgKind::Broadcast, 32, 0, 0);
-    ring.broadcast(MsgKind::ReparativeBroadcast, 32, 2, 5);
+    ring.broadcast(MsgKind::Broadcast, 32, 0, 0x1000, 0);
+    ring.broadcast(MsgKind::ReparativeBroadcast, 32, 2, 0x2000, 5);
     EXPECT_EQ(ring.totalMessages(), 2u);
     EXPECT_EQ(ring.totalBytes(), 80u);
     // Each message occupies 3 links for 50 cycles.

@@ -18,6 +18,15 @@
  *   --no-skip          disable event-driven cycle skipping
  *   --stats            print the full statistics dump
  *   --trace            stream protocol events to stderr
+ *   --fault-drop=P     drop each transmission with probability P
+ *   --fault-dup=P      duplicate each transmission with probability P
+ *   --fault-delay=P    jitter each delivery with probability P
+ *   --fault-max-delay=N  jitter uniform in [1,N] cycles
+ *   --fault-seed=S     fault decision-stream seed (default 1)
+ *   --rerequest-timeout=N  re-request a missing broadcast after N
+ *                      cycles (default 2000 when faults or --bshr-hard
+ *                      are on, else recovery off)
+ *   --bshr-hard        enforce BSHR capacity (stall + re-request)
  *   --sweep            run the Figure 7 sweep over the timing
  *                      workloads instead of one program
  *   --list             list registered workloads
@@ -53,6 +62,14 @@ struct Options
     bool stats = false;
     bool trace = false;
     bool sweep = false;
+    double faultDrop = 0.0;
+    double faultDup = 0.0;
+    double faultDelay = 0.0;
+    Cycle faultMaxDelay = 0;
+    std::uint64_t faultSeed = 1;
+    Cycle rerequestTimeout = 0;
+    bool rerequestTimeoutSet = false;
+    bool bshrHard = false;
     std::string target;
 };
 
@@ -76,6 +93,10 @@ usage()
         "\n             [--nodes=N] [--ring] [--max-insts=N]"
         "\n             [--scale=N] [--block-pages=N] [--jobs=N]"
         "\n             [--no-skip] [--stats] [--trace]"
+        "\n             [--fault-drop=P] [--fault-dup=P]"
+        "\n             [--fault-delay=P] [--fault-max-delay=N]"
+        "\n             [--fault-seed=S] [--rerequest-timeout=N]"
+        "\n             [--bshr-hard]"
         "\n             <program.s | workload-name>\n"
         "       dsrun --sweep [--max-insts=N] [--jobs=N] "
         "[--no-skip]\n"
@@ -121,6 +142,21 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::stoul(value));
         } else if (parseFlag(arg, "--jobs", value)) {
             opt.jobs = static_cast<unsigned>(std::stoul(value));
+        } else if (parseFlag(arg, "--fault-drop", value)) {
+            opt.faultDrop = std::stod(value);
+        } else if (parseFlag(arg, "--fault-dup", value)) {
+            opt.faultDup = std::stod(value);
+        } else if (parseFlag(arg, "--fault-delay", value)) {
+            opt.faultDelay = std::stod(value);
+        } else if (parseFlag(arg, "--fault-max-delay", value)) {
+            opt.faultMaxDelay = std::stoull(value);
+        } else if (parseFlag(arg, "--fault-seed", value)) {
+            opt.faultSeed = std::stoull(value);
+        } else if (parseFlag(arg, "--rerequest-timeout", value)) {
+            opt.rerequestTimeout = std::stoull(value);
+            opt.rerequestTimeoutSet = true;
+        } else if (arg == "--bshr-hard") {
+            opt.bshrHard = true;
         } else if (arg == "--no-skip") {
             opt.noSkip = true;
         } else if (arg == "--sweep") {
@@ -157,6 +193,16 @@ main(int argc, char **argv)
     cfg.eventDriven = !opt.noSkip;
     if (opt.ring)
         cfg.interconnect = core::InterconnectKind::Ring;
+    cfg.fault.dropProb = opt.faultDrop;
+    cfg.fault.dupProb = opt.faultDup;
+    cfg.fault.delayProb = opt.faultDelay;
+    cfg.fault.maxDelay = opt.faultMaxDelay;
+    cfg.fault.seed = opt.faultSeed;
+    cfg.bshrHardCapacity = opt.bshrHard;
+    if (opt.rerequestTimeoutSet)
+        cfg.rerequestTimeout = opt.rerequestTimeout;
+    else if (opt.faultDrop > 0.0 || opt.bshrHard)
+        cfg.rerequestTimeout = 2000; // dropped data must be recoverable
 
     if (opt.system == "func") {
         func::FuncSim sim(program);
@@ -169,34 +215,48 @@ main(int argc, char **argv)
         return 0;
     }
 
+    driver::SystemKind kind;
+    if (!driver::parseSystemKind(opt.system, kind))
+        return usage();
+
     core::RunResult r;
-    if (opt.system == "perfect") {
+    switch (kind) {
+      case driver::SystemKind::Perfect: {
         baseline::PerfectSystem sys(program, cfg);
         r = sys.run();
         std::printf("%s", sys.oracle().output().c_str());
-    } else if (opt.system == "traditional") {
+        break;
+      }
+      case driver::SystemKind::Traditional: {
         baseline::TraditionalSystem sys(
             program, cfg,
             driver::figure7PageTable(program, opt.nodes,
                                      opt.blockPages));
         r = sys.run();
         std::printf("%s", sys.oracle().output().c_str());
-    } else if (opt.system == "datascalar") {
+        break;
+      }
+      case driver::SystemKind::DataScalar: {
         core::DataScalarSystem sys(
             program, cfg,
             driver::figure7PageTable(program, opt.nodes,
                                      opt.blockPages));
+        TextTraceSink sink(std::cerr);
         if (opt.trace)
-            sys.setTrace(&std::cerr);
+            sys.setTraceSink(&sink);
         r = sys.run();
         std::printf("%s", sys.oracle().output().c_str());
         if (opt.stats)
             sys.dumpStats(std::cout);
-        if (!sys.protocolDrained())
+        // Faults and hard BSHR capacity break the exactly-once
+        // delivery the drained invariant rests on; residue there
+        // is expected, not a protocol bug.
+        if (!sys.protocolDrained() && !cfg.fault.enabled() &&
+            !cfg.bshrHardCapacity)
             std::fprintf(stderr,
                          "warning: protocol not drained\n");
-    } else {
-        return usage();
+        break;
+      }
     }
 
     std::printf("-- %s: %llu instructions, %llu cycles, IPC %.3f\n",
