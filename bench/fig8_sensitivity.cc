@@ -34,7 +34,7 @@ sweep(const std::string &workload, const char *param,
       const std::vector<std::uint64_t> &values,
       const std::function<void(core::SimConfig &, std::uint64_t)>
           &apply,
-      InstSeq budget)
+      InstSeq budget, driver::TraceCache &cache)
 {
     // Five system points per parameter value, all independent.
     std::vector<driver::SweepPoint> points;
@@ -54,8 +54,11 @@ sweep(const std::string &workload, const char *param,
         add(driver::SystemKind::Traditional, 4);
     }
 
+    // Every point of every sub-sweep replays the one captured stream
+    // for (workload, budget) — the parameters under study never
+    // change the dynamic stream, only its timing.
     std::vector<core::RunResult> results =
-        driver::runSweep(points, bench::benchJobs());
+        driver::runSweep(points, cache, bench::benchJobs());
 
     stats::Table table({param, "perfect", "DS-2", "DS-4", "trad-1/2",
                         "trad-1/4"});
@@ -79,6 +82,9 @@ main()
     bench::banner("Figure 8", "sensitivity analysis (go, compress)");
     InstSeq budget = bench::defaultBudget(120'000);
 
+    // One shared cache: each workload is captured once and replayed
+    // by all five sub-sweeps (one hundred points).
+    driver::TraceCache cache;
     for (const char *name : {"go_s", "compress_s"}) {
         prog::Program p = workloads::findWorkload(name).build(1);
         std::printf("======== %s ========\n\n", p.name.c_str());
@@ -88,14 +94,14 @@ main()
               [](core::SimConfig &cfg, std::uint64_t v) {
                   cfg.core.dcache.sizeBytes = v * 1024;
               },
-              budget);
+              budget, cache);
 
         std::printf("-- memory access time (cycles @1GHz = ns) --\n");
         sweep(name, "mem-ns", {4, 8, 32, 128},
               [](core::SimConfig &cfg, std::uint64_t v) {
                   cfg.mem.accessLatency = v;
               },
-              budget);
+              budget, cache);
 
         std::printf("-- global bus clock (core cycles per bus "
                     "clock) --\n");
@@ -103,14 +109,14 @@ main()
               [](core::SimConfig &cfg, std::uint64_t v) {
                   cfg.bus.clockDivisor = v;
               },
-              budget);
+              budget, cache);
 
         std::printf("-- global bus width (bytes) --\n");
         sweep(name, "bus-bytes", {2, 8, 16, 32},
               [](core::SimConfig &cfg, std::uint64_t v) {
                   cfg.bus.widthBytes = static_cast<unsigned>(v);
               },
-              budget);
+              budget, cache);
 
         std::printf("-- RUU entries (LSQ = half) --\n");
         sweep(name, "ruu", {16, 64, 256, 1024},
@@ -119,7 +125,7 @@ main()
                   cfg.core.lsqEntries =
                       static_cast<unsigned>(v / 2);
               },
-              budget);
+              budget, cache);
     }
 
     std::printf("paper: DataScalar consistently ahead across the "

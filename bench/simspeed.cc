@@ -9,7 +9,9 @@
  * skipping disabled, so the win from fast-forwarding idle cycles is
  * visible directly (reported cycle counts are identical either way;
  * tests/test_cycle_skip.cc proves it). BM_SweepSerial/Parallel time
- * the Figure 7 sweep at 1 vs benchJobs() workers.
+ * the Figure 7 sweep at 1 vs benchJobs() workers; their *NoReuse
+ * twins disable the shared trace capture (driver::TraceCache), so
+ * the win from executing each workload once is visible directly.
  *
  * Smoke variants (--benchmark_filter=Smoke) run one tiny iteration
  * of every engine; the custom main() exits non-zero if any run
@@ -118,14 +120,17 @@ BM_TraditionalTiming(benchmark::State &state)
 }
 
 /** The Figure 7 sweep (2 workloads to keep runtime sane) at a given
- *  worker count; items = simulated instructions across all points. */
+ *  worker count; items = simulated instructions across all points.
+ *  @p reuse toggles the shared-trace capture (the *NoReuse twins
+ *  re-execute every point functionally — identical table, slower). */
 void
-sweepBody(benchmark::State &state, unsigned jobs)
+sweepBody(benchmark::State &state, unsigned jobs, bool reuse = true)
 {
     const std::vector<std::string> names{"compress_s", "go_s"};
     InstSeq budget = static_cast<InstSeq>(state.range(0));
     for (auto _ : state) {
-        stats::Table t = driver::fig7IpcTable(names, budget, jobs);
+        stats::Table t =
+            driver::fig7IpcTable(names, budget, jobs, true, reuse);
         benchmark::DoNotOptimize(t);
     }
     state.SetItemsProcessed(
@@ -141,6 +146,12 @@ BM_SweepSerial(benchmark::State &state)
 }
 
 void
+BM_SweepSerialNoReuse(benchmark::State &state)
+{
+    sweepBody(state, 1, false);
+}
+
+void
 BM_SweepParallel(benchmark::State &state)
 {
     // At least two workers so the pool path is always exercised and
@@ -149,6 +160,14 @@ BM_SweepParallel(benchmark::State &state)
     unsigned jobs = std::max(2u, bench::benchJobs());
     state.counters["jobs"] = jobs;
     sweepBody(state, jobs);
+}
+
+void
+BM_SweepParallelNoReuse(benchmark::State &state)
+{
+    unsigned jobs = std::max(2u, bench::benchJobs());
+    state.counters["jobs"] = jobs;
+    sweepBody(state, jobs, false);
 }
 
 BENCHMARK(BM_FunctionalSim)->Arg(100000);
@@ -165,10 +184,17 @@ BENCHMARK(BM_TraditionalTiming)
     ->Args({30000, 4, 1})
     ->Args({30000, 4, 0});
 BENCHMARK(BM_SweepSerial)->Arg(15000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepSerialNoReuse)
+    ->Arg(15000)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SweepParallel)
     ->Arg(15000)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime(); // workers run off-thread; CPU time misleads
+BENCHMARK(BM_SweepParallelNoReuse)
+    ->Arg(15000)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 // Smoke tier: one fixed iteration per engine at a tiny budget, for
 // the perf-smoke ctest label. Kept separate so the full benchmarks

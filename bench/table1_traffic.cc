@@ -26,6 +26,7 @@
 #include "bench/bench_util.hh"
 #include "common/thread_pool.hh"
 #include "driver/driver.hh"
+#include "func/inst_trace.hh"
 #include "stats/table.hh"
 #include "workloads/workloads.hh"
 
@@ -48,7 +49,11 @@ main()
         bench::benchJobs(), all.size(), [&](std::size_t i) {
             prog::Program p = all[i].build(1);
             names[i] = p.name;
-            results[i] = driver::measureEspTraffic(p, budget);
+            // One functional execution, decomposed from the captured
+            // trace (identical numbers to a hooked run).
+            std::shared_ptr<const func::InstTrace> trace =
+                func::InstTrace::capture(p, budget);
+            results[i] = driver::measureEspTraffic(*trace);
         });
 
     double min_bytes = 1.0;

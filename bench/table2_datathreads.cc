@@ -22,6 +22,7 @@
 #include "bench/bench_util.hh"
 #include "core/distribution.hh"
 #include "driver/driver.hh"
+#include "func/inst_trace.hh"
 #include "stats/table.hh"
 #include "workloads/workloads.hh"
 
@@ -57,9 +58,19 @@ main()
                         "heap", "stack", "total-repl", "all", "text",
                         "data", "repl"});
 
+    // Variant without any replication: every page is communicated,
+    // exposing the raw text/data run lengths (the paper's long
+    // instruction datathreads come from the sequential code stream).
+    stats::Table raw({"benchmark", "all", "text", "data"});
+
     for (const auto &w : workloads::allWorkloads()) {
+        // Build and functionally execute each substitute exactly
+        // once; the page-heat profile and both datathread variants
+        // are single passes over the captured stream.
         prog::Program p = w.build(1);
-        core::PageHeat heat = driver::profilePages(p, budget);
+        std::shared_ptr<const func::InstTrace> trace =
+            func::InstTrace::capture(p, budget);
+        core::PageHeat heat = driver::profilePages(*trace);
 
         core::DistributionConfig dist;
         dist.numNodes = num_nodes;
@@ -75,7 +86,7 @@ main()
         mem::PageTable ptable =
             core::buildPageTable(p, dist, &heat, &rep);
         driver::DatathreadResult r =
-            driver::measureDatathreads(p, ptable, rep, budget);
+            driver::measureDatathreads(*trace, ptable, rep);
 
         table.addRow(
             {p.name,
@@ -87,6 +98,19 @@ main()
              stats::Table::num(r.meanText, 1),
              stats::Table::num(r.meanData, 1),
              stats::Table::num(r.meanRepl, 1)});
+
+        core::DistributionConfig dist_raw;
+        dist_raw.numNodes = num_nodes;
+        dist_raw.replicateText = false;
+        dist_raw.blockPages = blockPagesFor(p);
+        core::ReplicationReport rep_raw;
+        mem::PageTable ptable_raw =
+            core::buildPageTable(p, dist_raw, nullptr, &rep_raw);
+        driver::DatathreadResult rr =
+            driver::measureDatathreads(*trace, ptable_raw, rep_raw);
+        raw.addRow({p.name, stats::Table::num(rr.meanAll, 1),
+                    stats::Table::num(rr.meanText, 1),
+                    stats::Table::num(rr.meanData, 1)});
     }
     table.print(std::cout);
 
@@ -97,27 +121,8 @@ main()
                 "fully (text runs 0); the paper's much larger SPEC "
                 "texts were only 1/3-1/2 replicated\n\n");
 
-    // Variant without any replication: every page is communicated,
-    // exposing the raw text/data run lengths (the paper's long
-    // instruction datathreads come from the sequential code stream).
     std::printf("-- no-replication variant (all pages "
                 "distributed) --\n");
-    stats::Table raw({"benchmark", "all", "text", "data"});
-    for (const auto &w : workloads::allWorkloads()) {
-        prog::Program p = w.build(1);
-        core::DistributionConfig dist;
-        dist.numNodes = num_nodes;
-        dist.replicateText = false;
-        dist.blockPages = blockPagesFor(p);
-        core::ReplicationReport rep;
-        mem::PageTable ptable =
-            core::buildPageTable(p, dist, nullptr, &rep);
-        driver::DatathreadResult r =
-            driver::measureDatathreads(p, ptable, rep, budget);
-        raw.addRow({p.name, stats::Table::num(r.meanAll, 1),
-                    stats::Table::num(r.meanText, 1),
-                    stats::Table::num(r.meanData, 1)});
-    }
     raw.print(std::cout);
     std::printf("\npaper: instruction datathreads are long "
                 "(sequential code streams, tens to thousands); data "

@@ -7,10 +7,14 @@
 namespace dscalar {
 namespace baseline {
 
-PerfectSystem::PerfectSystem(const prog::Program &program,
-                             const core::SimConfig &config)
-    : config_(config), oracle_(program),
-      stream_(oracle_, config.maxInsts), localMem_(config.mem),
+PerfectSystem::PerfectSystem(
+    const prog::Program &program, const core::SimConfig &config,
+    std::shared_ptr<const func::InstTrace> trace)
+    : config_(config), oracle_(ooo::makeOracle(program, trace)),
+      replayOutput_(trace ? trace->output() : std::string()),
+      stream_(ooo::makeStream(oracle_.get(), std::move(trace),
+                              config.maxInsts)),
+      localMem_(config.mem),
       core_([&config] {
           ooo::CoreParams p = config.core;
           p.perfectData = true;

@@ -9,8 +9,13 @@
 #ifndef DSCALAR_BASELINE_PERFECT_HH
 #define DSCALAR_BASELINE_PERFECT_HH
 
+#include <memory>
+#include <string>
+
+#include "common/logging.hh"
 #include "core/sim_config.hh"
 #include "func/func_sim.hh"
+#include "func/inst_trace.hh"
 #include "mem/main_memory.hh"
 #include "ooo/core.hh"
 #include "ooo/mem_backend.hh"
@@ -24,13 +29,29 @@ namespace baseline {
 class PerfectSystem : private ooo::MemBackend
 {
   public:
+    /** A non-null @p trace replays a captured stream instead of
+     *  executing the program functionally (see driver::TraceCache). */
     PerfectSystem(const prog::Program &program,
-                  const core::SimConfig &config);
+                  const core::SimConfig &config,
+                  std::shared_ptr<const func::InstTrace> trace =
+                      nullptr);
 
     core::RunResult run();
 
     const ooo::OoOCore &core() const { return core_; }
-    const func::FuncSim &oracle() const { return oracle_; }
+    /** The live functional oracle; only valid when not replaying. */
+    const func::FuncSim &
+    oracle() const
+    {
+        panic_if(!oracle_, "trace-replay run has no live oracle");
+        return *oracle_;
+    }
+    /** Program output of the executed prefix, either backend. */
+    const std::string &
+    output() const
+    {
+        return oracle_ ? oracle_->output() : replayOutput_;
+    }
 
   private:
     ooo::FillResult startLineFetch(Addr line, Cycle now) override;
@@ -40,7 +61,8 @@ class PerfectSystem : private ooo::MemBackend
     Cycle fetchInstLine(Addr line, Cycle now) override;
 
     core::SimConfig config_;
-    func::FuncSim oracle_;
+    std::unique_ptr<func::FuncSim> oracle_; ///< null when replaying
+    std::string replayOutput_;
     ooo::OracleStream stream_;
     mem::MainMemory localMem_;
     ooo::OoOCore core_;

@@ -9,11 +9,15 @@ namespace baseline {
 
 using interconnect::MsgKind;
 
-TraditionalSystem::TraditionalSystem(const prog::Program &program,
-                                     const core::SimConfig &config,
-                                     mem::PageTable ptable)
-    : config_(config), oracle_(program),
-      stream_(oracle_, config.maxInsts), ptable_(std::move(ptable)),
+TraditionalSystem::TraditionalSystem(
+    const prog::Program &program, const core::SimConfig &config,
+    mem::PageTable ptable,
+    std::shared_ptr<const func::InstTrace> trace)
+    : config_(config), oracle_(ooo::makeOracle(program, trace)),
+      replayOutput_(trace ? trace->output() : std::string()),
+      stream_(ooo::makeStream(oracle_.get(), std::move(trace),
+                              config.maxInsts)),
+      ptable_(std::move(ptable)),
       bus_(config.bus), onChipMem_(config.mem), offChipMem_(config.mem),
       core_(config.core, stream_, *this)
 {

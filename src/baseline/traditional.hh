@@ -10,8 +10,13 @@
 #ifndef DSCALAR_BASELINE_TRADITIONAL_HH
 #define DSCALAR_BASELINE_TRADITIONAL_HH
 
+#include <memory>
+#include <string>
+
+#include "common/logging.hh"
 #include "core/sim_config.hh"
 #include "func/func_sim.hh"
+#include "func/inst_trace.hh"
 #include "interconnect/bus.hh"
 #include "mem/main_memory.hh"
 #include "mem/page_table.hh"
@@ -33,16 +38,32 @@ namespace baseline {
 class TraditionalSystem : private ooo::MemBackend
 {
   public:
+    /** A non-null @p trace replays a captured stream instead of
+     *  executing the program functionally (see driver::TraceCache). */
     TraditionalSystem(const prog::Program &program,
                       const core::SimConfig &config,
-                      mem::PageTable ptable);
+                      mem::PageTable ptable,
+                      std::shared_ptr<const func::InstTrace> trace =
+                          nullptr);
 
     /** Run to completion (or the configured instruction budget). */
     core::RunResult run();
 
     const ooo::OoOCore &core() const { return core_; }
     const interconnect::Bus &bus() const { return bus_; }
-    const func::FuncSim &oracle() const { return oracle_; }
+    /** The live functional oracle; only valid when not replaying. */
+    const func::FuncSim &
+    oracle() const
+    {
+        panic_if(!oracle_, "trace-replay run has no live oracle");
+        return *oracle_;
+    }
+    /** Program output of the executed prefix, either backend. */
+    const std::string &
+    output() const
+    {
+        return oracle_ ? oracle_->output() : replayOutput_;
+    }
 
     std::uint64_t offChipReads() const { return offChipReads_; }
     std::uint64_t offChipWrites() const { return offChipWrites_; }
@@ -61,7 +82,8 @@ class TraditionalSystem : private ooo::MemBackend
     Cycle offChipLineRead(Addr line, Cycle now);
 
     core::SimConfig config_;
-    func::FuncSim oracle_;
+    std::unique_ptr<func::FuncSim> oracle_; ///< null when replaying
+    std::string replayOutput_;
     ooo::OracleStream stream_;
     mem::PageTable ptable_;
     interconnect::Bus bus_;

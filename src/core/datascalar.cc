@@ -8,11 +8,15 @@
 namespace dscalar {
 namespace core {
 
-DataScalarSystem::DataScalarSystem(const prog::Program &program,
-                                   const SimConfig &config,
-                                   mem::PageTable ptable)
-    : config_(config), oracle_(program),
-      stream_(oracle_, config.maxInsts), ptable_(std::move(ptable)),
+DataScalarSystem::DataScalarSystem(
+    const prog::Program &program, const SimConfig &config,
+    mem::PageTable ptable,
+    std::shared_ptr<const func::InstTrace> trace)
+    : config_(config), oracle_(ooo::makeOracle(program, trace)),
+      replayOutput_(trace ? trace->output() : std::string()),
+      stream_(ooo::makeStream(oracle_.get(), std::move(trace),
+                              config.maxInsts)),
+      ptable_(std::move(ptable)),
       bus_(config.bus), ring_(config.numNodes, config.ring),
       faults_(config.fault),
       recoveryActive_(config.rerequestTimeout > 0)

@@ -19,6 +19,7 @@
 #include "core/node.hh"
 #include "core/sim_config.hh"
 #include "func/func_sim.hh"
+#include "func/inst_trace.hh"
 #include "interconnect/bus.hh"
 #include "interconnect/fault_model.hh"
 #include "mem/page_table.hh"
@@ -32,8 +33,17 @@ namespace core {
 class DataScalarSystem : public BroadcastPort
 {
   public:
+    /**
+     * @param trace optional captured dynamic stream: when non-null
+     *        the run replays it instead of executing the program
+     *        functionally (byte-identical results, see
+     *        driver::TraceCache); when null a private FuncSim
+     *        oracle produces the stream live.
+     */
     DataScalarSystem(const prog::Program &program, const SimConfig &config,
-                     mem::PageTable ptable);
+                     mem::PageTable ptable,
+                     std::shared_ptr<const func::InstTrace> trace =
+                         nullptr);
 
     /** Run to completion (or the configured instruction budget). */
     RunResult run();
@@ -47,7 +57,20 @@ class DataScalarSystem : public BroadcastPort
     /** Pages held in node @p id's local memory (owned + replicated),
      *  the per-node capacity an IRAM part would need. */
     std::size_t localPageCount(NodeId id) const;
-    const func::FuncSim &oracle() const { return oracle_; }
+    /** The live functional oracle; only valid when not replaying. */
+    const func::FuncSim &
+    oracle() const
+    {
+        panic_if(!oracle_, "trace-replay run has no live oracle");
+        return *oracle_;
+    }
+    /** Program output (Print* syscalls) of the executed prefix,
+     *  regardless of backend. */
+    const std::string &
+    output() const
+    {
+        return oracle_ ? oracle_->output() : replayOutput_;
+    }
     const mem::PageTable &pageTable() const { return ptable_; }
 
     /**
@@ -108,7 +131,8 @@ class DataScalarSystem : public BroadcastPort
     };
 
     SimConfig config_;
-    func::FuncSim oracle_;
+    std::unique_ptr<func::FuncSim> oracle_; ///< null when replaying
+    std::string replayOutput_;
     ooo::OracleStream stream_;
     mem::PageTable ptable_;
     interconnect::Bus bus_;

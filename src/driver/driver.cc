@@ -72,6 +72,19 @@ profilePages(const prog::Program &program, InstSeq max_insts)
     return heat;
 }
 
+core::PageHeat
+profilePages(const func::InstTrace &trace)
+{
+    core::PageHeat heat;
+    trace.forEach([&heat](Addr pc, const isa::Instruction &,
+                          Addr eff_addr, unsigned mem_size) {
+        ++heat[prog::pageBase(pc)];
+        if (mem_size)
+            ++heat[prog::pageBase(eff_addr)];
+    });
+    return heat;
+}
+
 // -------------------------------------------------------------------
 // Table 1
 // -------------------------------------------------------------------
@@ -94,25 +107,29 @@ TrafficResult::transactionsEliminated() const
            static_cast<double>(totalTransactions());
 }
 
-TrafficResult
-measureEspTraffic(const prog::Program &program, InstSeq max_insts,
-                  const mem::CacheParams &dcache_params)
+namespace {
+
+/** The Table 1 memHook body, shared by the functional-run and
+ *  trace-pass overloads so both decompose traffic identically. */
+class TrafficAccumulator
 {
-    func::FuncSim sim(program);
-    mem::Cache dcache(dcache_params);
-    TrafficResult result;
+  public:
+    explicit TrafficAccumulator(const mem::CacheParams &dcache_params)
+        : dcache_(dcache_params), line_(dcache_params.lineSize)
+    {
+    }
 
-    constexpr std::uint64_t header = 8;
-    const std::uint64_t line = dcache_params.lineSize;
-
-    sim.setMemHook([&](Addr addr, unsigned, bool is_write) {
-        mem::CacheAccessResult r = dcache.access(addr, is_write);
+    void
+    access(Addr addr, bool is_write)
+    {
+        constexpr std::uint64_t header = 8;
+        mem::CacheAccessResult r = dcache_.access(addr, is_write);
         if (!r.hit && r.allocated) {
             // Miss fetch: one request out, one line response back.
             ++result.requests;
             result.requestBytes += header;
             ++result.responses;
-            result.responseBytes += header + line;
+            result.responseBytes += header + line_;
         } else if (!r.hit && !r.allocated) {
             // Write-noallocate store miss: a word write crosses the
             // interconnect (counts as write traffic ESP removes).
@@ -121,11 +138,43 @@ measureEspTraffic(const prog::Program &program, InstSeq max_insts,
         }
         if (r.evicted && r.victimDirty) {
             ++result.writeBacks;
-            result.writeBackBytes += header + line;
+            result.writeBackBytes += header + line_;
         }
+    }
+
+    TrafficResult result;
+
+  private:
+    mem::Cache dcache_;
+    std::uint64_t line_;
+};
+
+} // namespace
+
+TrafficResult
+measureEspTraffic(const prog::Program &program, InstSeq max_insts,
+                  const mem::CacheParams &dcache_params)
+{
+    func::FuncSim sim(program);
+    TrafficAccumulator acc(dcache_params);
+    sim.setMemHook([&acc](Addr addr, unsigned, bool is_write) {
+        acc.access(addr, is_write);
     });
     sim.run(max_insts ? max_insts : ~static_cast<InstSeq>(0));
-    return result;
+    return acc.result;
+}
+
+TrafficResult
+measureEspTraffic(const func::InstTrace &trace,
+                  const mem::CacheParams &dcache_params)
+{
+    TrafficAccumulator acc(dcache_params);
+    trace.forEach([&acc](Addr, const isa::Instruction &inst,
+                         Addr eff_addr, unsigned mem_size) {
+        if (mem_size)
+            acc.access(eff_addr, inst.isStore());
+    });
+    return acc.result;
 }
 
 // -------------------------------------------------------------------
@@ -157,6 +206,101 @@ RunCounter::mean() const
     return r ? static_cast<double>(refs_) / static_cast<double>(r) : 0.0;
 }
 
+namespace {
+
+/**
+ * The Table 2 hook bodies, shared by the functional-run and
+ * trace-pass overloads. Order-sensitive: each instruction's fetch is
+ * classified before its data access, exactly as FuncSim fires its
+ * hooks, so both overloads walk the miss stream identically.
+ */
+class DatathreadAccumulator
+{
+  public:
+    explicit DatathreadAccumulator(const mem::PageTable &ptable)
+        // Section 3's study cache (shared approximation for both
+        // reference kinds; the paper filtered through its L1).
+        : ptable_(ptable), dcache_(table1CacheParams()),
+          icache_(table1CacheParams())
+    {
+    }
+
+    void
+    fetch(Addr pc)
+    {
+        Addr iline = icache_.lineAlign(pc);
+        if (iline == lastIline_)
+            return;
+        lastIline_ = iline;
+        mem::CacheAccessResult r = icache_.access(pc, false);
+        if (!r.hit)
+            classify(pc, true);
+    }
+
+    void
+    data(Addr addr, bool is_write)
+    {
+        mem::CacheAccessResult r = dcache_.access(addr, is_write);
+        if (!r.hit)
+            classify(addr, false);
+    }
+
+    DatathreadResult
+    finish(const core::ReplicationReport &rep) const
+    {
+        DatathreadResult result;
+        result.replicated = rep;
+        result.missRefs = missRefs_;
+        result.meanAll = all_.mean();
+        result.meanText = text_.mean();
+        result.meanData = data_.mean();
+        result.meanRepl =
+            replRuns_ ? static_cast<double>(replRefs_) /
+                            static_cast<double>(replRuns_)
+                      : 0.0;
+        return result;
+    }
+
+  private:
+    void
+    classify(Addr addr, bool is_text)
+    {
+        ++missRefs_;
+        mem::PageEntry entry = ptable_.lookup(addr);
+        if (entry.replicated) {
+            ++replRefs_;
+            if (!inReplRun_) {
+                inReplRun_ = true;
+                ++replRuns_;
+            }
+            // Replicated references are local everywhere and do not
+            // break a communicated run.
+            return;
+        }
+        inReplRun_ = false;
+        all_.feed(entry.owner);
+        if (is_text)
+            text_.feed(entry.owner);
+        else
+            data_.feed(entry.owner);
+    }
+
+    const mem::PageTable &ptable_;
+    mem::Cache dcache_;
+    mem::Cache icache_;
+    Addr lastIline_ = invalidAddr;
+    RunCounter all_;
+    RunCounter text_;
+    RunCounter data_;
+    std::uint64_t missRefs_ = 0;
+    // Replicated-run counting: consecutive *replicated* misses.
+    std::uint64_t replRefs_ = 0;
+    std::uint64_t replRuns_ = 0;
+    bool inReplRun_ = false;
+};
+
+} // namespace
+
 DatathreadResult
 measureDatathreads(const prog::Program &program,
                    const mem::PageTable &ptable,
@@ -164,69 +308,30 @@ measureDatathreads(const prog::Program &program,
                    InstSeq max_insts)
 {
     func::FuncSim sim(program);
-    // Section 3's study cache (shared approximation for both
-    // reference kinds; the paper filtered through its L1).
-    mem::Cache dcache(table1CacheParams());
-    mem::Cache icache(table1CacheParams());
+    DatathreadAccumulator acc(ptable);
 
-    DatathreadResult result;
-    result.replicated = rep;
-
-    RunCounter all;
-    RunCounter text;
-    RunCounter data;
-    // Replicated-run counting: consecutive *replicated* misses.
-    std::uint64_t repl_refs = 0;
-    std::uint64_t repl_runs = 0;
-    bool in_repl_run = false;
-
-    auto classify = [&](Addr addr, bool is_text) {
-        ++result.missRefs;
-        mem::PageEntry entry = ptable.lookup(addr);
-        if (entry.replicated) {
-            ++repl_refs;
-            if (!in_repl_run) {
-                in_repl_run = true;
-                ++repl_runs;
-            }
-            // Replicated references are local everywhere and do not
-            // break a communicated run.
-            return;
-        }
-        in_repl_run = false;
-        all.feed(entry.owner);
-        if (is_text)
-            text.feed(entry.owner);
-        else
-            data.feed(entry.owner);
-    };
-
-    sim.setMemHook([&](Addr addr, unsigned, bool is_write) {
-        mem::CacheAccessResult r = dcache.access(addr, is_write);
-        if (!r.hit)
-            classify(addr, false);
+    sim.setMemHook([&acc](Addr addr, unsigned, bool is_write) {
+        acc.data(addr, is_write);
     });
-    Addr last_iline = invalidAddr;
-    sim.setFetchHook([&](Addr pc) {
-        Addr iline = icache.lineAlign(pc);
-        if (iline == last_iline)
-            return;
-        last_iline = iline;
-        mem::CacheAccessResult r = icache.access(pc, false);
-        if (!r.hit)
-            classify(pc, true);
-    });
+    sim.setFetchHook([&acc](Addr pc) { acc.fetch(pc); });
 
     sim.run(max_insts ? max_insts : ~static_cast<InstSeq>(0));
+    return acc.finish(rep);
+}
 
-    result.meanAll = all.mean();
-    result.meanText = text.mean();
-    result.meanData = data.mean();
-    result.meanRepl =
-        repl_runs ? static_cast<double>(repl_refs) /
-                        static_cast<double>(repl_runs)
-                  : 0.0;
-    return result;
+DatathreadResult
+measureDatathreads(const func::InstTrace &trace,
+                   const mem::PageTable &ptable,
+                   const core::ReplicationReport &rep)
+{
+    DatathreadAccumulator acc(ptable);
+    trace.forEach([&acc](Addr pc, const isa::Instruction &inst,
+                         Addr eff_addr, unsigned mem_size) {
+        acc.fetch(pc);
+        if (mem_size)
+            acc.data(eff_addr, inst.isStore());
+    });
+    return acc.finish(rep);
 }
 
 // -------------------------------------------------------------------
@@ -247,23 +352,26 @@ figure7PageTable(const prog::Program &program, unsigned num_nodes,
 
 core::RunResult
 runSystem(SystemKind system, const prog::Program &program,
-          const core::SimConfig &config, unsigned block_pages)
+          const core::SimConfig &config, unsigned block_pages,
+          std::shared_ptr<const func::InstTrace> trace)
 {
     switch (system) {
       case SystemKind::Perfect: {
-        baseline::PerfectSystem sys(program, config);
+        baseline::PerfectSystem sys(program, config, std::move(trace));
         return sys.run();
       }
       case SystemKind::DataScalar: {
         core::DataScalarSystem sys(
             program, config,
-            figure7PageTable(program, config.numNodes, block_pages));
+            figure7PageTable(program, config.numNodes, block_pages),
+            std::move(trace));
         return sys.run();
       }
       case SystemKind::Traditional: {
         baseline::TraditionalSystem sys(
             program, config,
-            figure7PageTable(program, config.numNodes, block_pages));
+            figure7PageTable(program, config.numNodes, block_pages),
+            std::move(trace));
         return sys.run();
       }
     }
@@ -297,30 +405,61 @@ runPerfect(const prog::Program &program, const core::SimConfig &config)
 namespace {
 
 core::RunResult
-runSweepPoint(const SweepPoint &pt)
+runSweepPoint(const SweepPoint &pt, TraceCache *cache)
 {
-    prog::Program program =
-        workloads::findWorkload(pt.workload).build(pt.scale);
-    return runSystem(pt.system, program, pt.config, pt.blockPages);
+    if (!cache) {
+        prog::Program program =
+            workloads::findWorkload(pt.workload).build(pt.scale);
+        return runSystem(pt.system, program, pt.config,
+                         pt.blockPages);
+    }
+    // Build-once, capture-once: the cache assembles each
+    // (workload, scale) a single time and functionally executes each
+    // (workload, scale, maxInsts) a single time; this point replays
+    // the shared stream.
+    std::shared_ptr<const prog::Program> program =
+        cache->program(pt.workload, pt.scale);
+    std::shared_ptr<const func::InstTrace> trace =
+        cache->acquire(pt.workload, pt.scale, pt.config.maxInsts);
+    return runSystem(pt.system, *program, pt.config, pt.blockPages,
+                     std::move(trace));
 }
 
 } // namespace
 
 std::vector<core::RunResult>
-runSweep(const std::vector<SweepPoint> &points, unsigned jobs)
+runSweep(const std::vector<SweepPoint> &points, TraceCache &cache,
+         unsigned jobs)
 {
-    // Every point builds its own program and simulator state; the
-    // only shared write is each task's pre-assigned result slot.
+    // Every point gets its own simulator state; the shared writes
+    // are each task's pre-assigned result slot and the (internally
+    // synchronized) trace cache.
     std::vector<core::RunResult> results(points.size());
     common::parallelFor(jobs, points.size(), [&](std::size_t i) {
-        results[i] = runSweepPoint(points[i]);
+        results[i] = runSweepPoint(points[i], &cache);
+    });
+    return results;
+}
+
+std::vector<core::RunResult>
+runSweep(const std::vector<SweepPoint> &points, unsigned jobs,
+         bool reuse_traces)
+{
+    if (reuse_traces) {
+        TraceCache cache;
+        return runSweep(points, cache, jobs);
+    }
+    std::vector<core::RunResult> results(points.size());
+    common::parallelFor(jobs, points.size(), [&](std::size_t i) {
+        results[i] = runSweepPoint(points[i], nullptr);
     });
     return results;
 }
 
 stats::Table
 fig7IpcTable(const std::vector<std::string> &workload_names,
-             InstSeq budget, unsigned jobs, bool event_driven)
+             InstSeq budget, unsigned jobs, bool event_driven,
+             bool trace_reuse)
 {
     std::vector<SweepPoint> points;
     for (const std::string &name : workload_names) {
@@ -338,7 +477,8 @@ fig7IpcTable(const std::vector<std::string> &workload_names,
         add(SystemKind::Traditional, 4);
     }
 
-    std::vector<core::RunResult> results = runSweep(points, jobs);
+    std::vector<core::RunResult> results =
+        runSweep(points, jobs, trace_reuse);
 
     stats::Table table({"benchmark", "perfect", "DS-2", "DS-4",
                         "trad-1/2", "trad-1/4", "DS2/trad2",

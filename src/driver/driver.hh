@@ -19,6 +19,8 @@
 #include "core/sim_config.hh"
 #include "baseline/perfect.hh"
 #include "baseline/traditional.hh"
+#include "driver/trace_cache.hh"
+#include "func/inst_trace.hh"
 #include "prog/program.hh"
 #include "stats/table.hh"
 
@@ -55,6 +57,11 @@ mem::CacheParams table1CacheParams();
  */
 core::PageHeat profilePages(const prog::Program &program,
                             InstSeq max_insts = 0);
+
+/** Rederive the same page heat from a captured trace in one pass,
+ *  without re-executing the program. Identical counts to the
+ *  functional-run overload over the same prefix. */
+core::PageHeat profilePages(const func::InstTrace &trace);
 
 // -------------------------------------------------------------------
 // Table 1: off-chip traffic eliminated by ESP
@@ -93,6 +100,12 @@ struct TrafficResult
  */
 TrafficResult measureEspTraffic(const prog::Program &program,
                                 InstSeq max_insts = 0,
+                                const mem::CacheParams &dcache =
+                                    table1CacheParams());
+
+/** Same decomposition from a captured trace, one pass, no
+ *  re-execution. Byte-identical to the functional-run overload. */
+TrafficResult measureEspTraffic(const func::InstTrace &trace,
                                 const mem::CacheParams &dcache =
                                     table1CacheParams());
 
@@ -139,6 +152,12 @@ DatathreadResult measureDatathreads(const prog::Program &program,
                                     const core::ReplicationReport &rep,
                                     InstSeq max_insts = 0);
 
+/** Same study from a captured trace, one pass, no re-execution.
+ *  Byte-identical to the functional-run overload. */
+DatathreadResult measureDatathreads(const func::InstTrace &trace,
+                                    const mem::PageTable &ptable,
+                                    const core::ReplicationReport &rep);
+
 // -------------------------------------------------------------------
 // Timing-run conveniences
 // -------------------------------------------------------------------
@@ -158,7 +177,9 @@ mem::PageTable figure7PageTable(const prog::Program &program,
 core::RunResult runSystem(SystemKind system,
                           const prog::Program &program,
                           const core::SimConfig &config,
-                          unsigned block_pages = 1);
+                          unsigned block_pages = 1,
+                          std::shared_ptr<const func::InstTrace> trace =
+                              nullptr);
 
 /** Run an N-node DataScalar system; returns IPC and cycles. */
 core::RunResult runDataScalar(const prog::Program &program,
@@ -195,9 +216,26 @@ struct SweepPoint
  * 0 = hardware concurrency). Results come back in point order
  * regardless of scheduling, so a parallel sweep is byte-identical
  * to a serial one.
+ *
+ * With @p reuse_traces (the default), each distinct
+ * (workload, scale, maxInsts) is built and functionally executed
+ * once into a shared trace that every matching point replays; the
+ * SPSD property makes every reported number byte-identical to
+ * per-point execution, only faster. Pass false to re-execute per
+ * point (the pre-cache behavior).
  */
 std::vector<core::RunResult>
-runSweep(const std::vector<SweepPoint> &points, unsigned jobs = 1);
+runSweep(const std::vector<SweepPoint> &points, unsigned jobs = 1,
+         bool reuse_traces = true);
+
+/**
+ * As above, but captures into (and reuses traces already in) a
+ * caller-owned @p cache, letting several sweeps over the same
+ * workloads share one set of captures.
+ */
+std::vector<core::RunResult>
+runSweep(const std::vector<SweepPoint> &points, TraceCache &cache,
+         unsigned jobs = 1);
 
 /**
  * The Figure 7 sweep — perfect, DataScalar at 2/4 nodes, and the
@@ -210,7 +248,7 @@ runSweep(const std::vector<SweepPoint> &points, unsigned jobs = 1);
 stats::Table
 fig7IpcTable(const std::vector<std::string> &workload_names,
              InstSeq budget, unsigned jobs = 1,
-             bool event_driven = true);
+             bool event_driven = true, bool trace_reuse = true);
 
 } // namespace driver
 } // namespace dscalar

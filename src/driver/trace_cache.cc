@@ -1,0 +1,96 @@
+#include "driver/trace_cache.hh"
+
+#include <chrono>
+
+#include "workloads/workloads.hh"
+
+namespace dscalar {
+namespace driver {
+
+std::shared_ptr<const prog::Program>
+TraceCache::program(const std::string &workload, unsigned scale)
+{
+    std::promise<std::shared_ptr<const prog::Program>> promise;
+    std::shared_future<std::shared_ptr<const prog::Program>> future;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto [it, inserted] = programs_.try_emplace(
+            ProgramKey{workload, scale});
+        if (!inserted)
+            return it->second.get();
+        it->second = promise.get_future().share();
+        future = it->second;
+    }
+    // Build outside the lock; waiters block on the future, not the
+    // mutex, so unrelated keys proceed concurrently.
+    promise.set_value(std::make_shared<const prog::Program>(
+        workloads::findWorkload(workload).build(scale)));
+    return future.get();
+}
+
+std::shared_ptr<const func::InstTrace>
+TraceCache::acquire(const std::string &workload, unsigned scale,
+                    InstSeq max_insts)
+{
+    std::promise<std::shared_ptr<const func::InstTrace>> promise;
+    std::shared_future<std::shared_ptr<const func::InstTrace>> future;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto [it, inserted] = traces_.try_emplace(
+            TraceKey{workload, scale, max_insts});
+        if (!inserted) {
+            ++hits_;
+            return it->second.get();
+        }
+        ++captures_;
+        it->second = promise.get_future().share();
+        future = it->second;
+    }
+    std::shared_ptr<const prog::Program> prog =
+        program(workload, scale);
+    promise.set_value(func::InstTrace::capture(*prog, max_insts));
+    return future.get();
+}
+
+std::uint64_t
+TraceCache::captures() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return captures_;
+}
+
+std::uint64_t
+TraceCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::size_t
+TraceCache::memoryBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t total = 0;
+    for (const auto &[key, future] : traces_) {
+        // Only settled entries are counted; an in-flight capture's
+        // size is unknown and waiting here would deadlock with it.
+        if (future.valid() &&
+            future.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready) {
+            if (auto trace = future.get())
+                total += trace->memoryBytes();
+        }
+    }
+    return total;
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    traces_.clear();
+    programs_.clear();
+}
+
+} // namespace driver
+} // namespace dscalar

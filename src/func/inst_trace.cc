@@ -1,0 +1,70 @@
+#include "func/inst_trace.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace func {
+
+std::size_t
+InstTrace::Chunk::bytes() const
+{
+    return pc.capacity() * sizeof(Addr) +
+           word.capacity() * sizeof(std::uint32_t) +
+           effAddr.capacity() * sizeof(Addr) +
+           memSize.capacity() * sizeof(std::uint8_t) +
+           nextPc.capacity() * sizeof(Addr);
+}
+
+std::size_t
+InstTrace::memoryBytes() const
+{
+    std::size_t total = output_.capacity();
+    for (const auto &c : chunks_)
+        total += sizeof(Chunk) + c->bytes();
+    return total;
+}
+
+std::shared_ptr<const InstTrace>
+InstTrace::capture(const prog::Program &program, InstSeq max_insts)
+{
+    FuncSim sim(program);
+    auto trace = std::shared_ptr<InstTrace>(new InstTrace());
+
+    std::shared_ptr<Chunk> cur;
+    DynInst rec;
+    InstSeq n = 0;
+    InstSeq budget = max_insts ? max_insts : ~static_cast<InstSeq>(0);
+    while (n < budget && sim.step(&rec)) {
+        if (!cur || cur->size() == kChunkRecords) {
+            if (cur)
+                trace->chunks_.push_back(std::move(cur));
+            cur = std::make_shared<Chunk>();
+            std::size_t reserve = static_cast<std::size_t>(
+                std::min(budget - n, kChunkRecords));
+            cur->pc.reserve(reserve);
+            cur->word.reserve(reserve);
+            cur->effAddr.reserve(reserve);
+            cur->memSize.reserve(reserve);
+            cur->nextPc.reserve(reserve);
+        }
+        cur->pc.push_back(rec.pc);
+        // encode() round-trips through decode(), so the stored word
+        // reproduces the retired instruction exactly.
+        cur->word.push_back(isa::encode(rec.inst));
+        cur->effAddr.push_back(rec.effAddr);
+        cur->memSize.push_back(static_cast<std::uint8_t>(rec.memSize));
+        cur->nextPc.push_back(rec.nextPc);
+        ++n;
+    }
+    if (cur)
+        trace->chunks_.push_back(std::move(cur));
+    trace->length_ = n;
+    trace->halted_ = sim.halted();
+    trace->output_ = sim.output();
+    return trace;
+}
+
+} // namespace func
+} // namespace dscalar

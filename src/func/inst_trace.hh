@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Immutable capture of one workload's dynamic instruction stream.
+ *
+ * The paper's SPSD property (Section 2) means every DataScalar node
+ * — and every sweep point over the same workload — consumes the
+ * *identical* dynamic stream. An InstTrace is that stream computed
+ * once: a chunked structure-of-arrays record (pc, raw instruction
+ * word, effective address, access size, resolved next pc; the
+ * sequence number is the record's position) produced by a single
+ * FuncSim run and then shared read-only between any number of
+ * consumers, on any thread, via std::shared_ptr.
+ *
+ * Chunks are individually reference counted so a consumer that has
+ * advanced past a chunk can drop its reference and let the memory go
+ * as soon as every other holder has too — the same
+ * compute-once-and-broadcast shape the paper applies to operands.
+ */
+
+#ifndef DSCALAR_FUNC_INST_TRACE_HH
+#define DSCALAR_FUNC_INST_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "func/func_sim.hh"
+#include "isa/instruction.hh"
+#include "prog/program.hh"
+
+namespace dscalar {
+namespace func {
+
+/** One captured, immutable dynamic instruction stream. */
+class InstTrace
+{
+  public:
+    /** Records per chunk (power of two so record -> chunk is a
+     *  shift). 4096 records ≈ 116 KB of SoA payload per chunk. */
+    static constexpr unsigned kChunkShift = 12;
+    static constexpr InstSeq kChunkRecords = InstSeq(1) << kChunkShift;
+    static constexpr InstSeq kChunkMask = kChunkRecords - 1;
+
+    /**
+     * Structure-of-arrays block of consecutive dynamic instructions.
+     * Element i of every column describes record firstSeq + i; the
+     * raw word re-decodes to the retired instruction.
+     */
+    struct Chunk
+    {
+        std::vector<Addr> pc;
+        std::vector<std::uint32_t> word;  ///< encoded instruction
+        std::vector<Addr> effAddr;        ///< invalidAddr if not mem
+        std::vector<std::uint8_t> memSize; ///< bytes, 0 if not mem
+        std::vector<Addr> nextPc;
+
+        std::size_t size() const { return pc.size(); }
+        std::size_t bytes() const;
+
+        /** Expand record @p i of this chunk (sequence @p seq) into
+         *  the DynInst a live FuncSim step would have produced. */
+        void
+        expand(std::size_t i, InstSeq seq, DynInst &out) const
+        {
+            out.seq = seq;
+            out.pc = pc[i];
+            out.inst = isa::decode(word[i]);
+            out.effAddr = effAddr[i];
+            out.memSize = memSize[i];
+            out.nextPc = nextPc[i];
+        }
+    };
+
+    /**
+     * Capture @p program's dynamic stream with one functional run,
+     * executing @p max_insts instructions or to completion
+     * (max_insts == 0). The trace also keeps the run's syscall
+     * output so replayed systems can report it without re-executing.
+     */
+    static std::shared_ptr<const InstTrace>
+    capture(const prog::Program &program, InstSeq max_insts = 0);
+
+    /** Number of captured records. */
+    InstSeq length() const { return length_; }
+
+    /** True when the program halted inside the captured window (the
+     *  trace covers the whole run, not a max_insts prefix). */
+    bool programHalted() const { return halted_; }
+
+    /** Bytes written by Print* syscalls during the captured prefix. */
+    const std::string &output() const { return output_; }
+
+    std::size_t numChunks() const { return chunks_.size(); }
+    const std::shared_ptr<const Chunk> &
+    chunk(std::size_t index) const
+    {
+        return chunks_[index];
+    }
+
+    /** Approximate heap footprint of the SoA payload in bytes. */
+    std::size_t memoryBytes() const;
+
+    /** Expand record @p seq (must be < length()). */
+    void
+    expand(InstSeq seq, DynInst &out) const
+    {
+        chunks_[seq >> kChunkShift]->expand(seq & kChunkMask, seq,
+                                            out);
+    }
+
+    /**
+     * One in-order pass over every record:
+     * fn(pc, inst, effAddr, memSize) with the hook-equivalent
+     * ordering (each record's fetch precedes its data access).
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        InstSeq seq = 0;
+        for (const auto &c : chunks_) {
+            for (std::size_t i = 0; i < c->size(); ++i, ++seq) {
+                fn(c->pc[i], isa::decode(c->word[i]), c->effAddr[i],
+                   static_cast<unsigned>(c->memSize[i]));
+            }
+        }
+    }
+
+  private:
+    InstTrace() = default;
+
+    std::vector<std::shared_ptr<const Chunk>> chunks_;
+    InstSeq length_ = 0;
+    bool halted_ = false;
+    std::string output_;
+};
+
+} // namespace func
+} // namespace dscalar
+
+#endif // DSCALAR_FUNC_INST_TRACE_HH

@@ -1,42 +1,124 @@
 #include "ooo/oracle_stream.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace dscalar {
 namespace ooo {
 
+OracleStream::OracleStream(
+    std::shared_ptr<const func::InstTrace> trace, InstSeq max_insts)
+    : replay_(true)
+{
+    panic_if(!trace, "replay stream needs a trace");
+    maxInsts_ = max_insts;
+    replayEnd_ = max_insts ? std::min(trace->length(), max_insts)
+                           : trace->length();
+    // The stream ends in a program halt (rather than an instruction
+    // budget) only when the whole captured run is replayed and the
+    // capture itself ran to completion.
+    replayHalts_ =
+        replayEnd_ == trace->length() && trace->programHalted();
+    traceChunks_.reserve(trace->numChunks());
+    for (std::size_t i = 0; i < trace->numChunks(); ++i)
+        traceChunks_.push_back(trace->chunk(i));
+    // The trace itself is not retained: once every consumer trims
+    // past a chunk (and any cache lets the trace go), its memory is
+    // freed even while later chunks are still being replayed.
+}
+
+std::vector<func::DynInst> &
+OracleStream::newChunk(std::size_t records)
+{
+    chunks_.emplace_back();
+    chunks_.back().reserve(records);
+    return chunks_.back();
+}
+
 bool
 OracleStream::extend(InstSeq seq)
 {
-    panic_if(seq < base_, "stream record %llu already trimmed (base %llu)",
-             (unsigned long long)seq, (unsigned long long)base_);
-    while (!ended_ && seq >= base_ + buffer_.size()) {
-        if (maxInsts_ != 0 && base_ + buffer_.size() >= maxInsts_) {
+    panic_if(seq < chunkStart_,
+             "stream record %llu already trimmed (chunk base %llu)",
+             (unsigned long long)seq,
+             (unsigned long long)chunkStart_);
+
+    if (replay_) {
+        while (!ended_ && seq >= limit_) {
+            if (limit_ >= replayEnd_) {
+                // Budget truncation (or a fully consumed trace) is
+                // only discovered by probing past the end, exactly
+                // like the live backend.
+                ended_ = true;
+                end_ = replayEnd_;
+                break;
+            }
+            std::size_t ci =
+                static_cast<std::size_t>(limit_ >> kChunkShift);
+            InstSeq chunk_end = std::min(
+                replayEnd_, (static_cast<InstSeq>(ci) + 1)
+                                << kChunkShift);
+            std::size_t n =
+                static_cast<std::size_t>(chunk_end - limit_);
+            const func::InstTrace::Chunk &src = *traceChunks_[ci];
+            std::vector<func::DynInst> &dst = newChunk(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                dst.emplace_back();
+                src.expand(i, limit_ + i, dst.back());
+            }
+            limit_ = chunk_end;
+            if (limit_ == replayEnd_ && replayHalts_) {
+                // The halt record is buffered: the end is known, as
+                // it would be once a live FuncSim retires HALT.
+                ended_ = true;
+                end_ = replayEnd_;
+            }
+        }
+        return seq < limit_;
+    }
+
+    while (!ended_ && seq >= limit_) {
+        if (maxInsts_ != 0 && limit_ >= maxInsts_) {
             ended_ = true;
             end_ = maxInsts_;
             break;
         }
         func::DynInst rec;
-        if (!sim_.step(&rec)) {
+        if (!sim_->step(&rec)) {
             ended_ = true;
-            end_ = base_ + buffer_.size();
+            end_ = limit_;
             break;
         }
-        buffer_.push_back(rec);
-        if (sim_.halted()) {
+        if (chunks_.empty() ||
+            chunks_.back().size() == kChunkRecords)
+            newChunk(static_cast<std::size_t>(kChunkRecords));
+        chunks_.back().push_back(rec);
+        ++limit_;
+        if (sim_->halted()) {
             ended_ = true;
-            end_ = base_ + buffer_.size();
+            end_ = limit_;
         }
     }
-    return seq < base_ + buffer_.size();
+    return seq < limit_;
 }
 
 void
 OracleStream::trim(InstSeq min_seq)
 {
-    while (base_ < min_seq && !buffer_.empty()) {
-        buffer_.pop_front();
-        ++base_;
+    // Whole chunks only; the partial tail chunk (live append target)
+    // always stays.
+    while (!chunks_.empty() &&
+           chunks_.front().size() == kChunkRecords &&
+           chunkStart_ + kChunkRecords <= min_seq) {
+        chunks_.pop_front();
+        if (replay_) {
+            std::size_t ci = static_cast<std::size_t>(
+                chunkStart_ >> kChunkShift);
+            if (ci < traceChunks_.size())
+                traceChunks_[ci].reset();
+        }
+        chunkStart_ += kChunkRecords;
     }
 }
 

@@ -2,39 +2,66 @@
  * @file
  * Shared dynamic-instruction stream.
  *
- * One functional simulator produces the true dynamic stream; every
- * node's out-of-order core consumes it through a cursor. This models
- * two things at once: the perfect branch prediction the paper assumes
+ * One oracle produces the true dynamic stream; every node's
+ * out-of-order core consumes it through a cursor. This models two
+ * things at once: the perfect branch prediction the paper assumes
  * (Section 4.2), and the SPSD property that all DataScalar nodes
  * execute the identical instruction stream.
+ *
+ * Two backends produce the records:
+ *  - live: a func::FuncSim executes the program as consumers extend
+ *    the window (capture and single-shot runs);
+ *  - replay: a previously captured func::InstTrace is expanded
+ *    chunk-by-chunk, so a sweep re-running the same workload never
+ *    re-executes it functionally (see driver::TraceCache).
+ *
+ * Buffered records live in fixed-size chunks; trim() releases whole
+ * chunks once every consumer is past them, and in replay mode also
+ * drops the per-chunk reference into the shared trace so its memory
+ * can go as soon as all other holders are done with it.
  */
 
 #ifndef DSCALAR_OOO_ORACLE_STREAM_HH
 #define DSCALAR_OOO_ORACLE_STREAM_HH
 
 #include <deque>
+#include <memory>
+#include <vector>
 
 #include "common/logging.hh"
 #include "func/func_sim.hh"
+#include "func/inst_trace.hh"
 
 namespace dscalar {
 namespace ooo {
 
-/** Lazily extended, reference-counted window over the dynamic stream. */
+/** Lazily extended, chunk-refcounted window over the dynamic stream. */
 class OracleStream
 {
   public:
+    /** Buffered records per chunk; matches the trace chunking so a
+     *  replay chunk expands from exactly one trace chunk. */
+    static constexpr unsigned kChunkShift = func::InstTrace::kChunkShift;
+    static constexpr InstSeq kChunkRecords = func::InstTrace::kChunkRecords;
+    static constexpr InstSeq kChunkMask = func::InstTrace::kChunkMask;
+
     /**
-     * @param sim functional oracle producing the stream.
+     * Live backend: @p sim executes the program on demand.
      * @param max_insts truncate the stream after this many dynamic
      *        instructions (0 = run the program to completion). The
      *        paper runs "100 million instructions or to completion,
      *        whichever came first".
      */
     explicit OracleStream(func::FuncSim &sim, InstSeq max_insts = 0)
-        : sim_(sim), maxInsts_(max_insts)
+        : sim_(&sim), maxInsts_(max_insts)
     {
     }
+
+    /** Replay backend: expand records from a captured trace instead
+     *  of executing; @p max_insts further truncates the trace. */
+    explicit OracleStream(
+        std::shared_ptr<const func::InstTrace> trace,
+        InstSeq max_insts = 0);
 
     /**
      * @return true when instruction @p seq exists (extending the
@@ -45,43 +72,102 @@ class OracleStream
     {
         // Hot path: the record is already buffered (the cores poll
         // this every tick for every fetch/issue candidate).
-        if (seq >= base_ && seq - base_ < buffer_.size())
+        if (seq >= chunkStart_ && seq < limit_)
             return true;
         return extend(seq);
     }
 
-    /** The record for @p seq; available(seq) must have returned true. */
+    /** The record for @p seq; available(seq) must have returned
+     *  true. Bounds are asserted only in debug builds — this is the
+     *  cores' per-fetch hot path. */
     const func::DynInst &
-    get(InstSeq seq)
+    get(InstSeq seq) const
     {
-        panic_if(!available(seq), "stream record %llu unavailable",
-                 (unsigned long long)seq);
-        return buffer_[seq - base_];
+#ifndef NDEBUG
+        panic_if(seq < chunkStart_ || seq >= limit_,
+                 "stream record %llu not buffered (chunk base %llu, "
+                 "limit %llu)",
+                 (unsigned long long)seq,
+                 (unsigned long long)chunkStart_,
+                 (unsigned long long)limit_);
+#endif
+        InstSeq off = seq - chunkStart_;
+        return chunks_[off >> kChunkShift][off & kChunkMask];
     }
 
-    /** Drop records below @p min_seq (all consumers are past them). */
+    /** Release records below @p min_seq (all consumers are past
+     *  them). Whole chunks only: records in the chunk containing
+     *  @p min_seq stay buffered. */
     void trim(InstSeq min_seq);
 
-    /** True once the program has halted inside the stream. */
+    /** True once the program end has been discovered inside the
+     *  stream (an available() probe reached it). */
     bool ended() const { return ended_; }
 
     /** One past the last instruction; valid only when ended(). */
     InstSeq endSeq() const { return end_; }
 
-    std::size_t bufferedCount() const { return buffer_.size(); }
+    /** Records currently buffered (chunk-granular after trim). */
+    std::size_t
+    bufferedCount() const
+    {
+        return static_cast<std::size_t>(limit_ - chunkStart_);
+    }
+
+    /** Replay streams never touch a FuncSim. */
+    bool replaying() const { return replay_; }
 
   private:
-    /** Slow path of available(): run the functional oracle forward
-     *  until @p seq is buffered or the program ends. */
+    /** Slow path of available(): produce records (live execution or
+     *  trace expansion) until @p seq is buffered or the stream
+     *  ends. */
     bool extend(InstSeq seq);
 
-    func::FuncSim &sim_;
+    /** Append an empty chunk sized for @p records entries. */
+    std::vector<func::DynInst> &newChunk(std::size_t records);
+
+    func::FuncSim *sim_ = nullptr;
+    bool replay_ = false;
+    /** Per-chunk references into the trace (the stream does not pin
+     *  the whole InstTrace), dropped as trim() passes each chunk —
+     *  the refcounted chunk release that lets a shared trace's
+     *  memory go progressively as every consumer advances. */
+    std::vector<std::shared_ptr<const func::InstTrace::Chunk>>
+        traceChunks_;
     InstSeq maxInsts_ = 0;
-    std::deque<func::DynInst> buffer_;
-    InstSeq base_ = 0;
+    InstSeq replayEnd_ = 0;     ///< trace records to replay
+    bool replayHalts_ = false;  ///< trace end is a program halt
+
+    /** Buffered records: chunks_[0] starts at chunkStart_ (always a
+     *  chunk multiple); only the last chunk may be partial. */
+    std::deque<std::vector<func::DynInst>> chunks_;
+    InstSeq chunkStart_ = 0;
+    InstSeq limit_ = 0; ///< one past the highest buffered record
     bool ended_ = false;
     InstSeq end_ = 0;
 };
+
+/** Backend-selection helpers shared by the timing systems: a null
+ *  trace selects a live FuncSim oracle over @p program; a non-null
+ *  trace selects replay (no functional execution at all). */
+inline std::unique_ptr<func::FuncSim>
+makeOracle(const prog::Program &program,
+           const std::shared_ptr<const func::InstTrace> &trace)
+{
+    if (trace)
+        return nullptr;
+    return std::make_unique<func::FuncSim>(program);
+}
+
+inline OracleStream
+makeStream(func::FuncSim *sim,
+           std::shared_ptr<const func::InstTrace> trace,
+           InstSeq max_insts)
+{
+    if (trace)
+        return OracleStream(std::move(trace), max_insts);
+    return OracleStream(*sim, max_insts);
+}
 
 } // namespace ooo
 } // namespace dscalar

@@ -1,0 +1,193 @@
+/** @file Unit tests for captured instruction traces and replay. */
+
+#include <gtest/gtest.h>
+
+#include "core/distribution.hh"
+#include "driver/driver.hh"
+#include "func/inst_trace.hh"
+#include "ooo/oracle_stream.hh"
+#include "prog/assembler.hh"
+#include "workloads/workloads.hh"
+
+namespace dscalar {
+namespace func {
+namespace {
+
+using namespace prog::reg;
+
+prog::Program
+countdownProgram(int n)
+{
+    prog::Program p;
+    prog::Assembler a(p);
+    a.li(t0, n);
+    a.label("loop");
+    a.addi(t0, t0, -1);
+    a.bne(t0, zero, "loop");
+    a.halt();
+    a.finalize();
+    return p;
+}
+
+prog::Program
+compressProgram()
+{
+    return workloads::findWorkload("compress_s").build(1);
+}
+
+TEST(InstTrace, CaptureMatchesLiveExecution)
+{
+    prog::Program p = compressProgram();
+    constexpr InstSeq budget = 8000;
+    auto trace = InstTrace::capture(p, budget);
+    ASSERT_EQ(trace->length(), budget);
+
+    // Every captured record must round-trip to exactly what a fresh
+    // functional run produces, field by field.
+    FuncSim sim(p);
+    for (InstSeq seq = 0; seq < trace->length(); ++seq) {
+        DynInst live;
+        ASSERT_TRUE(sim.step(&live));
+        DynInst replayed;
+        trace->expand(seq, replayed);
+        ASSERT_EQ(replayed.seq, live.seq);
+        ASSERT_EQ(replayed.pc, live.pc);
+        ASSERT_EQ(isa::encode(replayed.inst), isa::encode(live.inst));
+        ASSERT_EQ(replayed.effAddr, live.effAddr);
+        ASSERT_EQ(replayed.memSize, live.memSize);
+        ASSERT_EQ(replayed.nextPc, live.nextPc);
+    }
+}
+
+TEST(InstTrace, RecordsHaltAndLength)
+{
+    // li + (addi, bne) x10 + halt = 22 records, run to completion.
+    prog::Program p = countdownProgram(10);
+    auto full = InstTrace::capture(p);
+    EXPECT_EQ(full->length(), 22u);
+    EXPECT_TRUE(full->programHalted());
+
+    // A budget below the program length is a prefix, not a halt.
+    auto prefix = InstTrace::capture(p, 10);
+    EXPECT_EQ(prefix->length(), 10u);
+    EXPECT_FALSE(prefix->programHalted());
+}
+
+TEST(InstTrace, KeepsSyscallOutput)
+{
+    prog::Program p = compressProgram();
+    constexpr InstSeq budget = 50000;
+    auto trace = InstTrace::capture(p, budget);
+
+    FuncSim sim(p);
+    sim.run(budget);
+    EXPECT_EQ(trace->output(), sim.output());
+}
+
+TEST(InstTrace, ReplayStreamMatchesLiveStream)
+{
+    prog::Program p = compressProgram();
+    constexpr InstSeq budget = 6000; // spans two chunks
+    auto trace = InstTrace::capture(p, budget);
+
+    FuncSim sim(p);
+    ooo::OracleStream live(sim, budget);
+    ooo::OracleStream replay(trace, budget);
+    EXPECT_FALSE(live.replaying());
+    EXPECT_TRUE(replay.replaying());
+
+    for (InstSeq seq = 0;; ++seq) {
+        bool has = live.available(seq);
+        ASSERT_EQ(replay.available(seq), has);
+        if (!has)
+            break;
+        const DynInst &a = live.get(seq);
+        const DynInst &b = replay.get(seq);
+        ASSERT_EQ(b.seq, a.seq);
+        ASSERT_EQ(b.pc, a.pc);
+        ASSERT_EQ(isa::encode(b.inst), isa::encode(a.inst));
+        ASSERT_EQ(b.effAddr, a.effAddr);
+        ASSERT_EQ(b.memSize, a.memSize);
+        ASSERT_EQ(b.nextPc, a.nextPc);
+    }
+    EXPECT_EQ(live.ended(), replay.ended());
+    EXPECT_EQ(live.endSeq(), replay.endSeq());
+}
+
+TEST(InstTrace, ReplayTruncatesBelowTraceLength)
+{
+    prog::Program p = compressProgram();
+    auto trace = InstTrace::capture(p, 6000);
+    ooo::OracleStream stream(trace, 1000);
+    EXPECT_TRUE(stream.available(999));
+    EXPECT_FALSE(stream.available(1000));
+    EXPECT_TRUE(stream.ended());
+    EXPECT_EQ(stream.endSeq(), 1000u);
+}
+
+TEST(InstTrace, TrimDropsChunkReferences)
+{
+    // li + (addi, bne) x3000 + halt = 6002 records: two chunks.
+    prog::Program p = countdownProgram(3000);
+    auto trace = InstTrace::capture(p);
+    ASSERT_EQ(trace->numChunks(), 2u);
+    long base = trace->chunk(0).use_count();
+
+    {
+        ooo::OracleStream stream(trace, 0);
+        EXPECT_EQ(trace->chunk(0).use_count(), base + 1);
+        ASSERT_TRUE(stream.available(6001));
+
+        // Advancing past the first chunk releases the stream's
+        // reference into the shared trace; the trace itself still
+        // holds the chunk.
+        stream.trim(ooo::OracleStream::kChunkRecords);
+        EXPECT_EQ(trace->chunk(0).use_count(), base);
+        EXPECT_EQ(trace->chunk(1).use_count(), base + 1);
+    }
+    EXPECT_EQ(trace->chunk(1).use_count(), base);
+}
+
+TEST(InstTrace, AnalysesMatchFunctionalRun)
+{
+    prog::Program p = compressProgram();
+    constexpr InstSeq budget = 10000;
+    auto trace = InstTrace::capture(p, budget);
+
+    // Page heat, Table 1 traffic, and Table 2 datathreads rederived
+    // from the trace must equal the execution-driven versions
+    // exactly — same accesses, same order, same cache state.
+    core::PageHeat heat_live = driver::profilePages(p, budget);
+    core::PageHeat heat_trace = driver::profilePages(*trace);
+    EXPECT_EQ(heat_trace, heat_live);
+
+    driver::TrafficResult t_live = driver::measureEspTraffic(p, budget);
+    driver::TrafficResult t_trace = driver::measureEspTraffic(*trace);
+    EXPECT_EQ(t_trace.requestBytes, t_live.requestBytes);
+    EXPECT_EQ(t_trace.responseBytes, t_live.responseBytes);
+    EXPECT_EQ(t_trace.writeBackBytes, t_live.writeBackBytes);
+    EXPECT_EQ(t_trace.requests, t_live.requests);
+    EXPECT_EQ(t_trace.responses, t_live.responses);
+    EXPECT_EQ(t_trace.writeBacks, t_live.writeBacks);
+
+    core::DistributionConfig dist;
+    dist.numNodes = 4;
+    dist.replicateText = false;
+    dist.replicatedDataPages = p.touchedPages().size() / 4;
+    core::ReplicationReport rep;
+    mem::PageTable ptable =
+        core::buildPageTable(p, dist, &heat_live, &rep);
+    driver::DatathreadResult d_live =
+        driver::measureDatathreads(p, ptable, rep, budget);
+    driver::DatathreadResult d_trace =
+        driver::measureDatathreads(*trace, ptable, rep);
+    EXPECT_EQ(d_trace.meanAll, d_live.meanAll);
+    EXPECT_EQ(d_trace.meanText, d_live.meanText);
+    EXPECT_EQ(d_trace.meanData, d_live.meanData);
+    EXPECT_EQ(d_trace.meanRepl, d_live.meanRepl);
+    EXPECT_EQ(d_trace.missRefs, d_live.missRefs);
+}
+
+} // namespace
+} // namespace func
+} // namespace dscalar

@@ -63,16 +63,33 @@ TEST(OracleStream, MultipleConsumersSeeSameRecords)
     EXPECT_EQ(stream.get(15).pc, pc15);
 }
 
-TEST(OracleStream, TrimReleasesOnlyBelowMin)
+TEST(OracleStream, TrimReleasesWholeChunksOnly)
 {
-    prog::Program p = countdownProgram(10);
+    // li + (addi, bne) x3000 + halt = 6002 records: two chunks.
+    prog::Program p = countdownProgram(3000);
     func::FuncSim sim(p);
     OracleStream stream(sim);
-    ASSERT_TRUE(stream.available(10));
+    ASSERT_TRUE(stream.available(6001));
     std::size_t before = stream.bufferedCount();
+    ASSERT_EQ(before, 6002u);
+
+    // Trimming inside the first chunk releases nothing...
     stream.trim(5);
-    EXPECT_EQ(stream.bufferedCount(), before - 5);
+    EXPECT_EQ(stream.bufferedCount(), before);
     EXPECT_EQ(stream.get(5).seq, 5u); // still accessible
+
+    // ...and records just below a consumed chunk boundary keep the
+    // chunk alive.
+    stream.trim(OracleStream::kChunkRecords - 1);
+    EXPECT_EQ(stream.bufferedCount(), before);
+
+    // Once every record of the first chunk is passed, it goes at
+    // once.
+    stream.trim(OracleStream::kChunkRecords + 1);
+    EXPECT_EQ(stream.bufferedCount(),
+              before - OracleStream::kChunkRecords);
+    EXPECT_EQ(stream.get(OracleStream::kChunkRecords + 1).seq,
+              OracleStream::kChunkRecords + 1);
 }
 
 TEST(OracleStream, MaxInstsTruncates)
@@ -88,12 +105,14 @@ TEST(OracleStream, MaxInstsTruncates)
 
 TEST(OracleStreamDeath, TrimmedAccessPanics)
 {
-    prog::Program p = countdownProgram(10);
+    prog::Program p = countdownProgram(3000);
     func::FuncSim sim(p);
     OracleStream stream(sim);
-    ASSERT_TRUE(stream.available(10));
-    stream.trim(5);
-    EXPECT_DEATH(stream.get(2), "trimmed");
+    ASSERT_TRUE(stream.available(6001));
+    stream.trim(OracleStream::kChunkRecords);
+    // get() itself only asserts in debug builds; the probe is the
+    // guaranteed diagnostic in every build type.
+    EXPECT_DEATH(stream.available(2), "trimmed");
 }
 
 } // namespace

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests of the shared trace cache under concurrent sweeps: one
+ * functional capture per (workload, scale, maxInsts) no matter how
+ * many worker threads ask, results byte-identical to per-point
+ * re-execution, and clean teardown. Carries the sanitize-smoke
+ * label so the race-sensitive paths also run under the sanitizer
+ * presets (ASan/UBSan, and -DDSCALAR_TSAN for ThreadSanitizer).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "driver/driver.hh"
+#include "driver/trace_cache.hh"
+
+namespace dscalar {
+namespace driver {
+namespace {
+
+constexpr InstSeq kBudget = 4000;
+
+std::vector<SweepPoint>
+dcacheSweepPoints()
+{
+    // A fig8-shaped sub-sweep: one workload, several dcache sizes,
+    // two systems per size — 12 points sharing a single stream.
+    std::vector<SweepPoint> points;
+    for (unsigned kb : {4, 8, 16, 32, 64, 128}) {
+        core::SimConfig cfg = paperConfig();
+        cfg.maxInsts = kBudget;
+        cfg.numNodes = 2;
+        cfg.core.dcache.sizeBytes = kb * 1024;
+        points.push_back(
+            SweepPoint{"compress_s", SystemKind::DataScalar, cfg, 1, 1});
+        points.push_back(
+            SweepPoint{"compress_s", SystemKind::Traditional, cfg, 1, 1});
+    }
+    return points;
+}
+
+TEST(TraceCache, ConcurrentSweepCapturesOnceAndMatchesFresh)
+{
+    std::vector<SweepPoint> points = dcacheSweepPoints();
+
+    TraceCache cache;
+    std::vector<core::RunResult> reused = runSweep(points, cache, 4);
+    EXPECT_EQ(cache.captures(), 1u);
+    EXPECT_EQ(cache.hits(), points.size() - 1);
+
+    // Replayed results must be byte-identical to per-point
+    // execution (the SPSD guarantee the cache rests on).
+    std::vector<core::RunResult> fresh = runSweep(points, 1, false);
+    ASSERT_EQ(reused.size(), fresh.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i));
+        EXPECT_EQ(reused[i].cycles, fresh[i].cycles);
+        EXPECT_EQ(reused[i].instructions, fresh[i].instructions);
+        EXPECT_EQ(reused[i].ipc, fresh[i].ipc);
+    }
+}
+
+TEST(TraceCache, ConcurrentAcquireSingleCapture)
+{
+    TraceCache cache;
+    constexpr unsigned kThreads = 8;
+    std::vector<std::shared_ptr<const func::InstTrace>> got(kThreads);
+    std::vector<std::thread> workers;
+    for (unsigned i = 0; i < kThreads; ++i) {
+        workers.emplace_back([&cache, &got, i] {
+            got[i] = cache.acquire("compress_s", 1, kBudget);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    for (unsigned i = 0; i < kThreads; ++i) {
+        ASSERT_NE(got[i], nullptr);
+        EXPECT_EQ(got[i], got[0]); // one shared capture
+    }
+    EXPECT_EQ(cache.captures(), 1u);
+    EXPECT_EQ(cache.hits(), kThreads - 1);
+    EXPECT_EQ(got[0]->length(), kBudget);
+}
+
+TEST(TraceCache, DistinctKeysCaptureSeparately)
+{
+    TraceCache cache;
+    auto a = cache.acquire("compress_s", 1, 2000);
+    auto b = cache.acquire("compress_s", 1, 3000);
+    auto c = cache.acquire("compress_s", 1, 2000);
+    EXPECT_EQ(cache.captures(), 2u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(a, c);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a->length(), 2000u);
+    EXPECT_EQ(b->length(), 3000u);
+}
+
+TEST(TraceCache, ProgramBuiltOnce)
+{
+    TraceCache cache;
+    auto a = cache.program("compress_s", 1);
+    auto b = cache.program("compress_s", 1);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a, b);
+}
+
+TEST(TraceCache, MemoryBytesAndClear)
+{
+    TraceCache cache;
+    EXPECT_EQ(cache.memoryBytes(), 0u);
+    cache.acquire("compress_s", 1, kBudget);
+    EXPECT_GT(cache.memoryBytes(), 0u);
+
+    cache.clear();
+    EXPECT_EQ(cache.memoryBytes(), 0u);
+    // A cleared cache re-captures on the next ask.
+    cache.acquire("compress_s", 1, kBudget);
+    EXPECT_EQ(cache.captures(), 2u);
+}
+
+} // namespace
+} // namespace driver
+} // namespace dscalar

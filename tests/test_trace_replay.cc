@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Replay-identity tests: a timing run that replays a captured trace
+ * must report exactly what a fresh execution-driven run reports —
+ * every system family, both event-driven modes, down to the full
+ * stats dump. This is the contract that lets driver::TraceCache
+ * substitute replay for execution everywhere (loopTicks is the one
+ * diagnostic field excluded from equivalence; see core::RunResult).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "baseline/perfect.hh"
+#include "baseline/traditional.hh"
+#include "core/datascalar.hh"
+#include "driver/driver.hh"
+#include "func/inst_trace.hh"
+#include "workloads/workloads.hh"
+
+namespace dscalar {
+namespace driver {
+namespace {
+
+constexpr InstSeq kBudget = 8000;
+
+const prog::Program &
+testProgram()
+{
+    static prog::Program p =
+        workloads::findWorkload("compress_s").build(1);
+    return p;
+}
+
+std::shared_ptr<const func::InstTrace>
+testTrace()
+{
+    static std::shared_ptr<const func::InstTrace> trace =
+        func::InstTrace::capture(testProgram(), kBudget);
+    return trace;
+}
+
+core::SimConfig
+testConfig(bool event_driven)
+{
+    core::SimConfig cfg = paperConfig();
+    cfg.maxInsts = kBudget;
+    cfg.numNodes = 2;
+    cfg.eventDriven = event_driven;
+    return cfg;
+}
+
+TEST(TraceReplay, RunResultsMatchEverySystemAndMode)
+{
+    const prog::Program &p = testProgram();
+    auto trace = testTrace();
+    for (bool ed : {true, false}) {
+        core::SimConfig cfg = testConfig(ed);
+        for (SystemKind kind :
+             {SystemKind::Perfect, SystemKind::DataScalar,
+              SystemKind::Traditional}) {
+            SCOPED_TRACE(std::string(systemKindName(kind)) +
+                         (ed ? " event-driven" : " cycle-stepped"));
+            core::RunResult fresh = runSystem(kind, p, cfg);
+            core::RunResult replay = runSystem(kind, p, cfg, 1, trace);
+            EXPECT_EQ(replay.cycles, fresh.cycles);
+            EXPECT_EQ(replay.instructions, fresh.instructions);
+            EXPECT_EQ(replay.ipc, fresh.ipc);
+        }
+    }
+}
+
+TEST(TraceReplay, DataScalarDumpStatsByteIdentical)
+{
+    const prog::Program &p = testProgram();
+    core::SimConfig cfg = testConfig(true);
+
+    core::DataScalarSystem live(p, cfg, figure7PageTable(p, 2));
+    core::DataScalarSystem replay(p, cfg, figure7PageTable(p, 2),
+                                  testTrace());
+    live.run();
+    replay.run();
+
+    std::ostringstream a, b;
+    live.dumpStats(a);
+    replay.dumpStats(b);
+    EXPECT_EQ(b.str(), a.str());
+    EXPECT_EQ(replay.output(), live.output());
+}
+
+TEST(TraceReplay, PerfectOutputMatchesAcrossBackends)
+{
+    const prog::Program &p = testProgram();
+    core::SimConfig cfg = testConfig(true);
+    baseline::PerfectSystem live(p, cfg);
+    baseline::PerfectSystem replay(p, cfg, testTrace());
+    live.run();
+    replay.run();
+    EXPECT_EQ(replay.output(), live.output());
+}
+
+TEST(TraceReplay, TraditionalOutputMatchesAcrossBackends)
+{
+    const prog::Program &p = testProgram();
+    core::SimConfig cfg = testConfig(true);
+    baseline::TraditionalSystem live(p, cfg,
+                                     figure7PageTable(p, 2));
+    baseline::TraditionalSystem replay(p, cfg,
+                                       figure7PageTable(p, 2),
+                                       testTrace());
+    live.run();
+    replay.run();
+    EXPECT_EQ(replay.output(), live.output());
+}
+
+} // namespace
+} // namespace driver
+} // namespace dscalar

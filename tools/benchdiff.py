@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON dumps and flag regressions.
+
+Intended for the simspeed baseline workflow:
+
+    build/bench/simspeed --benchmark_out=new.json \
+                         --benchmark_out_format=json
+    tools/benchdiff.py simspeed.benchmark.json new.json
+
+Benchmarks are matched by name. The primary metric is
+items_per_second (simulated instructions per wall second, which every
+simspeed benchmark reports); real_time is the fallback, normalized
+through time_unit. A benchmark is a regression when it got slower by
+more than --threshold (default 20%, generous because single-machine
+wall-clock — especially on loaded CI hosts — is noisy; tighten for a
+quiet dedicated box). Exit status: 0 = no regressions, 1 = at least
+one, 2 = usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+_TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_rows(path):
+    """name -> (metric_value, higher_is_better) for every real run."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"benchdiff: cannot read {path}: {e}")
+    rows = {}
+    for b in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        name = b["name"]
+        if "items_per_second" in b:
+            rows[name] = (float(b["items_per_second"]), True)
+        elif "real_time" in b:
+            scale = _TIME_UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+            rows[name] = (float(b["real_time"]) * scale, False)
+    if not rows:
+        sys.exit(f"benchdiff: no benchmark rows in {path}")
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two google-benchmark JSON dumps")
+    ap.add_argument("baseline", help="reference JSON dump")
+    ap.add_argument("current", help="candidate JSON dump")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="fractional slowdown that counts as a "
+                         "regression (default: %(default)s)")
+    args = ap.parse_args()
+    if args.threshold < 0:
+        ap.error("--threshold must be >= 0")
+
+    base = load_rows(args.baseline)
+    cur = load_rows(args.current)
+
+    regressions = []
+    print(f"{'benchmark':<44} {'baseline':>12} {'current':>12} "
+          f"{'speedup':>8}")
+    for name in sorted(base):
+        if name not in cur:
+            print(f"{name:<44} {'(missing in current)':>34}")
+            continue
+        bval, higher_better = base[name]
+        cval, _ = cur[name]
+        if bval <= 0 or cval <= 0:
+            continue
+        # speedup > 1 means the current run is faster.
+        speedup = (cval / bval) if higher_better else (bval / cval)
+        mark = ""
+        if speedup < 1.0 - args.threshold:
+            mark = "  REGRESSION"
+            regressions.append((name, speedup))
+        print(f"{name:<44} {bval:>12.4g} {cval:>12.4g} "
+              f"{speedup:>7.2f}x{mark}")
+    for name in sorted(set(cur) - set(base)):
+        print(f"{name:<44} {'(new, no baseline)':>34}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, speedup in regressions:
+            print(f"  {name}: {speedup:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,9 @@
  *   --bshr-hard        enforce BSHR capacity (stall + re-request)
  *   --sweep            run the Figure 7 sweep over the timing
  *                      workloads instead of one program
+ *   --no-trace-reuse   capture no shared traces: re-execute each
+ *                      sweep point functionally (slower, identical
+ *                      numbers)
  *   --list             list registered workloads
  */
 
@@ -62,6 +65,7 @@ struct Options
     bool stats = false;
     bool trace = false;
     bool sweep = false;
+    bool noTraceReuse = false;
     double faultDrop = 0.0;
     double faultDup = 0.0;
     double faultDelay = 0.0;
@@ -99,7 +103,7 @@ usage()
         "\n             [--bshr-hard]"
         "\n             <program.s | workload-name>\n"
         "       dsrun --sweep [--max-insts=N] [--jobs=N] "
-        "[--no-skip]\n"
+        "[--no-skip] [--no-trace-reuse]\n"
         "       dsrun --list\n");
     return 2;
 }
@@ -161,6 +165,8 @@ main(int argc, char **argv)
             opt.noSkip = true;
         } else if (arg == "--sweep") {
             opt.sweep = true;
+        } else if (arg == "--no-trace-reuse") {
+            opt.noTraceReuse = true;
         } else if (arg == "--stats") {
             opt.stats = true;
         } else if (arg == "--trace") {
@@ -175,7 +181,7 @@ main(int argc, char **argv)
         InstSeq budget = opt.maxInsts ? opt.maxInsts : 100'000;
         stats::Table table = driver::fig7IpcTable(
             workloads::timingWorkloadNames(), budget, opt.jobs,
-            !opt.noSkip);
+            !opt.noSkip, !opt.noTraceReuse);
         table.print(std::cout);
         return 0;
     }
@@ -224,7 +230,7 @@ main(int argc, char **argv)
       case driver::SystemKind::Perfect: {
         baseline::PerfectSystem sys(program, cfg);
         r = sys.run();
-        std::printf("%s", sys.oracle().output().c_str());
+        std::printf("%s", sys.output().c_str());
         break;
       }
       case driver::SystemKind::Traditional: {
@@ -233,7 +239,7 @@ main(int argc, char **argv)
             driver::figure7PageTable(program, opt.nodes,
                                      opt.blockPages));
         r = sys.run();
-        std::printf("%s", sys.oracle().output().c_str());
+        std::printf("%s", sys.output().c_str());
         break;
       }
       case driver::SystemKind::DataScalar: {
@@ -245,7 +251,7 @@ main(int argc, char **argv)
         if (opt.trace)
             sys.setTraceSink(&sink);
         r = sys.run();
-        std::printf("%s", sys.oracle().output().c_str());
+        std::printf("%s", sys.output().c_str());
         if (opt.stats)
             sys.dumpStats(std::cout);
         // Faults and hard BSHR capacity break the exactly-once
