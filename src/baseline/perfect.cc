@@ -11,7 +11,8 @@ PerfectSystem::PerfectSystem(
     const prog::Program &program, const core::SimConfig &config,
     std::shared_ptr<const func::InstTrace> trace)
     : config_(config), oracle_(ooo::makeOracle(program, trace)),
-      replayOutput_(trace ? trace->output() : std::string()),
+      replayOutput_(trace ? trace->outputPrefix(config.maxInsts)
+                          : std::string()),
       stream_(ooo::makeStream(oracle_.get(), std::move(trace),
                               config.maxInsts)),
       localMem_(config.mem),

@@ -13,7 +13,8 @@ DataScalarSystem::DataScalarSystem(
     mem::PageTable ptable,
     std::shared_ptr<const func::InstTrace> trace)
     : config_(config), oracle_(ooo::makeOracle(program, trace)),
-      replayOutput_(trace ? trace->output() : std::string()),
+      replayOutput_(trace ? trace->outputPrefix(config.maxInsts)
+                          : std::string()),
       stream_(ooo::makeStream(oracle_.get(), std::move(trace),
                               config.maxInsts)),
       ptable_(std::move(ptable)),

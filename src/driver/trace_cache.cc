@@ -12,19 +12,36 @@ TraceCache::program(const std::string &workload, unsigned scale)
 {
     std::promise<std::shared_ptr<const prog::Program>> promise;
     std::shared_future<std::shared_ptr<const prog::Program>> future;
+    bool build_here = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto [it, inserted] = programs_.try_emplace(
             ProgramKey{workload, scale});
-        if (!inserted)
-            return it->second.get();
-        it->second = promise.get_future().share();
+        if (inserted) {
+            it->second = promise.get_future().share();
+            build_here = true;
+        }
         future = it->second;
     }
-    // Build outside the lock; waiters block on the future, not the
-    // mutex, so unrelated keys proceed concurrently.
-    promise.set_value(std::make_shared<const prog::Program>(
-        workloads::findWorkload(workload).build(scale)));
+    // Build — and wait — outside the lock: waiters that get() while
+    // holding the mutex would deadlock with a builder needing it,
+    // and would serialize unrelated keys behind this one.
+    if (build_here) {
+        try {
+            promise.set_value(std::make_shared<const prog::Program>(
+                workloads::findWorkload(workload).build(scale)));
+        } catch (...) {
+            // Drop the entry so later calls retry instead of seeing
+            // a broken promise forever; threads already waiting get
+            // the original error through the future.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                programs_.erase(ProgramKey{workload, scale});
+            }
+            promise.set_exception(std::current_exception());
+            throw;
+        }
+    }
     return future.get();
 }
 
@@ -34,21 +51,39 @@ TraceCache::acquire(const std::string &workload, unsigned scale,
 {
     std::promise<std::shared_ptr<const func::InstTrace>> promise;
     std::shared_future<std::shared_ptr<const func::InstTrace>> future;
+    bool capture_here = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto [it, inserted] = traces_.try_emplace(
             TraceKey{workload, scale, max_insts});
-        if (!inserted) {
+        if (inserted) {
+            ++captures_;
+            it->second = promise.get_future().share();
+            capture_here = true;
+        } else {
             ++hits_;
-            return it->second.get();
         }
-        ++captures_;
-        it->second = promise.get_future().share();
         future = it->second;
     }
-    std::shared_ptr<const prog::Program> prog =
-        program(workload, scale);
-    promise.set_value(func::InstTrace::capture(*prog, max_insts));
+    // Capture — and wait — outside the lock. The capturing thread
+    // re-enters the mutex via program(), so a waiter that held it
+    // across get() would deadlock the sweep.
+    if (capture_here) {
+        try {
+            std::shared_ptr<const prog::Program> prog =
+                program(workload, scale);
+            promise.set_value(
+                func::InstTrace::capture(*prog, max_insts));
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                traces_.erase(TraceKey{workload, scale, max_insts});
+                --captures_;
+            }
+            promise.set_exception(std::current_exception());
+            throw;
+        }
+    }
     return future.get();
 }
 

@@ -20,10 +20,28 @@ InstTrace::Chunk::bytes() const
 std::size_t
 InstTrace::memoryBytes() const
 {
-    std::size_t total = output_.capacity();
+    std::size_t total = output_.capacity() +
+                        outputMarks_.capacity() * sizeof(OutputMark);
     for (const auto &c : chunks_)
         total += sizeof(Chunk) + c->bytes();
     return total;
+}
+
+std::string
+InstTrace::outputPrefix(InstSeq max_insts) const
+{
+    if (max_insts == 0 || max_insts >= length_)
+        return output_;
+    // The last mark from a record below max_insts gives the bytes
+    // printed by records [0, max_insts).
+    auto it = std::lower_bound(
+        outputMarks_.begin(), outputMarks_.end(), max_insts,
+        [](const OutputMark &m, InstSeq n) { return m.seq < n; });
+    std::size_t len =
+        it == outputMarks_.begin()
+            ? 0
+            : static_cast<std::size_t>(std::prev(it)->bytes);
+    return output_.substr(0, len);
 }
 
 std::shared_ptr<const InstTrace>
@@ -35,6 +53,7 @@ InstTrace::capture(const prog::Program &program, InstSeq max_insts)
     std::shared_ptr<Chunk> cur;
     DynInst rec;
     InstSeq n = 0;
+    std::size_t out_len = 0;
     InstSeq budget = max_insts ? max_insts : ~static_cast<InstSeq>(0);
     while (n < budget && sim.step(&rec)) {
         if (!cur || cur->size() == kChunkRecords) {
@@ -56,6 +75,11 @@ InstTrace::capture(const prog::Program &program, InstSeq max_insts)
         cur->effAddr.push_back(rec.effAddr);
         cur->memSize.push_back(static_cast<std::uint8_t>(rec.memSize));
         cur->nextPc.push_back(rec.nextPc);
+        if (sim.output().size() != out_len) {
+            out_len = sim.output().size();
+            trace->outputMarks_.push_back(
+                OutputMark{n, static_cast<std::uint64_t>(out_len)});
+        }
         ++n;
     }
     if (cur)

@@ -92,6 +92,14 @@ class InstTrace
     /** Bytes written by Print* syscalls during the captured prefix. */
     const std::string &output() const { return output_; }
 
+    /**
+     * Bytes written by the first @p max_insts captured records
+     * (0 = the whole capture), so a replay truncated below the
+     * capture budget reports exactly what a live run at that budget
+     * would have printed.
+     */
+    std::string outputPrefix(InstSeq max_insts) const;
+
     std::size_t numChunks() const { return chunks_.size(); }
     const std::shared_ptr<const Chunk> &
     chunk(std::size_t index) const
@@ -131,10 +139,19 @@ class InstTrace
   private:
     InstTrace() = default;
 
+    /** Output length watermark: after record seq retired, output_
+     *  held bytes bytes. Only records that printed get a mark. */
+    struct OutputMark
+    {
+        InstSeq seq;
+        std::uint64_t bytes;
+    };
+
     std::vector<std::shared_ptr<const Chunk>> chunks_;
     InstSeq length_ = 0;
     bool halted_ = false;
     std::string output_;
+    std::vector<OutputMark> outputMarks_;
 };
 
 } // namespace func

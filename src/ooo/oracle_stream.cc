@@ -12,6 +12,15 @@ OracleStream::OracleStream(
     : replay_(true)
 {
     panic_if(!trace, "replay stream needs a trace");
+    // A budget-truncated capture only stands in for a live run whose
+    // budget it covers; replaying it further would silently simulate
+    // fewer instructions than the live run and skew every number.
+    panic_if(!trace->programHalted() &&
+                 (max_insts == 0 || max_insts > trace->length()),
+             "trace of %llu records (program not halted) cannot "
+             "cover a max_insts=%llu run",
+             (unsigned long long)trace->length(),
+             (unsigned long long)max_insts);
     maxInsts_ = max_insts;
     replayEnd_ = max_insts ? std::min(trace->length(), max_insts)
                            : trace->length();

@@ -35,6 +35,24 @@ compressProgram()
     return workloads::findWorkload("compress_s").build(1);
 }
 
+prog::Program
+printingCountdownProgram(int n)
+{
+    // li + (mv, syscall, addi, bne) x n + halt: prints n..1, one
+    // PrintInt per loop iteration.
+    prog::Program p;
+    prog::Assembler a(p);
+    a.li(t0, n);
+    a.label("loop");
+    a.addi(a0, t0, 0);
+    a.syscall(isa::Syscall::PrintInt);
+    a.addi(t0, t0, -1);
+    a.bne(t0, zero, "loop");
+    a.halt();
+    a.finalize();
+    return p;
+}
+
 TEST(InstTrace, CaptureMatchesLiveExecution)
 {
     prog::Program p = compressProgram();
@@ -82,6 +100,38 @@ TEST(InstTrace, KeepsSyscallOutput)
     FuncSim sim(p);
     sim.run(budget);
     EXPECT_EQ(trace->output(), sim.output());
+}
+
+TEST(InstTrace, OutputPrefixMatchesTruncatedLiveRun)
+{
+    prog::Program p = printingCountdownProgram(50); // 202 records
+    auto trace = InstTrace::capture(p);
+    ASSERT_TRUE(trace->programHalted());
+    EXPECT_EQ(trace->outputPrefix(0), trace->output());
+
+    // At every truncation point the prefix must be exactly what a
+    // live run stopped at that budget prints — replaying a trace at
+    // a smaller budget must not leak output from beyond it.
+    for (InstSeq budget : {1, 2, 3, 41, 100, 201, 202, 500}) {
+        FuncSim sim(p);
+        sim.run(budget);
+        EXPECT_EQ(trace->outputPrefix(budget), sim.output())
+            << "budget " << budget;
+    }
+}
+
+TEST(InstTrace, ReplayRejectsUnderCoveringTrace)
+{
+    prog::Program p = compressProgram();
+    auto prefix = InstTrace::capture(p, 1000);
+    ASSERT_FALSE(prefix->programHalted());
+    // Budgets the capture covers replay fine...
+    ooo::OracleStream ok(prefix, 1000);
+    EXPECT_TRUE(ok.available(999));
+    // ...but a run-to-completion or larger budget would silently
+    // simulate fewer instructions than a live run; it must die.
+    EXPECT_DEATH(ooo::OracleStream(prefix, 0), "cannot cover");
+    EXPECT_DEATH(ooo::OracleStream(prefix, 1001), "cannot cover");
 }
 
 TEST(InstTrace, ReplayStreamMatchesLiveStream)

@@ -18,6 +18,7 @@
 #include "core/datascalar.hh"
 #include "driver/driver.hh"
 #include "func/inst_trace.hh"
+#include "prog/assembler.hh"
 #include "workloads/workloads.hh"
 
 namespace dscalar {
@@ -99,6 +100,37 @@ TEST(TraceReplay, PerfectOutputMatchesAcrossBackends)
     live.run();
     replay.run();
     EXPECT_EQ(replay.output(), live.output());
+}
+
+TEST(TraceReplay, TruncatedReplayOutputMatchesLiveBudget)
+{
+    // A trace captured to completion, replayed at a smaller budget:
+    // the reported syscall output must be what a live run stopped at
+    // that budget prints, not the full captured run's output.
+    using namespace prog::reg;
+    prog::Program p;
+    prog::Assembler a(p);
+    a.li(t0, 3000);
+    a.label("loop");
+    a.addi(a0, t0, 0);
+    a.syscall(isa::Syscall::PrintInt);
+    a.addi(t0, t0, -1);
+    a.bne(t0, zero, "loop");
+    a.halt();
+    a.finalize();
+
+    auto trace = func::InstTrace::capture(p);
+    ASSERT_TRUE(trace->programHalted());
+
+    core::SimConfig cfg = testConfig(true);
+    cfg.maxInsts = 5000; // well below the ~12000 captured records
+    baseline::PerfectSystem live(p, cfg);
+    baseline::PerfectSystem replay(p, cfg, trace);
+    live.run();
+    replay.run();
+    EXPECT_FALSE(live.output().empty());
+    EXPECT_EQ(replay.output(), live.output());
+    EXPECT_NE(replay.output(), trace->output());
 }
 
 TEST(TraceReplay, TraditionalOutputMatchesAcrossBackends)
