@@ -52,6 +52,29 @@ parseSystemKind(const std::string &name, SystemKind &out)
     return true;
 }
 
+const char *
+interconnectKindName(core::InterconnectKind kind)
+{
+    switch (kind) {
+      case core::InterconnectKind::Bus: return "bus";
+      case core::InterconnectKind::Ring: return "ring";
+    }
+    fatal("unknown InterconnectKind %d", static_cast<int>(kind));
+}
+
+bool
+parseInterconnectKind(const std::string &name,
+                      core::InterconnectKind &out)
+{
+    if (name == "bus")
+        out = core::InterconnectKind::Bus;
+    else if (name == "ring")
+        out = core::InterconnectKind::Ring;
+    else
+        return false;
+    return true;
+}
+
 mem::CacheParams
 table1CacheParams()
 {

@@ -47,6 +47,17 @@ const char *systemKindName(SystemKind kind);
  */
 bool parseSystemKind(const std::string &name, SystemKind &out);
 
+/** @return printable name of @p kind ("bus" | "ring"). */
+const char *interconnectKindName(core::InterconnectKind kind);
+
+/**
+ * Parse a CLI interconnect name.
+ * @return false when @p name matches no InterconnectKind (@p out
+ * untouched).
+ */
+bool parseInterconnectKind(const std::string &name,
+                           core::InterconnectKind &out);
+
 /** The Table 1 / Section 3 study cache: 64 KB two-way 32 B lines,
  *  write-allocate write-back. */
 mem::CacheParams table1CacheParams();

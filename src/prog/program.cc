@@ -105,6 +105,31 @@ Program::peek64(Addr addr) const
     return v;
 }
 
+std::uint64_t
+Program::imageDigest() const
+{
+    constexpr std::uint64_t prime = 0x100000001b3ULL;
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix64 = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= prime;
+        }
+    };
+    mix64(entry);
+    mix64(text_.size());
+    for (std::uint32_t w : text_)
+        mix64(w);
+    for (const auto &[base, bytes] : dataPages_) {
+        mix64(base);
+        for (std::uint8_t b : bytes) {
+            h ^= b;
+            h *= prime;
+        }
+    }
+    return h;
+}
+
 std::vector<Addr>
 Program::touchedPages() const
 {

@@ -76,6 +76,17 @@ class Program
     Addr stackBase() const { return stackTop - stackSize; }
     Addr initialSp() const { return stackTop - 64; }
 
+    // -- Identity ---------------------------------------------------
+
+    /**
+     * FNV-1a digest over everything that defines the image: entry
+     * point, encoded text, and every initialized data page (address
+     * and bytes). Equal digests across independently built programs
+     * mean byte-identical images — the generator-determinism check
+     * in test_program_gen and dsfuzz repro validation rely on it.
+     */
+    std::uint64_t imageDigest() const;
+
     // -- Footprint --------------------------------------------------
 
     /**

@@ -1,0 +1,256 @@
+/** @file
+ * check::Oracle and repro-file tests: a clean configuration passes,
+ * a deliberately broken configuration (fault injection with the
+ * reliable-medium expectations left strict) is flagged, the shrinker
+ * converges in at most two passes on an always-failing synthetic
+ * case, and repro files round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/oracle.hh"
+#include "check/repro.hh"
+
+namespace dscalar {
+namespace {
+
+TEST(FuzzOracle, CleanConfigsPass)
+{
+    check::Oracle oracle;
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+        auto failure = oracle.runTrial(seed);
+        EXPECT_FALSE(failure.has_value())
+            << "seed " << seed << ": "
+            << check::describeConfig(failure->config) << ": "
+            << failure->mismatch;
+    }
+    EXPECT_EQ(oracle.stats().trials, 5u);
+    EXPECT_EQ(oracle.stats().configsChecked,
+              5u * oracle.options().configsPerTrial);
+}
+
+TEST(FuzzOracle, CrossChecksRunExtraTimingRuns)
+{
+    check::Oracle oracle;
+    check::ProgramGen gen(oracle.genParams());
+    prog::Program p = gen.generate(11);
+    check::GoldenRun golden = check::runGolden(p);
+
+    check::TrialConfig config;
+    config.crossReplay = true;
+    config.crossEventDriven = true;
+    EXPECT_EQ(oracle.checkConfig(p, golden, config), "");
+    // One live run + one replay + one flipped-mode run.
+    EXPECT_EQ(oracle.stats().timingRuns, 3u);
+}
+
+TEST(FuzzOracle, FlagsFaultInjectionWithoutRecovery)
+{
+    // The designed-in mismatch: duplicate/delay faults on the
+    // interconnect while the oracle still expects a perfectly
+    // reliable medium. The run completes (nothing is dropped), but
+    // duplicate deliveries leave BSHR residue the strict drain
+    // invariant must catch.
+    check::Oracle oracle;
+    check::TrialConfig config;
+    config.system = driver::SystemKind::DataScalar;
+    config.nodes = 3;
+    config.faultsNoRecovery = true;
+
+    bool flagged = false;
+    std::string mismatch;
+    for (std::uint64_t seed = 1; seed <= 5 && !flagged; ++seed) {
+        mismatch = oracle.recheck(seed, oracle.genParams(), config);
+        flagged = !mismatch.empty();
+    }
+    ASSERT_TRUE(flagged);
+    EXPECT_NE(mismatch.find("not drained"), std::string::npos)
+        << mismatch;
+}
+
+TEST(FuzzShrink, AlwaysFailingCaseConvergesInTwoPasses)
+{
+    // Synthetic predicate that fails for every candidate: the
+    // shrinker must pin every dimension to its floor in the first
+    // pass and confirm the fixpoint in the second.
+    auto always_fails = [](std::uint64_t,
+                           const check::GenParams &) {
+        return std::string("synthetic failure");
+    };
+    check::ShrinkResult res = check::shrinkParams(
+        7, check::GenParams::fuzzDefault(), "synthetic failure",
+        always_fails);
+    EXPECT_LE(res.passes, 2u);
+    EXPECT_EQ(res.mismatch, "synthetic failure");
+    EXPECT_EQ(res.params.minIters, 1u);
+    EXPECT_EQ(res.params.maxIters, 1u);
+    EXPECT_EQ(res.params.minBlockOps, 1u);
+    EXPECT_EQ(res.params.maxBlockOps, 1u);
+    EXPECT_EQ(res.params.minDataPages, 1u);
+    EXPECT_EQ(res.params.maxDataPages, 1u);
+}
+
+TEST(FuzzShrink, NeverFailingPredicateKeepsStartParams)
+{
+    auto never_fails = [](std::uint64_t, const check::GenParams &) {
+        return std::string();
+    };
+    check::GenParams start = check::GenParams::fuzzDefault();
+    check::ShrinkResult res =
+        check::shrinkParams(7, start, "original", never_fails);
+    EXPECT_EQ(res.passes, 1u);
+    EXPECT_EQ(res.mismatch, "original");
+    EXPECT_EQ(res.params.minIters, start.minIters);
+    EXPECT_EQ(res.params.maxIters, start.maxIters);
+}
+
+TEST(FuzzShrink, ShrunkenFaultCaseStillFails)
+{
+    // End-to-end: shrink the faultsNoRecovery mismatch with the real
+    // recheck predicate; whatever survives must still fail when
+    // re-run from the shrunken parameters alone (the repro-replay
+    // contract).
+    check::Oracle oracle;
+    check::TrialConfig config;
+    config.nodes = 3;
+    config.faultsNoRecovery = true;
+
+    std::uint64_t failing_seed = 0;
+    std::string mismatch;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        mismatch = oracle.recheck(seed, oracle.genParams(), config);
+        if (!mismatch.empty()) {
+            failing_seed = seed;
+            break;
+        }
+    }
+    ASSERT_NE(failing_seed, 0u);
+
+    check::ShrinkResult res = check::shrinkParams(
+        failing_seed, oracle.genParams(), mismatch,
+        [&](std::uint64_t s, const check::GenParams &p) {
+            return oracle.recheck(s, p, config);
+        });
+    EXPECT_FALSE(res.mismatch.empty());
+    EXPECT_FALSE(
+        oracle.recheck(failing_seed, res.params, config).empty());
+}
+
+TEST(FuzzRepro, FormatParseRoundTrip)
+{
+    check::ReproCase r;
+    r.seed = 42;
+    r.params = check::GenParams::fuzzDefault();
+    r.params.minIters = r.params.maxIters = 3;
+    r.config.system = driver::SystemKind::Traditional;
+    r.config.nodes = 4;
+    r.config.interconnect = core::InterconnectKind::Ring;
+    r.config.dcacheBytes = 4096;
+    r.config.dcacheAssoc = 2;
+    r.config.writeAllocate = true;
+    r.config.eventDriven = false;
+    r.config.crossReplay = true;
+    r.config.faults = true;
+    r.config.bshrCapacity = 16;
+    r.config.maxInsts = 12345;
+    r.config.faultSeed = 99;
+    r.mismatch = "output divergence: 3 bytes vs golden 5 bytes";
+
+    std::istringstream in(check::formatRepro(r));
+    check::ReproCase back;
+    std::string error;
+    ASSERT_TRUE(check::parseRepro(in, back, error)) << error;
+    EXPECT_EQ(back.seed, r.seed);
+    EXPECT_EQ(back.params.minIters, 3u);
+    EXPECT_EQ(back.params.maxIters, 3u);
+    EXPECT_EQ(back.params.mix.pageCross, r.params.mix.pageCross);
+    EXPECT_EQ(back.config.system, r.config.system);
+    EXPECT_EQ(back.config.nodes, r.config.nodes);
+    EXPECT_EQ(back.config.interconnect, r.config.interconnect);
+    EXPECT_EQ(back.config.dcacheBytes, r.config.dcacheBytes);
+    EXPECT_EQ(back.config.dcacheAssoc, r.config.dcacheAssoc);
+    EXPECT_TRUE(back.config.writeAllocate);
+    EXPECT_FALSE(back.config.eventDriven);
+    EXPECT_TRUE(back.config.crossReplay);
+    EXPECT_TRUE(back.config.faults);
+    EXPECT_EQ(back.config.bshrCapacity, 16u);
+    EXPECT_EQ(back.config.maxInsts, 12345u);
+    EXPECT_EQ(back.config.faultSeed, 99u);
+    EXPECT_EQ(back.mismatch, r.mismatch);
+}
+
+TEST(FuzzRepro, ParseRejectsMalformedInput)
+{
+    check::ReproCase out;
+    std::string error;
+
+    std::istringstream no_seed("nodes = 2\n");
+    EXPECT_FALSE(check::parseRepro(no_seed, out, error));
+    EXPECT_NE(error.find("seed"), std::string::npos);
+
+    std::istringstream bad_key("seed = 1\nwibble = 3\n");
+    EXPECT_FALSE(check::parseRepro(bad_key, out, error));
+    EXPECT_NE(error.find("wibble"), std::string::npos);
+
+    std::istringstream bad_value("seed = 1\nnodes = banana\n");
+    EXPECT_FALSE(check::parseRepro(bad_value, out, error));
+    EXPECT_NE(error.find("non-numeric"), std::string::npos);
+
+    std::istringstream bad_system("seed = 1\nsystem = vliw\n");
+    EXPECT_FALSE(check::parseRepro(bad_system, out, error));
+    EXPECT_NE(error.find("vliw"), std::string::npos);
+
+    std::istringstream no_equals("seed = 1\njust words\n");
+    EXPECT_FALSE(check::parseRepro(no_equals, out, error));
+    EXPECT_NE(error.find("missing '='"), std::string::npos);
+}
+
+TEST(FuzzRepro, SaveLoadReplayRoundTrip)
+{
+    // A repro captured from a real failing case must reproduce the
+    // same mismatch when loaded and re-checked from scratch.
+    check::Oracle oracle;
+    check::TrialConfig config;
+    config.nodes = 3;
+    config.faultsNoRecovery = true;
+
+    std::uint64_t failing_seed = 0;
+    std::string mismatch;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        mismatch = oracle.recheck(seed, oracle.genParams(), config);
+        if (!mismatch.empty()) {
+            failing_seed = seed;
+            break;
+        }
+    }
+    ASSERT_NE(failing_seed, 0u);
+
+    check::ReproCase repro{failing_seed, oracle.genParams(), config,
+                           mismatch};
+    std::string path =
+        ::testing::TempDir() + "/fuzz_oracle_repro.txt";
+    ASSERT_TRUE(check::saveRepro(path, repro));
+
+    check::ReproCase loaded;
+    std::string error;
+    ASSERT_TRUE(check::loadRepro(path, loaded, error)) << error;
+    EXPECT_EQ(loaded.seed, failing_seed);
+    EXPECT_EQ(loaded.mismatch, mismatch);
+    EXPECT_EQ(
+        oracle.recheck(loaded.seed, loaded.params, loaded.config),
+        mismatch);
+}
+
+TEST(FuzzRepro, LoadReportsMissingFile)
+{
+    check::ReproCase out;
+    std::string error;
+    EXPECT_FALSE(check::loadRepro("/nonexistent/dsfuzz-repro.txt",
+                                  out, error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+} // namespace
+} // namespace dscalar

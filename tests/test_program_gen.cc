@@ -1,0 +1,128 @@
+/** @file
+ * check::ProgramGen contract tests: determinism (identical seeds
+ * produce byte-identical images), guaranteed termination under
+ * FuncSim across many seeds and op mixes, compatibility of the
+ * default parameters with the historical test_properties generator,
+ * and parameter validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/program_gen.hh"
+#include "func/func_sim.hh"
+
+namespace dscalar {
+namespace {
+
+TEST(ProgramGen, IdenticalSeedsProduceByteIdenticalImages)
+{
+    check::ProgramGen gen(check::GenParams::fuzzDefault());
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        prog::Program a = gen.generate(seed);
+        prog::Program b = gen.generate(seed);
+        ASSERT_EQ(a.imageDigest(), b.imageDigest()) << "seed " << seed;
+        ASSERT_EQ(a.textWords(), b.textWords());
+        for (std::size_t i = 0; i < a.textWords(); ++i)
+            ASSERT_EQ(a.textWord(i), b.textWord(i))
+                << "seed " << seed << " word " << i;
+    }
+    // Digests must separate distinct seeds.
+    EXPECT_NE(gen.generate(1).imageDigest(),
+              gen.generate(2).imageDigest());
+}
+
+TEST(ProgramGen, HundredSeedsTerminateWithinBudget)
+{
+    check::ProgramGen gen; // historical default mix
+    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+        prog::Program p = gen.generate(seed);
+        func::FuncSim sim(p);
+        sim.run(20'000'000);
+        ASSERT_TRUE(sim.halted()) << "seed " << seed;
+        ASSERT_GT(sim.retired(), 0u);
+        ASSERT_FALSE(sim.output().empty()) << "seed " << seed;
+    }
+}
+
+TEST(ProgramGen, FuzzMixTerminatesAndPrintsMidLoop)
+{
+    // The extended mix adds FP, mid-loop syscalls, aliasing, byte
+    // ops, and page-crossing accesses; termination must survive all
+    // of them, and the print op must grow the output stream beyond
+    // the single final PrintInt.
+    check::ProgramGen gen(check::GenParams::fuzzDefault());
+    bool saw_midloop_output = false;
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        prog::Program p = gen.generate(seed);
+        func::FuncSim sim(p);
+        sim.run(20'000'000);
+        ASSERT_TRUE(sim.halted()) << "seed " << seed;
+        if (sim.output().find('\n') != sim.output().rfind('\n'))
+            saw_midloop_output = true;
+    }
+    EXPECT_TRUE(saw_midloop_output);
+}
+
+TEST(ProgramGen, DefaultParamsMatchHistoricalGenerator)
+{
+    // The historical test_properties generator drew structure as
+    // 4 + below(12) pages, range(40, 160) iterations, and
+    // 10 + below(30) block ops. The default GenParams must keep
+    // every seed's drawn structure inside those bounds, and the
+    // choices report must agree with the defaults' ranges.
+    check::ProgramGen gen;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        check::GenChoices choices;
+        prog::Program p = gen.generate(seed, &choices);
+        EXPECT_GE(choices.dataPages, 4u);
+        EXPECT_LE(choices.dataPages, 15u);
+        EXPECT_GE(choices.iters, 40u);
+        EXPECT_LE(choices.iters, 160u);
+        EXPECT_GE(choices.blockOps, 10u);
+        EXPECT_LE(choices.blockOps, 39u);
+        EXPECT_EQ(p.name, "random_" + std::to_string(seed));
+    }
+}
+
+TEST(ProgramGen, PinnedParamsGenerateMinimalPrograms)
+{
+    // The shrinker pins every dimension to 1; generation must stay
+    // well-formed down there (a single iteration of a single op over
+    // one data page).
+    check::GenParams tiny;
+    tiny.minDataPages = tiny.maxDataPages = 1;
+    tiny.minIters = tiny.maxIters = 1;
+    tiny.minBlockOps = tiny.maxBlockOps = 1;
+    tiny.mix = check::GenParams::fuzzDefault().mix;
+    check::ProgramGen gen(tiny);
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        check::GenChoices choices;
+        prog::Program p = gen.generate(seed, &choices);
+        EXPECT_EQ(choices.dataPages, 1u);
+        EXPECT_EQ(choices.iters, 1u);
+        EXPECT_EQ(choices.blockOps, 1u);
+        func::FuncSim sim(p);
+        sim.run(1'000'000);
+        ASSERT_TRUE(sim.halted()) << "seed " << seed;
+    }
+}
+
+TEST(ProgramGenDeath, RejectsDegenerateParams)
+{
+    check::GenParams empty;
+    empty.mix = check::OpMix{0, 0, 0, 0, 0, 0};
+    EXPECT_DEATH({ check::ProgramGen g(empty); }, "empty op mix");
+
+    check::GenParams inverted;
+    inverted.minIters = 50;
+    inverted.maxIters = 10;
+    EXPECT_DEATH({ check::ProgramGen g(inverted); },
+                 "bad iteration range");
+
+    check::GenParams huge;
+    huge.maxDataPages = 4096;
+    EXPECT_DEATH({ check::ProgramGen g(huge); }, "exceeds 512");
+}
+
+} // namespace
+} // namespace dscalar

@@ -7,92 +7,25 @@
 
 #include <gtest/gtest.h>
 
-#include "common/random.hh"
+#include "check/program_gen.hh"
 #include "core/datascalar.hh"
 #include "driver/driver.hh"
-#include "prog/assembler.hh"
 
 namespace dscalar {
 namespace {
 
-using namespace prog::reg;
-using prog::Assembler;
 using prog::Program;
 
 /**
- * Generate a random but always-terminating program: a fixed number
- * of outer iterations over a block of randomized loads, stores, ALU
- * ops, and short forward branches across a multi-page data area.
+ * Random but always-terminating program via check::ProgramGen. The
+ * default GenParams reproduce, draw for draw, the generator this
+ * test historically owned, so every seed below generates the exact
+ * program it always has (test_program_gen locks the equivalence).
  */
 Program
 randomProgram(std::uint64_t seed)
 {
-    Random rng(seed);
-    Program p;
-    p.name = "random_" + std::to_string(seed);
-    const unsigned data_pages = 4 + rng.below(12);
-    const std::uint32_t data_bytes = data_pages * prog::pageSize;
-    Addr g = p.allocGlobal(data_bytes);
-    for (Addr off = 0; off < data_bytes; off += 8)
-        p.poke64(g + off, rng.next());
-
-    Assembler a(p);
-    a.la(s1, g);
-    a.li(s2, 0);                  // checksum
-    a.li(s3, static_cast<std::int32_t>(rng.range(17, 8191))); // cursor
-    a.li(s0, static_cast<std::int32_t>(rng.range(40, 160))); // iters
-
-    a.label("outer");
-    const unsigned block = 10 + rng.below(30);
-    for (unsigned i = 0; i < block; ++i) {
-        // Derive a legal data offset from the cursor.
-        a.li(t6, static_cast<std::int32_t>((data_bytes / 8) - 1));
-        a.and_(t0, s3, t6);
-        a.slli(t0, t0, 3);
-        a.add(t0, s1, t0);
-        switch (rng.below(6)) {
-          case 0:
-            a.ld(t1, t0, 0);
-            a.add(s2, s2, t1);
-            break;
-          case 1:
-            a.sd(s2, t0, 0);
-            break;
-          case 2:
-            a.lw(t1, t0, 0);
-            a.xor_(s2, s2, t1);
-            break;
-          case 3: {
-            // Data-dependent short forward branch.
-            std::string skip = a.genLabel("skip");
-            a.andi(t1, s2, 1);
-            a.beq(t1, zero, skip);
-            a.addi(s2, s2, 3);
-            a.label(skip);
-            break;
-          }
-          case 4:
-            a.li(t1, static_cast<std::int32_t>(rng.range(3, 9973)));
-            a.mul(s3, s3, t1);
-            a.addi(s3, s3, 7);
-            break;
-          default:
-            a.add(s3, s3, s2);
-            a.srli(t1, s3, 3);
-            a.xor_(s3, s3, t1);
-            break;
-        }
-    }
-    a.addi(s0, s0, -1);
-    a.bne(s0, zero, "outer");
-
-    a.li(t0, 0xffff);
-    a.and_(a0, s2, t0);
-    a.syscall(isa::Syscall::PrintInt);
-    a.syscall(isa::Syscall::Exit);
-    a.halt();
-    a.finalize();
-    return p;
+    return check::ProgramGen().generate(seed);
 }
 
 class RandomProgramTest

@@ -91,6 +91,46 @@ TEST(TraceReplay, DataScalarDumpStatsByteIdentical)
     EXPECT_EQ(replay.output(), live.output());
 }
 
+TEST(TraceReplay, FaultInjectionWithRecoveryMatchesLive)
+{
+    // Fault decisions are a pure function of the seed and message
+    // identities, not of the execution backend — so a faulty run
+    // with recovery armed must replay cycle- and stats-identical to
+    // its live counterpart. The fuzzer's crossReplay check on fault
+    // configs rests on this corner.
+    const prog::Program &p = testProgram();
+    for (bool ed : {true, false}) {
+        SCOPED_TRACE(ed ? "event-driven" : "cycle-stepped");
+        core::SimConfig cfg = testConfig(ed);
+        cfg.fault.dropProb = 0.05;
+        cfg.fault.dupProb = 0.02;
+        cfg.fault.delayProb = 0.1;
+        cfg.fault.maxDelay = 16;
+        cfg.fault.seed = 42;
+        cfg.rerequestTimeout = 2000;
+
+        core::DataScalarSystem live(p, cfg, figure7PageTable(p, 2));
+        core::DataScalarSystem replay(p, cfg, figure7PageTable(p, 2),
+                                      testTrace());
+        core::RunResult fresh = live.run();
+        core::RunResult again = replay.run();
+
+        // The faults must actually fire for this to test anything.
+        std::uint64_t rerequests = 0;
+        for (NodeId n = 0; n < 2; ++n)
+            rerequests += live.node(n).nodeStats().rerequestsSent;
+        EXPECT_GT(rerequests, 0u);
+
+        EXPECT_EQ(again.cycles, fresh.cycles);
+        EXPECT_EQ(again.instructions, fresh.instructions);
+        EXPECT_EQ(replay.output(), live.output());
+        std::ostringstream a, b;
+        live.dumpStats(a);
+        replay.dumpStats(b);
+        EXPECT_EQ(b.str(), a.str());
+    }
+}
+
 TEST(TraceReplay, PerfectOutputMatchesAcrossBackends)
 {
     const prog::Program &p = testProgram();

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * dsfuzz — differential fuzzer for the DataScalar simulators.
+ *
+ * Each run generates one random program (check::ProgramGen), executes
+ * it once through FuncSim as the golden architectural model, then
+ * checks it through a sampled matrix of timing configurations
+ * (check::Oracle): system family, node count, interconnect, cache
+ * geometry, run-loop mode, trace replay, fault injection, hard BSHR
+ * capacity. Any divergence from the golden stream or any violated
+ * protocol invariant fails the campaign: the failing case is
+ * auto-shrunk to minimal generation parameters and written as a
+ * self-contained repro file. See docs/FUZZING.md.
+ *
+ * Usage:
+ *   dsfuzz [--runs=N] [--seed=S] [--time-budget=SECONDS]
+ *          [--configs-per-trial=N] [--repro-out=FILE] [--quiet]
+ *   dsfuzz --repro=FILE          replay a saved repro case
+ *
+ * Exit status: 0 = every trial passed (or a replayed repro no longer
+ * fails), 1 = a mismatch was found (repro written / reproduced),
+ * 2 = usage or file error.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "check/oracle.hh"
+#include "check/program_gen.hh"
+#include "check/repro.hh"
+
+using namespace dscalar;
+
+namespace {
+
+struct Options
+{
+    std::uint64_t runs = 100;
+    std::uint64_t seed = 1;
+    double timeBudget = 0.0; ///< seconds; 0 = unlimited
+    unsigned configsPerTrial = 2;
+    std::string reproIn;
+    std::string reproOut = "dsfuzz-repro.txt";
+    bool quiet = false;
+};
+
+bool
+parseFlag(const std::string &arg, const char *name, std::string &value)
+{
+    std::string prefix = std::string(name) + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    value = arg.substr(prefix.size());
+    return true;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: dsfuzz [--runs=N] [--seed=S] [--time-budget=SECONDS]"
+        "\n              [--configs-per-trial=N] [--repro-out=FILE]"
+        "\n              [--quiet]"
+        "\n       dsfuzz --repro=FILE\n");
+    return 2;
+}
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Replay one saved repro case from scratch. */
+int
+replayRepro(const Options &opt)
+{
+    check::ReproCase repro;
+    std::string error;
+    if (!check::loadRepro(opt.reproIn, repro, error)) {
+        std::fprintf(stderr, "dsfuzz: %s\n", error.c_str());
+        return 2;
+    }
+    std::printf("replaying seed %llu: %s\n",
+                (unsigned long long)repro.seed,
+                check::describeConfig(repro.config).c_str());
+    if (!repro.mismatch.empty())
+        std::printf("recorded mismatch: %s\n", repro.mismatch.c_str());
+    check::Oracle oracle({}, repro.params);
+    std::string mismatch =
+        oracle.recheck(repro.seed, repro.params, repro.config);
+    if (mismatch.empty()) {
+        std::printf("repro no longer fails\n");
+        return 0;
+    }
+    std::printf("REPRODUCED: %s\n", mismatch.c_str());
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string value;
+        if (parseFlag(arg, "--runs", value))
+            opt.runs = std::stoull(value);
+        else if (parseFlag(arg, "--seed", value))
+            opt.seed = std::stoull(value);
+        else if (parseFlag(arg, "--time-budget", value))
+            opt.timeBudget = std::stod(value);
+        else if (parseFlag(arg, "--configs-per-trial", value))
+            opt.configsPerTrial =
+                static_cast<unsigned>(std::stoul(value));
+        else if (parseFlag(arg, "--repro", value))
+            opt.reproIn = value;
+        else if (parseFlag(arg, "--repro-out", value))
+            opt.reproOut = value;
+        else if (arg == "--quiet")
+            opt.quiet = true;
+        else
+            return usage();
+    }
+
+    if (!opt.reproIn.empty())
+        return replayRepro(opt);
+
+    check::OracleOptions oopt;
+    oopt.configsPerTrial = opt.configsPerTrial;
+    check::Oracle oracle(oopt, check::GenParams::fuzzDefault());
+
+    auto start = std::chrono::steady_clock::now();
+    std::uint64_t done = 0;
+    for (; done < opt.runs; ++done) {
+        if (opt.timeBudget > 0.0 &&
+            elapsedSeconds(start) >= opt.timeBudget) {
+            std::printf("time budget reached after %llu trials\n",
+                        (unsigned long long)done);
+            break;
+        }
+        std::uint64_t seed = opt.seed + done;
+        auto failure = oracle.runTrial(seed);
+        if (!failure)
+            continue;
+
+        std::printf("FAIL seed %llu: %s\n  %s\n",
+                    (unsigned long long)seed,
+                    check::describeConfig(failure->config).c_str(),
+                    failure->mismatch.c_str());
+
+        // Shrink the generation parameters against the failing
+        // config, re-running the whole case per candidate.
+        std::printf("shrinking...\n");
+        check::TrialConfig bad = failure->config;
+        check::ShrinkResult shrunk = check::shrinkParams(
+            seed, failure->params, failure->mismatch,
+            [&oracle, &bad](std::uint64_t s,
+                            const check::GenParams &p) {
+                return oracle.recheck(s, p, bad);
+            });
+        std::printf("shrunk in %u passes (%u attempts): iters "
+                    "[%u,%u] blockOps [%u,%u] dataPages [%u,%u]\n",
+                    shrunk.passes, shrunk.attempts,
+                    shrunk.params.minIters, shrunk.params.maxIters,
+                    shrunk.params.minBlockOps,
+                    shrunk.params.maxBlockOps,
+                    shrunk.params.minDataPages,
+                    shrunk.params.maxDataPages);
+
+        check::ReproCase repro{seed, shrunk.params, bad,
+                               shrunk.mismatch};
+        if (check::saveRepro(opt.reproOut, repro))
+            std::printf("repro written to %s\n",
+                        opt.reproOut.c_str());
+        else
+            std::fprintf(stderr,
+                         "dsfuzz: cannot write repro file %s\n",
+                         opt.reproOut.c_str());
+        std::printf("final mismatch: %s\nreplay with: dsfuzz "
+                    "--repro=%s\n",
+                    shrunk.mismatch.c_str(), opt.reproOut.c_str());
+        return 1;
+    }
+
+    const check::OracleStats &st = oracle.stats();
+    if (!opt.quiet)
+        std::printf("OK: %llu trials, %llu configs, %llu timing "
+                    "runs, %.1f s\n",
+                    (unsigned long long)st.trials,
+                    (unsigned long long)st.configsChecked,
+                    (unsigned long long)st.timingRuns,
+                    elapsedSeconds(start));
+    return 0;
+}
