@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "baseline/stats_util.hh"
 #include "common/logging.hh"
 
 namespace dscalar {
@@ -85,6 +86,9 @@ PerfectSystem::run()
                 now,
                 std::min(core_.nextEventCycle(now - 1), deadline));
         }
+        // Cycles through now-1 are final (skipped ones are no-ops).
+        if (sampler_)
+            sampler_->advance(now - 1);
     }
 
     core::RunResult result;
@@ -92,7 +96,68 @@ PerfectSystem::run()
     result.instructions = stream_.endSeq();
     result.ipc = static_cast<double>(result.instructions) /
                  static_cast<double>(result.cycles);
+    lastResult_ = result;
+    result.stats = snapshotStats();
+    lastResult_.stats = result.stats;
     return result;
+}
+
+void
+PerfectSystem::setTraceSink(TraceSink *sink)
+{
+    tee_.clear();
+    if (sink)
+        tee_.add(sink);
+    applyTraceSinks();
+}
+
+void
+PerfectSystem::addTraceSink(TraceSink *sink)
+{
+    if (sink)
+        tee_.add(sink);
+    applyTraceSinks();
+}
+
+void
+PerfectSystem::applyTraceSinks()
+{
+    core_.setTraceSink(tee_.empty() ? nullptr : &tee_, 0);
+}
+
+void
+PerfectSystem::setSampler(obs::Sampler *sampler)
+{
+    sampler_ = sampler;
+    if (!sampler)
+        return;
+    sampler->addColumn("commit_rate", obs::Sampler::Mode::Delta,
+                       [this] {
+                           return static_cast<std::uint64_t>(
+                               core_.committedSeq());
+                       });
+    sampler->addColumn("dcub_depth", obs::Sampler::Mode::Level,
+                       [this] {
+                           return static_cast<std::uint64_t>(
+                               core_.dcubOccupancy());
+                       });
+}
+
+std::shared_ptr<const stats::Snapshot>
+PerfectSystem::snapshotStats() const
+{
+    auto snap = std::make_shared<stats::Snapshot>();
+    stats::Snapshot::GroupEntry &sys =
+        snap->addGroup("system", "---- PerfectSystem ----");
+    buildRunStats(*snap, sys, lastResult_);
+    buildCoreStats(*snap, core_.coreStats());
+    return snap;
+}
+
+void
+PerfectSystem::dumpStats(std::ostream &os) const
+{
+    snapshotStats()->dump(os);
 }
 
 } // namespace baseline

@@ -10,10 +10,14 @@
 #define DSCALAR_BASELINE_PERFECT_HH
 
 #include <memory>
+#include <ostream>
 #include <string>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "core/sim_config.hh"
+#include "obs/sampler.hh"
+#include "stats/snapshot.hh"
 #include "func/func_sim.hh"
 #include "func/inst_trace.hh"
 #include "mem/main_memory.hh"
@@ -53,6 +57,22 @@ class PerfectSystem : private ooo::MemBackend
         return oracle_ ? oracle_->output() : replayOutput_;
     }
 
+    /** Emit core disparity events to exactly @p sink, replacing any
+     *  earlier sinks; use addTraceSink to fan out instead. */
+    void setTraceSink(TraceSink *sink);
+    /** Attach @p sink in addition to any already attached. */
+    void addTraceSink(TraceSink *sink);
+
+    /** Register timeline columns (commit rate, DCUB depth) with
+     *  @p sampler and advance it from the run loop; nullptr
+     *  detaches. Sampling never perturbs the simulation. */
+    void setSampler(obs::Sampler *sampler);
+
+    /** Write a gem5-style stats dump (rendered from the snapshot). */
+    void dumpStats(std::ostream &os) const;
+    /** Build the stat snapshot (groups "system" and "core"). */
+    std::shared_ptr<const stats::Snapshot> snapshotStats() const;
+
   private:
     ooo::FillResult startLineFetch(Addr line, Cycle now) override;
     void onUnclaimedCanonicalMiss(Addr line, Cycle now) override;
@@ -67,6 +87,11 @@ class PerfectSystem : private ooo::MemBackend
     mem::MainMemory localMem_;
     ooo::OoOCore core_;
     bool ran_ = false;
+    core::RunResult lastResult_;
+    TeeTraceSink tee_;
+    obs::Sampler *sampler_ = nullptr;
+
+    void applyTraceSinks();
 };
 
 } // namespace baseline

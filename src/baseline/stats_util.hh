@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared snapshot-building helpers for the baseline systems.
+ */
+
+#ifndef DSCALAR_BASELINE_STATS_UTIL_HH
+#define DSCALAR_BASELINE_STATS_UTIL_HH
+
+#include "core/sim_config.hh"
+#include "ooo/core.hh"
+#include "stats/snapshot.hh"
+
+namespace dscalar {
+namespace baseline {
+
+/** Append the single core's counters as group "core". */
+inline void
+buildCoreStats(stats::Snapshot &snap, const ooo::CoreStats &cs)
+{
+    stats::Snapshot::GroupEntry &g = snap.addGroup("core", "core:");
+    snap.addCounter(g, "committed", cs.committed,
+                    "instructions committed");
+    snap.addCounter(g, "loads", cs.loads, "loads committed");
+    snap.addCounter(g, "stores", cs.stores, "stores committed");
+    snap.addCounter(g, "load_issue_misses", cs.loadIssueMisses,
+                    "issue-time L1D misses (DCUB fetches)");
+    snap.addCounter(g, "canonical_load_misses", cs.canonicalLoadMisses,
+                    "commit-time (canonical) load misses");
+    snap.addCounter(g, "false_hits", cs.falseHits,
+                    "issue hit but canonical miss");
+    snap.addCounter(g, "false_misses", cs.falseMisses,
+                    "issue miss but canonical hit");
+    snap.addCounter(g, "store_commit_misses", cs.storeCommitMisses,
+                    "stores missing at commit");
+    snap.addCounter(g, "dirty_writebacks", cs.dirtyWriteBacks,
+                    "dirty victims evicted");
+    snap.addCounter(g, "icache_misses", cs.icacheMisses,
+                    "instruction-line fills");
+}
+
+/** Append cycles/instructions/ipc to an existing system group. */
+inline void
+buildRunStats(stats::Snapshot &snap, stats::Snapshot::GroupEntry &sys,
+              const core::RunResult &r)
+{
+    snap.addCounter(sys, "cycles", r.cycles, "simulated cycles");
+    snap.addCounter(sys, "instructions", r.instructions,
+                    "instructions committed");
+    snap.addScalar(sys, "ipc", r.ipc, "instructions per cycle");
+}
+
+} // namespace baseline
+} // namespace dscalar
+
+#endif // DSCALAR_BASELINE_STATS_UTIL_HH

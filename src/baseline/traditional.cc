@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "baseline/stats_util.hh"
 #include "common/logging.hh"
 
 namespace dscalar {
@@ -122,6 +123,9 @@ TraditionalSystem::run()
                 now,
                 std::min(core_.nextEventCycle(now - 1), deadline));
         }
+        // Cycles through now-1 are final (skipped ones are no-ops).
+        if (sampler_)
+            sampler_->advance(now - 1);
     }
 
     core::RunResult result;
@@ -129,7 +133,86 @@ TraditionalSystem::run()
     result.instructions = stream_.endSeq();
     result.ipc = static_cast<double>(result.instructions) /
                  static_cast<double>(result.cycles);
+    lastResult_ = result;
+    result.stats = snapshotStats();
+    lastResult_.stats = result.stats;
     return result;
+}
+
+void
+TraditionalSystem::setTraceSink(TraceSink *sink)
+{
+    tee_.clear();
+    if (sink)
+        tee_.add(sink);
+    applyTraceSinks();
+}
+
+void
+TraditionalSystem::addTraceSink(TraceSink *sink)
+{
+    if (sink)
+        tee_.add(sink);
+    applyTraceSinks();
+}
+
+void
+TraditionalSystem::applyTraceSinks()
+{
+    core_.setTraceSink(tee_.empty() ? nullptr : &tee_, 0);
+}
+
+void
+TraditionalSystem::setSampler(obs::Sampler *sampler)
+{
+    sampler_ = sampler;
+    if (!sampler)
+        return;
+    sampler->addColumn("commit_rate", obs::Sampler::Mode::Delta,
+                       [this] {
+                           return static_cast<std::uint64_t>(
+                               core_.committedSeq());
+                       });
+    sampler->addColumn("dcub_depth", obs::Sampler::Mode::Level,
+                       [this] {
+                           return static_cast<std::uint64_t>(
+                               core_.dcubOccupancy());
+                       });
+    sampler->addColumn("bus_messages", obs::Sampler::Mode::Delta,
+                       [this] { return bus_.totalMessages(); });
+    sampler->addColumn("bus_busy_cycles", obs::Sampler::Mode::Delta,
+                       [this] { return bus_.busyCycles(); });
+    sampler->addColumn("offchip_reads", obs::Sampler::Mode::Delta,
+                       [this] { return offChipReads_; });
+    sampler->addColumn("offchip_writes", obs::Sampler::Mode::Delta,
+                       [this] { return offChipWrites_; });
+}
+
+std::shared_ptr<const stats::Snapshot>
+TraditionalSystem::snapshotStats() const
+{
+    auto snap = std::make_shared<stats::Snapshot>();
+    stats::Snapshot::GroupEntry &sys =
+        snap->addGroup("system", "---- TraditionalSystem ----");
+    buildRunStats(*snap, sys, lastResult_);
+    snap->addCounter(sys, "bus_messages", bus_.totalMessages(),
+                     "global-bus transactions");
+    snap->addCounter(sys, "bus_bytes", bus_.totalBytes(),
+                     "global-bus payload+header bytes");
+    snap->addCounter(sys, "bus_busy_cycles", bus_.busyCycles(),
+                     "cycles the bus was occupied");
+    snap->addCounter(sys, "offchip_reads", offChipReads_,
+                     "off-chip line reads");
+    snap->addCounter(sys, "offchip_writes", offChipWrites_,
+                     "off-chip writes and write-backs");
+    buildCoreStats(*snap, core_.coreStats());
+    return snap;
+}
+
+void
+TraditionalSystem::dumpStats(std::ostream &os) const
+{
+    snapshotStats()->dump(os);
 }
 
 } // namespace baseline

@@ -11,10 +11,14 @@
 #define DSCALAR_BASELINE_TRADITIONAL_HH
 
 #include <memory>
+#include <ostream>
 #include <string>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "core/sim_config.hh"
+#include "obs/sampler.hh"
+#include "stats/snapshot.hh"
 #include "func/func_sim.hh"
 #include "func/inst_trace.hh"
 #include "interconnect/bus.hh"
@@ -68,6 +72,22 @@ class TraditionalSystem : private ooo::MemBackend
     std::uint64_t offChipReads() const { return offChipReads_; }
     std::uint64_t offChipWrites() const { return offChipWrites_; }
 
+    /** Emit core disparity events to exactly @p sink, replacing any
+     *  earlier sinks; use addTraceSink to fan out instead. */
+    void setTraceSink(TraceSink *sink);
+    /** Attach @p sink in addition to any already attached. */
+    void addTraceSink(TraceSink *sink);
+
+    /** Register timeline columns (commit rate, DCUB depth, bus
+     *  occupancy, off-chip traffic) with @p sampler and advance it
+     *  from the run loop; nullptr detaches. */
+    void setSampler(obs::Sampler *sampler);
+
+    /** Write a gem5-style stats dump (rendered from the snapshot). */
+    void dumpStats(std::ostream &os) const;
+    /** Build the stat snapshot (groups "system" and "core"). */
+    std::shared_ptr<const stats::Snapshot> snapshotStats() const;
+
   private:
     bool onChip(Addr line) const { return ptable_.isLocal(line, 0); }
 
@@ -93,6 +113,11 @@ class TraditionalSystem : private ooo::MemBackend
     std::uint64_t offChipReads_ = 0;
     std::uint64_t offChipWrites_ = 0;
     bool ran_ = false;
+    core::RunResult lastResult_;
+    TeeTraceSink tee_;
+    obs::Sampler *sampler_ = nullptr;
+
+    void applyTraceSinks();
 };
 
 } // namespace baseline

@@ -10,6 +10,7 @@
 #include "common/logging.hh"
 #include "core/datascalar.hh"
 #include "func/func_sim.hh"
+#include "obs/flight_recorder.hh"
 
 namespace dscalar {
 namespace check {
@@ -23,7 +24,12 @@ struct RunOutcome
     std::string output;
     std::string stats;          ///< DataScalar dumpStats; else empty
     std::string invariantError; ///< first violated system invariant
+    std::string flightLog;      ///< flight-recorder dump (DataScalar)
 };
+
+/** Flight-recorder depth for oracle runs: enough context to read a
+ *  failure, small enough to keep repro files skimmable. */
+constexpr std::size_t kOracleFlightCapacity = 256;
 
 std::string
 format(const char *fmt, ...)
@@ -148,6 +154,8 @@ runConfigOnce(const prog::Program &program,
             program, cfg,
             driver::figure7PageTable(program, cfg.numNodes),
             std::move(trace));
+        obs::FlightRecorder recorder(kOracleFlightCapacity);
+        sys.addTraceSink(&recorder);
         out.result = sys.run();
         out.output = sys.output();
         std::ostringstream os;
@@ -155,6 +163,7 @@ runConfigOnce(const prog::Program &program,
         out.stats = os.str();
         out.invariantError =
             checkDataScalarInvariants(sys, out.result, config, cfg);
+        out.flightLog = recorder.dumpString();
         break;
       }
     }
@@ -326,27 +335,35 @@ Oracle::checkConfig(const prog::Program &program,
 {
     ++stats_.configsChecked;
     core::SimConfig cfg = toSimConfig(config);
+    lastFlightLog_.clear();
+
+    // Returns the mismatch unchanged, remembering the failing run's
+    // flight-recorder dump for post-mortems (dsfuzz repro files).
+    auto fail = [this](const RunOutcome &o, std::string msg) {
+        lastFlightLog_ = o.flightLog;
+        return msg;
+    };
 
     ++stats_.timingRuns;
     RunOutcome live = runConfigOnce(program, cfg, config, nullptr);
     if (!live.invariantError.empty())
-        return live.invariantError;
+        return fail(live, live.invariantError);
     std::string err = checkAgainstGolden(live, golden, cfg);
     if (!err.empty())
-        return err;
+        return fail(live, err);
 
     if (config.crossReplay) {
         ++stats_.timingRuns;
         RunOutcome rep =
             runConfigOnce(program, cfg, config, golden.trace);
         if (!rep.invariantError.empty())
-            return "trace-replay run: " + rep.invariantError;
+            return fail(rep, "trace-replay run: " + rep.invariantError);
         err = checkAgainstGolden(rep, golden, cfg);
         if (!err.empty())
-            return "trace-replay run: " + err;
+            return fail(rep, "trace-replay run: " + err);
         err = compareOutcomes(live, rep, "trace-replay vs live");
         if (!err.empty())
-            return err;
+            return fail(rep, err);
     }
 
     if (config.crossEventDriven) {
@@ -356,13 +373,15 @@ Oracle::checkConfig(const prog::Program &program,
         RunOutcome other =
             runConfigOnce(program, flipped, config, nullptr);
         if (!other.invariantError.empty())
-            return "flipped run-loop mode: " + other.invariantError;
+            return fail(other,
+                        "flipped run-loop mode: " +
+                            other.invariantError);
         err = compareOutcomes(live, other,
                               cfg.eventDriven
                                   ? "event-driven vs single-stepping"
                                   : "single-stepping vs event-driven");
         if (!err.empty())
-            return err;
+            return fail(other, err);
     }
     return "";
 }

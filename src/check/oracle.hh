@@ -175,10 +175,20 @@ class Oracle
     std::string recheck(std::uint64_t seed, const GenParams &params,
                         const TrialConfig &config);
 
+    /**
+     * Flight-recorder dump (obs::FlightRecorder) of the failing
+     * timing run behind the most recent non-empty mismatch from
+     * checkConfig/recheck — the last protocol events of each node,
+     * in text-trace format. Empty when the last check passed or the
+     * failing run emitted no protocol events (Perfect system).
+     */
+    const std::string &lastFlightLog() const { return lastFlightLog_; }
+
   private:
     OracleOptions options_;
     GenParams gen_;
     OracleStats stats_;
+    std::string lastFlightLog_;
 };
 
 // -------------------------------------------------------------------

@@ -11,11 +11,25 @@
 #ifndef DSCALAR_COMMON_LOGGING_HH
 #define DSCALAR_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 
 namespace dscalar {
+
+/**
+ * Register a hook run by panicImpl after printing the panic message
+ * and before abort(). Used by diagnostic dumpers (the obs flight
+ * recorder) to flush context when an invariant breaks. Hooks run in
+ * registration order; a panic raised while hooks are running skips
+ * them (no recursion). @return an id for removePanicHook.
+ */
+std::uint64_t addPanicHook(std::function<void()> hook);
+
+/** Unregister a hook returned by addPanicHook (no-op if unknown). */
+void removePanicHook(std::uint64_t id);
 
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);

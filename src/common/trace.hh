@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 #include <ostream>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -50,6 +51,8 @@ struct ProtocolEvent
     Cycle cycle = 0;
     TraceEventKind kind = TraceEventKind::Broadcast;
     Addr line = invalidAddr;
+    /** Kind-specific payload; FaultDelay carries the delay in cycles. */
+    std::uint64_t arg = 0;
 };
 
 /** Receiver of typed protocol events. */
@@ -101,6 +104,42 @@ class CountingTraceSink final : public TraceSink
 
   private:
     std::array<std::uint64_t, numTraceEventKinds> counts_{};
+};
+
+/**
+ * Fans every event out to any number of downstream sinks, so a text
+ * log, a counting sink, a Perfetto exporter, and a flight recorder
+ * can all observe the same run. Does not own the sinks; null sinks
+ * are ignored on add.
+ */
+class TeeTraceSink final : public TraceSink
+{
+  public:
+    void
+    event(const ProtocolEvent &ev) override
+    {
+        for (TraceSink *sink : sinks_)
+            sink->event(ev);
+    }
+
+    /** Attach @p sink (no-op when null or already attached). */
+    void
+    add(TraceSink *sink)
+    {
+        if (!sink || sink == this)
+            return;
+        for (TraceSink *s : sinks_)
+            if (s == sink)
+                return;
+        sinks_.push_back(sink);
+    }
+
+    void clear() { sinks_.clear(); }
+    bool empty() const { return sinks_.empty(); }
+    std::size_t size() const { return sinks_.size(); }
+
+  private:
+    std::vector<TraceSink *> sinks_;
 };
 
 } // namespace dscalar

@@ -142,8 +142,12 @@ DataScalarSystem::run()
             min_commit = std::min(min_commit, core.committedSeq());
         }
 
-        if (all_done && deliveries_.empty())
+        if (all_done && deliveries_.empty()) {
+            // Final cycle's state is settled; flush pending samples.
+            if (sampler_)
+                sampler_->advance(now);
             break;
+        }
 
         stream_.trim(min_commit);
 
@@ -188,6 +192,11 @@ DataScalarSystem::run()
                 last_progress_cycle + config_.watchdogCycles + 1;
             next = std::max(now + 1, std::min(soonest, deadline));
         }
+        // Cycles [now, next-1] are final (skipped cycles are no-ops),
+        // so any nominal sample cycle in that window observes exactly
+        // the current state — identical in both run-loop modes.
+        if (sampler_)
+            sampler_->advance(next - 1);
         now = next;
     }
 
@@ -200,15 +209,86 @@ DataScalarSystem::run()
                            static_cast<double>(result.cycles)
                      : 0.0;
     lastResult_ = result;
+    result.stats = snapshotStats();
+    lastResult_.stats = result.stats;
     return result;
 }
 
 void
 DataScalarSystem::setTraceSink(TraceSink *sink)
 {
+    tee_.clear();
+    if (sink)
+        tee_.add(sink);
+    applyTraceSinks();
+}
+
+void
+DataScalarSystem::addTraceSink(TraceSink *sink)
+{
+    if (sink)
+        tee_.add(sink);
+    applyTraceSinks();
+}
+
+void
+DataScalarSystem::applyTraceSinks()
+{
+    TraceSink *eff = tee_.empty() ? nullptr : &tee_;
     for (auto &node : nodes_)
-        node->setTraceSink(sink);
-    faults_.setTraceSink(sink);
+        node->setTraceSink(eff);
+    faults_.setTraceSink(eff);
+}
+
+void
+DataScalarSystem::setSampler(obs::Sampler *sampler)
+{
+    sampler_ = sampler;
+    if (!sampler)
+        return;
+    for (const auto &node : nodes_) {
+        const DataScalarNode *n = node.get();
+        std::string prefix = "node" + std::to_string(n->id());
+        sampler->addColumn(prefix + ".commit_rate",
+                           obs::Sampler::Mode::Delta, [n] {
+                               return static_cast<std::uint64_t>(
+                                   n->core().committedSeq());
+                           });
+        sampler->addColumn(prefix + ".bshr_occupancy",
+                           obs::Sampler::Mode::Level, [n] {
+                               return static_cast<std::uint64_t>(
+                                   n->bshr().occupancy());
+                           });
+        sampler->addColumn(prefix + ".dcub_depth",
+                           obs::Sampler::Mode::Level, [n] {
+                               return static_cast<std::uint64_t>(
+                                   n->core().dcubOccupancy());
+                           });
+    }
+    sampler->addColumn("bus_messages", obs::Sampler::Mode::Delta,
+                       [this] { return bus_.totalMessages(); });
+    sampler->addColumn("bus_busy_cycles", obs::Sampler::Mode::Delta,
+                       [this] { return bus_.busyCycles(); });
+    if (config_.interconnect == InterconnectKind::Ring) {
+        sampler->addColumn("ring_link_busy_cycles",
+                           obs::Sampler::Mode::Delta,
+                           [this] { return ring_.linkBusyCycles(); });
+    }
+    // Datathread lead: the node with the highest committed sequence
+    // this window (lowest id wins ties), i.e.\ the paper's notion of
+    // which node currently leads the datathread.
+    sampler->addColumn("lead_node", obs::Sampler::Mode::Level, [this] {
+        NodeId lead = 0;
+        InstSeq best = 0;
+        for (const auto &node : nodes_) {
+            InstSeq seq = node->core().committedSeq();
+            if (seq > best) {
+                best = seq;
+                lead = node->id();
+            }
+        }
+        return static_cast<std::uint64_t>(lead);
+    });
 }
 
 void
@@ -231,46 +311,55 @@ DataScalarSystem::watchdogDump(std::ostream &os, Cycle now) const
     }
 }
 
-void
-DataScalarSystem::dumpStats(std::ostream &os) const
+std::shared_ptr<const stats::Snapshot>
+DataScalarSystem::snapshotStats() const
 {
-    os << "---- DataScalarSystem (" << config_.numNodes
-       << " nodes) ----\n";
-    os << "  cycles                            "
-       << lastResult_.cycles << "  # simulated cycles\n";
-    os << "  instructions                      "
-       << lastResult_.instructions
-       << "  # committed per node (SPSD)\n";
-    os << "  ipc                               " << lastResult_.ipc
-       << "  # instructions per cycle\n";
-    os << "  bus_messages                      "
-       << bus_.totalMessages() << "  # global-bus transactions\n";
-    os << "  bus_bytes                         " << bus_.totalBytes()
-       << "  # global-bus payload+header bytes\n";
-    os << "  bus_busy_cycles                   " << bus_.busyCycles()
-       << "  # cycles the bus was occupied\n";
+    auto snap = std::make_shared<stats::Snapshot>();
+    stats::Snapshot::GroupEntry &sys = snap->addGroup(
+        "system", "---- DataScalarSystem (" +
+                      std::to_string(config_.numNodes) +
+                      " nodes) ----");
+    snap->addCounter(sys, "cycles", lastResult_.cycles,
+                     "simulated cycles");
+    snap->addCounter(sys, "instructions", lastResult_.instructions,
+                     "committed per node (SPSD)");
+    snap->addScalar(sys, "ipc", lastResult_.ipc,
+                    "instructions per cycle");
+    snap->addCounter(sys, "bus_messages", bus_.totalMessages(),
+                     "global-bus transactions");
+    snap->addCounter(sys, "bus_bytes", bus_.totalBytes(),
+                     "global-bus payload+header bytes");
+    snap->addCounter(sys, "bus_busy_cycles", bus_.busyCycles(),
+                     "cycles the bus was occupied");
     if (config_.interconnect == InterconnectKind::Ring) {
-        os << "  ring_messages                     "
-           << ring_.totalMessages() << "  # ring broadcasts\n";
-        os << "  ring_link_busy_cycles             "
-           << ring_.linkBusyCycles()
-           << "  # summed link occupancy\n";
+        snap->addCounter(sys, "ring_messages", ring_.totalMessages(),
+                         "ring broadcasts");
+        snap->addCounter(sys, "ring_link_busy_cycles",
+                         ring_.linkBusyCycles(),
+                         "summed link occupancy");
     }
     if (faults_.enabled()) {
         const interconnect::FaultStats &fs = faults_.faultStats();
-        os << "  fault_decisions                   " << fs.decisions
-           << "  # transmissions considered\n";
-        os << "  fault_drops                       " << fs.drops
-           << "  # transmissions lost\n";
-        os << "  fault_duplicates                  " << fs.duplicates
-           << "  # transmissions duplicated\n";
-        os << "  fault_delays                      " << fs.delays
-           << "  # deliveries jittered\n";
-        os << "  fault_delay_cycles                " << fs.delayCycles
-           << "  # summed injected jitter\n";
+        snap->addCounter(sys, "fault_decisions", fs.decisions,
+                         "transmissions considered");
+        snap->addCounter(sys, "fault_drops", fs.drops,
+                         "transmissions lost");
+        snap->addCounter(sys, "fault_duplicates", fs.duplicates,
+                         "transmissions duplicated");
+        snap->addCounter(sys, "fault_delays", fs.delays,
+                         "deliveries jittered");
+        snap->addCounter(sys, "fault_delay_cycles", fs.delayCycles,
+                         "summed injected jitter");
     }
     for (const auto &node : nodes_)
-        node->dumpStats(os);
+        node->buildStats(*snap);
+    return snap;
+}
+
+void
+DataScalarSystem::dumpStats(std::ostream &os) const
+{
+    snapshotStats()->dump(os);
 }
 
 bool

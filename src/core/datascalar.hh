@@ -23,8 +23,10 @@
 #include "interconnect/bus.hh"
 #include "interconnect/fault_model.hh"
 #include "mem/page_table.hh"
+#include "obs/sampler.hh"
 #include "ooo/oracle_stream.hh"
 #include "prog/program.hh"
+#include "stats/snapshot.hh"
 
 namespace dscalar {
 namespace core {
@@ -94,12 +96,33 @@ class DataScalarSystem : public BroadcastPort
         return deliveries_.empty() ? cycleMax : deliveries_.top().at;
     }
 
-    /** Emit typed protocol events (per-node, core disparity, and
-     *  fault events) to @p sink; nullptr disables. */
+    /**
+     * Emit typed protocol events (per-node, core disparity, and
+     * fault events) to exactly @p sink, detaching any sinks attached
+     * earlier (historically this replacement was silent; use
+     * addTraceSink to fan out instead); nullptr disables tracing.
+     */
     void setTraceSink(TraceSink *sink);
+
+    /** Attach @p sink IN ADDITION to any already attached (text log,
+     *  Perfetto exporter, and flight recorder can coexist). */
+    void addTraceSink(TraceSink *sink);
+
+    /**
+     * Register @p sampler's timeline columns (per-node commit rate /
+     * BSHR occupancy / DCUB depth, bus occupancy, leading-node id)
+     * and advance it from the run loop; nullptr detaches. Sampling
+     * only reads state — cycle counts and the retirement stream are
+     * unchanged (locked by tests/test_obs_sampler.cc).
+     */
+    void setSampler(obs::Sampler *sampler);
 
     /** Write a gem5-style stats dump for the whole system. */
     void dumpStats(std::ostream &os) const;
+
+    /** Build the full stat snapshot (group "system" + one group per
+     *  node); dumpStats and the JSON export render from this. */
+    std::shared_ptr<const stats::Snapshot> snapshotStats() const;
 
     /** Structured deadlock diagnostics: per-node pipeline heads,
      *  BSHR contents with ages, and in-flight messages. Written to
@@ -146,6 +169,13 @@ class DataScalarSystem : public BroadcastPort
     std::uint64_t deliveryOrder_ = 0;
     bool ran_ = false;
     RunResult lastResult_;
+    /** Owned fan-out for attached trace sinks (empty = tracing off). */
+    TeeTraceSink tee_;
+    obs::Sampler *sampler_ = nullptr;
+
+    /** Point nodes and the fault model at the current effective
+     *  sink (&tee_, or nullptr when no sink is attached). */
+    void applyTraceSinks();
 };
 
 } // namespace core

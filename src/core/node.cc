@@ -243,18 +243,16 @@ DataScalarNode::traceEvent(Cycle now, TraceEventKind kind,
 }
 
 void
-DataScalarNode::dumpStats(std::ostream &os) const
+DataScalarNode::buildStats(stats::Snapshot &snap) const
 {
     const ooo::CoreStats &cs = core_.coreStats();
     const BshrStats &bs = bshr_.bshrStats();
-    auto line = [&os](const char *name, std::uint64_t v,
-                      const char *desc) {
-        os << "  " << name;
-        for (std::size_t i = std::strlen(name); i < 34; ++i)
-            os << ' ';
-        os << v << "  # " << desc << '\n';
+    std::string key = "node" + std::to_string(id_);
+    stats::Snapshot::GroupEntry &g = snap.addGroup(key, key + ":");
+    auto line = [&snap, &g](const char *name, std::uint64_t v,
+                            const char *desc) {
+        snap.addCounter(g, name, v, desc);
     };
-    os << "node" << id_ << ":\n";
     line("committed", cs.committed, "instructions committed");
     line("loads", cs.loads, "loads committed");
     line("stores", cs.stores, "stores committed");
@@ -302,6 +300,14 @@ DataScalarNode::dumpStats(std::ostream &os) const
         line("backend_stall_events", cs.backendStallEvents,
              "loads stalled on BSHR flow control");
     }
+}
+
+void
+DataScalarNode::dumpStats(std::ostream &os) const
+{
+    stats::Snapshot snap;
+    buildStats(snap);
+    snap.dump(os);
 }
 
 void

@@ -21,6 +21,7 @@
 #include "mem/page_table.hh"
 #include "ooo/core.hh"
 #include "ooo/mem_backend.hh"
+#include "stats/snapshot.hh"
 
 namespace dscalar {
 namespace core {
@@ -99,6 +100,10 @@ class DataScalarNode : public ooo::MemBackend
 
     /** Write a gem5-style stats block for this node. */
     void dumpStats(std::ostream &os) const;
+
+    /** Append this node's stats as group "node<id>" to @p snap; the
+     *  text dump renders from the same snapshot. */
+    void buildStats(stats::Snapshot &snap) const;
 
     /** Structured deadlock diagnostics: pipeline head, BSHR contents
      *  with ages, armed re-requests. */

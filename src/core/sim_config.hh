@@ -8,6 +8,8 @@
 #ifndef DSCALAR_CORE_SIM_CONFIG_HH
 #define DSCALAR_CORE_SIM_CONFIG_HH
 
+#include <memory>
+
 #include "common/types.hh"
 #include "interconnect/bus.hh"
 #include "interconnect/fault_model.hh"
@@ -16,6 +18,11 @@
 #include "ooo/core.hh"
 
 namespace dscalar {
+
+namespace stats {
+class Snapshot;
+} // namespace stats
+
 namespace core {
 
 /** Global-interconnect topology for DataScalar broadcasts. */
@@ -97,6 +104,10 @@ struct RunResult
      *  single-stepping; smaller under event-driven skipping. Purely
      *  diagnostic — excluded from equivalence comparisons. */
     std::uint64_t loopTicks = 0;
+    /** Full end-of-run stat snapshot (every sweep point carries one);
+     *  renders as text via Snapshot::dump or JSON via
+     *  stats::JsonWriter. */
+    std::shared_ptr<const stats::Snapshot> stats;
 };
 
 } // namespace core

@@ -376,11 +376,13 @@ figure7PageTable(const prog::Program &program, unsigned num_nodes,
 core::RunResult
 runSystem(SystemKind system, const prog::Program &program,
           const core::SimConfig &config, unsigned block_pages,
-          std::shared_ptr<const func::InstTrace> trace)
+          std::shared_ptr<const func::InstTrace> trace,
+          obs::Sampler *sampler)
 {
     switch (system) {
       case SystemKind::Perfect: {
         baseline::PerfectSystem sys(program, config, std::move(trace));
+        sys.setSampler(sampler);
         return sys.run();
       }
       case SystemKind::DataScalar: {
@@ -388,6 +390,7 @@ runSystem(SystemKind system, const prog::Program &program,
             program, config,
             figure7PageTable(program, config.numNodes, block_pages),
             std::move(trace));
+        sys.setSampler(sampler);
         return sys.run();
       }
       case SystemKind::Traditional: {
@@ -395,6 +398,7 @@ runSystem(SystemKind system, const prog::Program &program,
             program, config,
             figure7PageTable(program, config.numNodes, block_pages),
             std::move(trace));
+        sys.setSampler(sampler);
         return sys.run();
       }
     }

@@ -21,6 +21,7 @@
 #include "baseline/traditional.hh"
 #include "driver/trace_cache.hh"
 #include "func/inst_trace.hh"
+#include "obs/sampler.hh"
 #include "prog/program.hh"
 #include "stats/table.hh"
 
@@ -183,14 +184,18 @@ mem::PageTable figure7PageTable(const prog::Program &program,
  * Run @p program on one system family under @p config — the single
  * timing-run entry point every bench, test, and sweep goes through.
  * @p block_pages sets the page-distribution block size (ignored by
- * Perfect, which has no page table).
+ * Perfect, which has no page table). The returned RunResult carries
+ * the full stat snapshot (RunResult::stats). A non-null @p sampler
+ * is registered with the system (setSampler) and collects its
+ * timeline during the run without perturbing it.
  */
 core::RunResult runSystem(SystemKind system,
                           const prog::Program &program,
                           const core::SimConfig &config,
                           unsigned block_pages = 1,
                           std::shared_ptr<const func::InstTrace> trace =
-                              nullptr);
+                              nullptr,
+                          obs::Sampler *sampler = nullptr);
 
 /** Run an N-node DataScalar system; returns IPC and cycles. */
 core::RunResult runDataScalar(const prog::Program &program,

@@ -65,8 +65,12 @@ FaultModel::decide(MsgKind kind, NodeId src, Addr line, Cycle now)
         dec.delay = 1 + mix64(h) % params_.maxDelay;
         ++stats_.delays;
         stats_.delayCycles += dec.delay;
-        if (sink_)
-            sink_->event({src, now, TraceEventKind::FaultDelay, line});
+        if (sink_) {
+            // arg carries the injected delay so exporters can render
+            // the jitter as a duration (obs::PerfettoTraceSink).
+            sink_->event({src, now, TraceEventKind::FaultDelay, line,
+                          dec.delay});
+        }
     }
     return dec;
 }

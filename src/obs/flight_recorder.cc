@@ -1,0 +1,74 @@
+#include "obs/flight_recorder.hh"
+
+#include <iostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity ? capacity : defaultCapacity)
+{
+}
+
+FlightRecorder::~FlightRecorder()
+{
+    if (panicHookId_)
+        removePanicHook(panicHookId_);
+}
+
+std::uint64_t
+FlightRecorder::totalEvents(NodeId node) const
+{
+    return node < rings_.size() ? rings_[node].total : 0;
+}
+
+std::size_t
+FlightRecorder::retainedEvents(NodeId node) const
+{
+    return node < rings_.size() ? rings_[node].events.size() : 0;
+}
+
+void
+FlightRecorder::dump(std::ostream &os) const
+{
+    os << "==== flight recorder (last " << capacity_
+       << " events per node) ====\n";
+    TextTraceSink text(os);
+    for (std::size_t node = 0; node < rings_.size(); ++node) {
+        const Ring &ring = rings_[node];
+        if (ring.events.empty())
+            continue;
+        os << "-- node " << node << ": " << ring.events.size()
+           << " retained of " << ring.total << " events";
+        if (ring.overwritten)
+            os << " (" << ring.overwritten << " overwritten)";
+        os << "\n";
+        // ring.next is the oldest slot once the ring has wrapped.
+        std::size_t n = ring.events.size();
+        std::size_t start = n < capacity_ ? 0 : ring.next;
+        for (std::size_t i = 0; i < n; ++i)
+            text.event(ring.events[(start + i) % n]);
+    }
+}
+
+std::string
+FlightRecorder::dumpString() const
+{
+    std::ostringstream os;
+    dump(os);
+    return os.str();
+}
+
+void
+FlightRecorder::installPanicDump()
+{
+    if (panicHookId_)
+        return;
+    panicHookId_ = addPanicHook([this] { dump(std::cerr); });
+}
+
+} // namespace obs
+} // namespace dscalar

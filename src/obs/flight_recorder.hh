@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Always-on crash flight recorder for protocol events.
+ *
+ * FlightRecorder is a TraceSink holding the last `capacity` protocol
+ * events per node in fixed-size lock-free rings (one write cursor per
+ * node, no allocation after warm-up, no locks — attachable to any
+ * run at negligible cost). dump() replays each node's surviving
+ * events oldest-first in the text-trace format.
+ *
+ * installPanicDump() registers the recorder with the logging panic
+ * hooks so a panic() — including the run-loop watchdog's deadlock
+ * panic — automatically prints the recent event history to stderr
+ * before aborting. The hook is removed on destruction (RAII), so
+ * recorders on the stack are safe.
+ */
+
+#ifndef DSCALAR_OBS_FLIGHT_RECORDER_HH
+#define DSCALAR_OBS_FLIGHT_RECORDER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/trace.hh"
+
+namespace dscalar {
+namespace obs {
+
+class FlightRecorder final : public TraceSink
+{
+  public:
+    static constexpr std::size_t defaultCapacity = 4096;
+
+    explicit FlightRecorder(std::size_t capacity = defaultCapacity);
+    ~FlightRecorder() override;
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    void
+    event(const ProtocolEvent &ev) override
+    {
+        if (ev.node >= rings_.size())
+            rings_.resize(ev.node + 1);
+        Ring &ring = rings_[ev.node];
+        if (ring.events.size() < capacity_) {
+            ring.events.push_back(ev);
+        } else {
+            ring.events[ring.next] = ev;
+            ring.next = (ring.next + 1) % capacity_;
+            ++ring.overwritten;
+        }
+        ++ring.total;
+    }
+
+    /** Total events ever seen for @p node (including overwritten). */
+    std::uint64_t totalEvents(NodeId node) const;
+    /** Events currently retained for @p node. */
+    std::size_t retainedEvents(NodeId node) const;
+    std::size_t capacity() const { return capacity_; }
+
+    /** Print every node's retained events, oldest first. */
+    void dump(std::ostream &os) const;
+    std::string dumpString() const;
+
+    /** Dump to stderr from any subsequent panic() (idempotent;
+     *  removed automatically on destruction). */
+    void installPanicDump();
+
+  private:
+    struct Ring
+    {
+        std::vector<ProtocolEvent> events;
+        std::size_t next = 0;        ///< oldest slot once full
+        std::uint64_t total = 0;     ///< lifetime event count
+        std::uint64_t overwritten = 0;
+    };
+
+    std::size_t capacity_;
+    std::vector<Ring> rings_;
+    std::uint64_t panicHookId_ = 0; ///< 0 = not installed
+};
+
+} // namespace obs
+} // namespace dscalar
+
+#endif // DSCALAR_OBS_FLIGHT_RECORDER_HH

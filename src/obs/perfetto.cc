@@ -1,0 +1,121 @@
+#include "obs/perfetto.hh"
+
+namespace dscalar {
+namespace obs {
+
+PerfettoTraceSink::PerfettoTraceSink(std::ostream &os) : os_(os)
+{
+    os_ << "{\"traceEvents\":[";
+    // Process metadata so the UI shows a named process.
+    os_ << "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+           "\"args\":{\"name\":\"dscalar\"}}";
+    first_ = false;
+}
+
+PerfettoTraceSink::~PerfettoTraceSink()
+{
+    finish();
+}
+
+void
+PerfettoTraceSink::beginRecord()
+{
+    if (!first_)
+        os_ << ',';
+    first_ = false;
+}
+
+void
+PerfettoTraceSink::ensureTrack(std::uint32_t tid)
+{
+    if (tracks_.count(tid))
+        return;
+    tracks_.insert(tid);
+    beginRecord();
+    os_ << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    if (tid == 0)
+        os_ << "interconnect";
+    else
+        os_ << "node " << (tid - 1);
+    os_ << "\"}}";
+}
+
+void
+PerfettoTraceSink::emitInstant(const ProtocolEvent &ev,
+                               std::uint32_t tid)
+{
+    beginRecord();
+    os_ << "{\"name\":\"" << traceEventKindName(ev.kind)
+        << "\",\"ph\":\"i\",\"ts\":" << ev.cycle
+        << ",\"pid\":1,\"tid\":" << tid
+        << ",\"s\":\"t\",\"args\":{\"line\":\"0x" << std::hex
+        << ev.line << std::dec << "\"}}";
+    ++emitted_;
+}
+
+void
+PerfettoTraceSink::emitDuration(const char *name, std::uint32_t tid,
+                                Cycle start, Cycle dur, Addr line)
+{
+    beginRecord();
+    os_ << "{\"name\":\"" << name << "\",\"ph\":\"X\",\"ts\":" << start
+        << ",\"dur\":" << dur << ",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"line\":\"0x" << std::hex << line << std::dec
+        << "\"}}";
+    ++emitted_;
+}
+
+void
+PerfettoTraceSink::event(const ProtocolEvent &ev)
+{
+    if (finished_)
+        return;
+
+    bool fault = ev.kind == TraceEventKind::FaultDrop ||
+                 ev.kind == TraceEventKind::FaultDuplicate ||
+                 ev.kind == TraceEventKind::FaultDelay;
+    std::uint32_t tid = fault ? 0 : nodeTid(ev.node);
+    ensureTrack(tid);
+
+    if (ev.kind == TraceEventKind::FaultDelay) {
+        // The injected jitter (arg cycles) as a slice on the
+        // interconnect track.
+        emitDuration("fault-delay", tid, ev.cycle, ev.arg, ev.line);
+        return;
+    }
+
+    emitInstant(ev, tid);
+
+    if (ev.kind == TraceEventKind::Rerequest) {
+        // Open (or keep the earlier) recovery window for this line.
+        openWindows_.emplace(std::make_pair(ev.node, ev.line),
+                             ev.cycle);
+    } else if (ev.kind == TraceEventKind::BshrWake) {
+        auto it = openWindows_.find({ev.node, ev.line});
+        if (it != openWindows_.end()) {
+            emitDuration("recovery", nodeTid(ev.node), it->second,
+                         ev.cycle - it->second, ev.line);
+            openWindows_.erase(it);
+        }
+    }
+}
+
+void
+PerfettoTraceSink::finish()
+{
+    if (finished_)
+        return;
+    // A window with no recovery by end of run still shows up, as a
+    // zero-length slice at its start.
+    for (const auto &[key, start] : openWindows_)
+        emitDuration("recovery (unresolved)", nodeTid(key.first),
+                     start, 0, key.second);
+    openWindows_.clear();
+    os_ << "]}\n";
+    os_.flush();
+    finished_ = true;
+}
+
+} // namespace obs
+} // namespace dscalar

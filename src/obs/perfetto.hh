@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Chrome trace-event / Perfetto export of the protocol event stream.
+ *
+ * PerfettoTraceSink is a TraceSink that renders every ProtocolEvent
+ * into trace-event JSON ({"traceEvents":[...]}) openable directly in
+ * ui.perfetto.dev or chrome://tracing. Track layout: one "thread" per
+ * node (tid = node+1) plus one for the interconnect fault model
+ * (tid 0), all under pid 1. Simulated cycles map 1:1 to microsecond
+ * timestamps.
+ *
+ * Event mapping:
+ *  - most kinds (broadcasts, reparatives, squashes, ...) become
+ *    instant events ("ph":"i") on the emitting node's track;
+ *  - a Rerequest opens a recovery window keyed (node, line) that the
+ *    next BshrWake on that node+line closes, emitted as a duration
+ *    event ("ph":"X") so re-request->recovery latency is visible as a
+ *    slice;
+ *  - FaultDelay becomes a duration event on the interconnect track
+ *    whose length is the injected delay (ProtocolEvent::arg).
+ *
+ * finish() (or destruction) closes still-open recovery windows as
+ * zero-length slices and terminates the JSON. Output is validated in
+ * CI by tools/perfetto_check.py; how-to in docs/OBSERVABILITY.md.
+ */
+
+#ifndef DSCALAR_OBS_PERFETTO_HH
+#define DSCALAR_OBS_PERFETTO_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <set>
+#include <utility>
+
+#include "common/trace.hh"
+
+namespace dscalar {
+namespace obs {
+
+class PerfettoTraceSink final : public TraceSink
+{
+  public:
+    explicit PerfettoTraceSink(std::ostream &os);
+    ~PerfettoTraceSink() override;
+
+    void event(const ProtocolEvent &ev) override;
+
+    /** Close open windows and terminate the JSON (idempotent). */
+    void finish();
+
+    std::uint64_t eventCount() const { return emitted_; }
+
+  private:
+    /** tid for a node track (0 is the interconnect track). */
+    static std::uint32_t nodeTid(NodeId node) { return node + 1; }
+
+    void ensureTrack(std::uint32_t tid);
+    void beginRecord();
+    void emitInstant(const ProtocolEvent &ev, std::uint32_t tid);
+    void emitDuration(const char *name, std::uint32_t tid, Cycle start,
+                      Cycle dur, Addr line);
+
+    std::ostream &os_;
+    bool finished_ = false;
+    bool first_ = true;
+    std::uint64_t emitted_ = 0;
+    std::set<std::uint32_t> tracks_;
+    /** Open re-request->recovery windows: (node, line) -> start. */
+    std::map<std::pair<NodeId, Addr>, Cycle> openWindows_;
+};
+
+} // namespace obs
+} // namespace dscalar
+
+#endif // DSCALAR_OBS_PERFETTO_HH

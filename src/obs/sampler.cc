@@ -1,0 +1,92 @@
+#include "obs/sampler.hh"
+
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace obs {
+
+Sampler::Sampler(Cycle interval) : interval_(interval)
+{
+    fatal_if(interval == 0, "sample interval must be positive");
+}
+
+void
+Sampler::addColumn(std::string name, Mode mode,
+                   std::function<std::uint64_t()> pull)
+{
+    panic_if(started_,
+             "cannot add sampler column '%s' after sampling started",
+             name.c_str());
+    for (const Column &c : columns_)
+        panic_if(c.name == name, "duplicate sampler column '%s'",
+                 name.c_str());
+    columns_.push_back({std::move(name), mode, std::move(pull), 0, {}});
+}
+
+void
+Sampler::clear()
+{
+    started_ = false;
+    lastEmitted_ = 0;
+    cycles_.clear();
+    columns_.clear();
+}
+
+void
+Sampler::advance(Cycle upto)
+{
+    // First due nominal cycle: 0 before anything was emitted, else
+    // the next multiple of the interval after the last emission.
+    Cycle next = started_ ? lastEmitted_ + interval_ : 0;
+    if (next > upto)
+        return;
+
+    // One pull per advance: state is constant over [next, upto], so
+    // the current value is the value at every due nominal cycle.
+    for (Column &c : columns_) {
+        std::uint64_t raw = c.pull();
+        bool first = true;
+        for (Cycle at = next; at <= upto; at += interval_) {
+            if (c.mode == Mode::Level) {
+                c.values.push_back(raw);
+            } else {
+                c.values.push_back(first ? raw - c.prevRaw : 0);
+                first = false;
+            }
+        }
+        c.prevRaw = raw;
+    }
+    for (Cycle at = next; at <= upto; at += interval_) {
+        cycles_.push_back(at);
+        lastEmitted_ = at;
+    }
+    started_ = true;
+}
+
+void
+Sampler::writeJson(std::ostream &os) const
+{
+    os << "{\"interval\":" << interval_ << ",\"cycles\":[";
+    for (std::size_t i = 0; i < cycles_.size(); ++i) {
+        if (i)
+            os << ',';
+        os << cycles_[i];
+    }
+    os << "],\"columns\":{";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        if (c)
+            os << ',';
+        os << '"' << columns_[c].name << "\":[";
+        const auto &vals = columns_[c].values;
+        for (std::size_t i = 0; i < vals.size(); ++i) {
+            if (i)
+                os << ',';
+            os << vals[i];
+        }
+        os << ']';
+    }
+    os << "}}";
+}
+
+} // namespace obs
+} // namespace dscalar

@@ -169,6 +169,10 @@ class OoOCore
     /** Number of in-flight instructions (RUU occupancy). */
     std::size_t windowSize() const { return window_.size(); }
 
+    /** In-flight DCUB lines (pending or unreleased fills); feeds the
+     *  obs::Sampler dcub_depth timeline. */
+    std::size_t dcubOccupancy() const { return dcub_.size(); }
+
   private:
     /** An in-flight instruction (one RUU entry). */
     struct Uop

@@ -1,0 +1,135 @@
+#include "stats/json_writer.hh"
+
+#include <cstdio>
+
+namespace dscalar {
+namespace stats {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Emits the per-stat JSON object for each concrete stat kind. */
+class JsonStatVisitor final : public StatVisitor
+{
+  public:
+    explicit JsonStatVisitor(std::ostream &os) : os_(os) {}
+
+    void
+    visitCounter(const Counter &c) override
+    {
+        os_ << "{\"value\":" << c.value() << "}";
+    }
+
+    void
+    visitScalar(const Scalar &s) override
+    {
+        os_ << "{\"value\":" << formatDouble(s.value()) << "}";
+    }
+
+    void
+    visitAverage(const Average &a) override
+    {
+        os_ << "{\"mean\":" << formatDouble(a.mean())
+            << ",\"count\":" << a.count() << "}";
+    }
+
+    void
+    visitHistogram(const Histogram &h) override
+    {
+        os_ << "{\"mean\":" << formatDouble(h.mean())
+            << ",\"count\":" << h.count()
+            << ",\"bucket_width\":" << h.bucketWidth()
+            << ",\"buckets\":[";
+        for (std::size_t i = 0; i < h.bucketCount(); ++i) {
+            if (i)
+                os_ << ',';
+            os_ << h.bucket(i);
+        }
+        os_ << "],\"overflow\":" << h.overflow() << "}";
+    }
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace
+
+void
+JsonWriter::write(std::ostream &os, const RunMeta &meta,
+                  const Snapshot &snap, const ExtraWriter &timeline)
+{
+    os << "{\"run_meta\":{";
+    bool first = true;
+    for (const RunMeta::Entry &e : meta.entries()) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << jsonEscape(e.key) << "\":";
+        if (e.quoted)
+            os << '"' << jsonEscape(e.value) << '"';
+        else
+            os << e.value;
+    }
+    os << "},\"groups\":{";
+    JsonStatVisitor v(os);
+    bool first_group = true;
+    for (const Snapshot::GroupEntry &g : snap.groups()) {
+        if (!first_group)
+            os << ',';
+        first_group = false;
+        os << '"' << jsonEscape(g.name) << "\":{";
+        bool first_stat = true;
+        for (const StatBase *s : g.group.statList()) {
+            if (!first_stat)
+                os << ',';
+            first_stat = false;
+            os << '"' << jsonEscape(s->name()) << "\":";
+            s->visit(v);
+        }
+        os << '}';
+    }
+    os << '}';
+    if (timeline) {
+        os << ",\"timeline\":";
+        timeline(os);
+    }
+    os << "}\n";
+}
+
+} // namespace stats
+} // namespace dscalar

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Machine-readable stats export.
+ *
+ * JsonWriter renders a stats::Snapshot as JSON with a stable schema:
+ *
+ *   {
+ *     "run_meta":  { "workload": "...", "nodes": 2, ... },
+ *     "groups": {
+ *       "system": { "cycles": {"value": N}, "ipc": {"value": X}, ... },
+ *       "node0":  { "committed": {"value": N}, ... }
+ *     },
+ *     "timeline": { ... }          // optional (obs::Sampler)
+ *   }
+ *
+ * Per-stat objects by kind: counter/scalar -> {"value": v},
+ * average -> {"mean": m, "count": n}, histogram -> {"mean": m,
+ * "count": n, "bucket_width": w, "buckets": [...], "overflow": o}.
+ * Numeric values render through the same code paths as the text dump
+ * (integers verbatim, doubles via stats::formatDouble), so scalar
+ * values byte-match the `dumpStats` text output. Diff two files with
+ * `tools/benchdiff.py`; schema reference in docs/OBSERVABILITY.md.
+ */
+
+#ifndef DSCALAR_STATS_JSON_WRITER_HH
+#define DSCALAR_STATS_JSON_WRITER_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/snapshot.hh"
+
+namespace dscalar {
+namespace stats {
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/** Ordered run metadata; values are pre-rendered, @p quoted selects
+ *  string vs. bare-number emission. */
+class RunMeta
+{
+  public:
+    void
+    add(std::string key, std::string value, bool quoted)
+    {
+        entries_.push_back({std::move(key), std::move(value), quoted});
+    }
+
+    void add(std::string key, std::uint64_t value)
+    {
+        add(std::move(key), std::to_string(value), false);
+    }
+
+    void add(std::string key, const std::string &value)
+    {
+        add(std::move(key), value, true);
+    }
+
+    void add(std::string key, const char *value)
+    {
+        add(std::move(key), std::string(value), true);
+    }
+
+    struct Entry
+    {
+        std::string key;
+        std::string value;
+        bool quoted;
+    };
+
+    const std::vector<Entry> &entries() const { return entries_; }
+
+  private:
+    std::vector<Entry> entries_;
+};
+
+class JsonWriter
+{
+  public:
+    /** Hook that writes the value of an extra top-level "timeline"
+     *  key (must emit one complete JSON value). */
+    using ExtraWriter = std::function<void(std::ostream &)>;
+
+    /** Write one complete JSON document for @p snap. */
+    static void write(std::ostream &os, const RunMeta &meta,
+                      const Snapshot &snap,
+                      const ExtraWriter &timeline = nullptr);
+};
+
+} // namespace stats
+} // namespace dscalar
+
+#endif // DSCALAR_STATS_JSON_WRITER_HH

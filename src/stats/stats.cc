@@ -1,9 +1,20 @@
 #include "stats/stats.hh"
 
 #include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
 
 namespace dscalar {
 namespace stats {
+
+std::string
+formatDouble(double v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
 
 StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
     : name_(std::move(name)), desc_(std::move(desc))
@@ -17,6 +28,14 @@ Counter::dump(std::ostream &os) const
 {
     os << std::left << std::setw(40) << name() << ' '
        << std::right << std::setw(16) << value_
+       << "  # " << desc() << '\n';
+}
+
+void
+Scalar::dump(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << ' '
+       << std::right << std::setw(16) << formatDouble(value_)
        << "  # " << desc() << '\n';
 }
 
@@ -60,8 +79,7 @@ Histogram::dump(std::ostream &os) const
         os << "  [" << i * bucketWidth_ << ',' << (i + 1) * bucketWidth_
            << ") " << buckets_[i] << '\n';
     }
-    if (overflow_)
-        os << "  overflow " << overflow_ << '\n';
+    os << "  overflow " << overflow_ << '\n';
 }
 
 void
@@ -71,6 +89,17 @@ Histogram::reset()
     overflow_ = 0;
     count_ = 0;
     sum_ = 0.0;
+}
+
+void
+StatGroup::registerStat(StatBase *stat)
+{
+    for (const StatBase *s : stats_) {
+        panic_if(s->name() == stat->name(),
+                 "duplicate stat '%s' in group '%s'",
+                 stat->name().c_str(), name_.c_str());
+    }
+    stats_.push_back(stat);
 }
 
 void

@@ -17,7 +17,33 @@
 namespace dscalar {
 namespace stats {
 
+/**
+ * Shared floating-point rendering used by both the text dump and the
+ * JSON export, so the two are byte-identical for any given value
+ * (default ostream `operator<<` formatting; always valid JSON).
+ */
+std::string formatDouble(double v);
+
 class StatGroup;
+class Counter;
+class Scalar;
+class Average;
+class Histogram;
+
+/**
+ * Typed double-dispatch over the concrete stat classes. Structured
+ * exporters (stats::JsonWriter) implement this instead of parsing the
+ * text dump.
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+    virtual void visitCounter(const Counter &c) = 0;
+    virtual void visitScalar(const Scalar &s) = 0;
+    virtual void visitAverage(const Average &a) = 0;
+    virtual void visitHistogram(const Histogram &h) = 0;
+};
 
 /** Base class for anything dumpable by a StatGroup. */
 class StatBase
@@ -33,6 +59,8 @@ class StatBase
     virtual void dump(std::ostream &os) const = 0;
     /** Return the stat to its initial state. */
     virtual void reset() = 0;
+    /** Double-dispatch to the matching StatVisitor method. */
+    virtual void visit(StatVisitor &v) const = 0;
 
   private:
     std::string name_;
@@ -52,9 +80,27 @@ class Counter : public StatBase
 
     void dump(std::ostream &os) const override;
     void reset() override { value_ = 0; }
+    void visit(StatVisitor &v) const override { v.visitCounter(*this); }
 
   private:
     std::uint64_t value_ = 0;
+};
+
+/** A point-in-time gauge (derived values such as IPC). */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+    void dump(std::ostream &os) const override;
+    void reset() override { value_ = 0.0; }
+    void visit(StatVisitor &v) const override { v.visitScalar(*this); }
+
+  private:
+    double value_ = 0.0;
 };
 
 /** Running arithmetic mean of submitted samples. */
@@ -75,6 +121,7 @@ class Average : public StatBase
 
     void dump(std::ostream &os) const override;
     void reset() override { sum_ = 0.0; count_ = 0; }
+    void visit(StatVisitor &v) const override { v.visitAverage(*this); }
 
   private:
     double sum_ = 0.0;
@@ -92,11 +139,14 @@ class Histogram : public StatBase
 
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t bucketWidth() const { return bucketWidth_; }
+    std::size_t bucketCount() const { return buckets_.size(); }
     std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
     std::uint64_t overflow() const { return overflow_; }
 
     void dump(std::ostream &os) const override;
     void reset() override;
+    void visit(StatVisitor &v) const override { v.visitHistogram(*this); }
 
   private:
     std::uint64_t bucketWidth_;
@@ -115,7 +165,8 @@ class StatGroup
   public:
     explicit StatGroup(std::string name) : name_(std::move(name)) {}
 
-    void registerStat(StatBase *stat) { stats_.push_back(stat); }
+    /** Add @p stat; panics if the group already holds the name. */
+    void registerStat(StatBase *stat);
 
     const std::string &name() const { return name_; }
     const std::vector<StatBase *> &statList() const { return stats_; }

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Minimal JSON parser for tests.
+ *
+ * Just enough of RFC 8259 to round-trip the exporters under test
+ * (stats::JsonWriter, obs::PerfettoTraceSink, obs::Sampler): objects
+ * (insertion-ordered), arrays, strings with the escapes the writers
+ * emit, numbers, booleans, null. Numbers keep their raw source text
+ * so byte-match tests can compare the emitted token, not a re-printed
+ * double. Parse errors surface as an error string, never UB.
+ *
+ * Test-only — production code has no JSON input path.
+ */
+
+#ifndef DSCALAR_TESTS_MINI_JSON_HH
+#define DSCALAR_TESTS_MINI_JSON_HH
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mini_json {
+
+struct Value
+{
+    enum Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string raw; ///< verbatim number token (Number only)
+    std::string str; ///< decoded string (String only)
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool isObject() const { return kind == Object; }
+    bool isArray() const { return kind == Array; }
+    bool isNumber() const { return kind == Number; }
+    bool isString() const { return kind == String; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *
+    find(const std::string &key) const
+    {
+        if (kind != Object)
+            return nullptr;
+        for (const auto &kv : object)
+            if (kv.first == key)
+                return &kv.second;
+        return nullptr;
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    /** @return true and fill @p out on success; else set error(). */
+    bool
+    parse(Value &out)
+    {
+        pos_ = 0;
+        error_.clear();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after value");
+        return true;
+    }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (error_.empty())
+            error_ = msg + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.kind = Value::String;
+            return parseString(out.str);
+        }
+        if (c == 't' || c == 'f')
+            return parseKeyword(out);
+        if (c == 'n')
+            return parseKeyword(out);
+        return parseNumber(out);
+    }
+
+    bool
+    parseKeyword(Value &out)
+    {
+        static const struct
+        {
+            const char *word;
+            Value::Kind kind;
+            bool value;
+        } kws[] = {{"true", Value::Bool, true},
+                   {"false", Value::Bool, false},
+                   {"null", Value::Null, false}};
+        for (const auto &kw : kws) {
+            std::size_t len = std::string(kw.word).size();
+            if (text_.compare(pos_, len, kw.word) == 0) {
+                out.kind = kw.kind;
+                out.boolean = kw.value;
+                pos_ += len;
+                return true;
+            }
+        }
+        return fail("unknown keyword");
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a value");
+        out.kind = Value::Number;
+        out.raw = text_.substr(start, pos_ - start);
+        try {
+            out.number = std::stod(out.raw);
+        } catch (...) {
+            return fail("malformed number '" + out.raw + "'");
+        }
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned v = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // The writers only emit \u for control characters;
+                // decode the BMP-ASCII range and reject the rest.
+                if (v > 0x7f)
+                    return fail("non-ASCII \\u escape unsupported");
+                out.push_back(static_cast<char>(v));
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        if (!consume('['))
+            return fail("expected '['");
+        out.kind = Value::Array;
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            Value elem;
+            if (!parseValue(elem))
+                return false;
+            out.array.push_back(std::move(elem));
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        if (!consume('{'))
+            return fail("expected '{'");
+        out.kind = Value::Object;
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            if (!consume(':'))
+                return fail("expected ':'");
+            Value member;
+            if (!parseValue(member))
+                return false;
+            out.object.emplace_back(std::move(key),
+                                    std::move(member));
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+/** Parse @p text; empty error string on success. */
+inline Value
+parse(const std::string &text, std::string &error)
+{
+    Value v;
+    Parser p(text);
+    if (!p.parse(v))
+        error = p.error();
+    else
+        error.clear();
+    return v;
+}
+
+} // namespace mini_json
+
+#endif // DSCALAR_TESTS_MINI_JSON_HH

@@ -1,0 +1,177 @@
+/** @file Tests for obs::PerfettoTraceSink (trace-event export). */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/datascalar.hh"
+#include "driver/driver.hh"
+#include "obs/perfetto.hh"
+#include "prog/assembler.hh"
+
+#include "mini_json.hh"
+
+namespace dscalar {
+namespace {
+
+using namespace prog::reg;
+
+mini_json::Value
+parseOrDie(const std::string &text)
+{
+    std::string error;
+    mini_json::Value v = mini_json::parse(text, error);
+    EXPECT_EQ(error, "") << text;
+    return v;
+}
+
+/** First event with @p name, or nullptr. */
+const mini_json::Value *
+findEvent(const mini_json::Value &doc, const std::string &name)
+{
+    for (const auto &ev : doc.find("traceEvents")->array)
+        if (const auto *n = ev.find("name"))
+            if (n->str == name)
+                return &ev;
+    return nullptr;
+}
+
+TEST(PerfettoTest, InstantEventOnNodeTrack)
+{
+    std::ostringstream os;
+    obs::PerfettoTraceSink sink(os);
+    sink.event({1, 25, TraceEventKind::Broadcast, 0x4000});
+    sink.finish();
+
+    mini_json::Value doc = parseOrDie(os.str());
+    const mini_json::Value *ev = findEvent(doc, "broadcast");
+    ASSERT_NE(ev, nullptr);
+    EXPECT_EQ(ev->find("ph")->str, "i");
+    EXPECT_EQ(ev->find("ts")->number, 25);
+    EXPECT_EQ(ev->find("tid")->number, 2); // node 1 -> tid 2
+    EXPECT_EQ(ev->find("s")->str, "t");
+    EXPECT_EQ(ev->find("args")->find("line")->str, "0x4000");
+
+    // The node track was announced by a thread_name record.
+    bool named = false;
+    for (const auto &e : doc.find("traceEvents")->array) {
+        const mini_json::Value *tid = e.find("tid");
+        if (e.find("ph")->str == "M" &&
+            e.find("name")->str == "thread_name" && tid &&
+            tid->number == 2)
+            named = e.find("args")->find("name")->str == "node 1";
+    }
+    EXPECT_TRUE(named);
+    EXPECT_EQ(sink.eventCount(), 1u);
+}
+
+TEST(PerfettoTest, FaultEventsLandOnInterconnectTrack)
+{
+    std::ostringstream os;
+    obs::PerfettoTraceSink sink(os);
+    sink.event({0, 10, TraceEventKind::FaultDrop, 0x80});
+    sink.event({1, 20, TraceEventKind::FaultDelay, 0x80, 7});
+    sink.finish();
+
+    mini_json::Value doc = parseOrDie(os.str());
+    const mini_json::Value *drop = findEvent(doc, "fault-drop");
+    ASSERT_NE(drop, nullptr);
+    EXPECT_EQ(drop->find("tid")->number, 0);
+
+    // FaultDelay renders as a duration slice of the injected delay.
+    const mini_json::Value *delay = findEvent(doc, "fault-delay");
+    ASSERT_NE(delay, nullptr);
+    EXPECT_EQ(delay->find("ph")->str, "X");
+    EXPECT_EQ(delay->find("tid")->number, 0);
+    EXPECT_EQ(delay->find("ts")->number, 20);
+    EXPECT_EQ(delay->find("dur")->number, 7);
+}
+
+TEST(PerfettoTest, RerequestToWakeBecomesRecoverySlice)
+{
+    std::ostringstream os;
+    obs::PerfettoTraceSink sink(os);
+    sink.event({0, 100, TraceEventKind::Rerequest, 0x1000});
+    sink.event({0, 160, TraceEventKind::BshrWake, 0x1000});
+    sink.finish();
+
+    mini_json::Value doc = parseOrDie(os.str());
+    const mini_json::Value *rec = findEvent(doc, "recovery");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->find("ph")->str, "X");
+    EXPECT_EQ(rec->find("ts")->number, 100);
+    EXPECT_EQ(rec->find("dur")->number, 60);
+    EXPECT_EQ(rec->find("tid")->number, 1); // node 0's track
+}
+
+TEST(PerfettoTest, UnresolvedWindowClosedAtFinish)
+{
+    std::ostringstream os;
+    obs::PerfettoTraceSink sink(os);
+    sink.event({0, 100, TraceEventKind::Rerequest, 0x1000});
+    sink.finish();
+    sink.finish(); // idempotent
+
+    mini_json::Value doc = parseOrDie(os.str());
+    const mini_json::Value *rec =
+        findEvent(doc, "recovery (unresolved)");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->find("dur")->number, 0);
+}
+
+TEST(PerfettoTest, DestructorFinishesTheJson)
+{
+    std::ostringstream os;
+    {
+        obs::PerfettoTraceSink sink(os);
+        sink.event({0, 1, TraceEventKind::Broadcast, 0x40});
+    }
+    parseOrDie(os.str()); // complete document without explicit finish
+}
+
+TEST(PerfettoTest, FullRunProducesParseableTrace)
+{
+    prog::Program p;
+    Addr g = p.allocGlobal(6 * prog::pageSize);
+    for (Addr off = 0; off < 6 * prog::pageSize; off += 8)
+        p.poke64(g + off, off);
+    prog::Assembler a(p);
+    a.la(s1, g);
+    a.li(s0, 6 * static_cast<std::int32_t>(prog::pageSize) / 64);
+    a.label("loop");
+    a.ld(t0, s1, 0);
+    a.addi(s1, s1, 64);
+    a.addi(s0, s0, -1);
+    a.bne(s0, zero, "loop");
+    a.halt();
+    a.finalize();
+
+    core::SimConfig cfg = driver::paperConfig();
+    cfg.numNodes = 2;
+    std::ostringstream os;
+    obs::PerfettoTraceSink sink(os);
+    core::DataScalarSystem sys(p, cfg,
+                               driver::figure7PageTable(p, 2));
+    sys.addTraceSink(&sink);
+    sys.run();
+    sink.finish();
+
+    mini_json::Value doc = parseOrDie(os.str());
+    EXPECT_GT(doc.find("traceEvents")->array.size(), 10u);
+    EXPECT_GT(sink.eventCount(), 0u);
+    // Both node tracks must be present on a 2-node run.
+    bool node0 = false, node1 = false;
+    for (const auto &e : doc.find("traceEvents")->array) {
+        if (e.find("ph")->str != "M")
+            continue;
+        const auto *n = e.find("args")->find("name");
+        node0 |= n->str == "node 0";
+        node1 |= n->str == "node 1";
+    }
+    EXPECT_TRUE(node0);
+    EXPECT_TRUE(node1);
+}
+
+} // namespace
+} // namespace dscalar

@@ -116,6 +116,47 @@ TEST(Trace, DisabledByDefault)
     SUCCEED();
 }
 
+TEST(Trace, TeeFansOutToEverySink)
+{
+    TeeTraceSink tee;
+    CountingTraceSink a, b;
+    tee.add(&a);
+    tee.add(&b);
+    tee.add(&a);      // duplicates are ignored
+    tee.add(nullptr); // nulls are ignored
+    tee.add(&tee);    // self-attachment is ignored
+    EXPECT_EQ(tee.size(), 2u);
+
+    tee.event({0, 1, TraceEventKind::Broadcast, 0x40});
+    tee.event({1, 2, TraceEventKind::BshrWake, 0x80});
+    EXPECT_EQ(a.total(), 2u);
+    EXPECT_EQ(b.total(), 2u);
+
+    tee.clear();
+    EXPECT_TRUE(tee.empty());
+    tee.event({0, 3, TraceEventKind::Broadcast, 0xc0});
+    EXPECT_EQ(a.total(), 2u); // detached sinks see nothing
+}
+
+TEST(Trace, AddTraceSinkAccumulatesSetReplaces)
+{
+    prog::Program p = streamProgram(4);
+    core::SimConfig cfg = driver::paperConfig();
+    cfg.numNodes = 2;
+    core::DataScalarSystem sys(p, cfg,
+                               driver::figure7PageTable(p, 2));
+    // Historically a second setTraceSink silently replaced the
+    // first observer; addTraceSink attaches both.
+    CountingTraceSink first, second;
+    sys.setTraceSink(&first);
+    sys.addTraceSink(&second);
+    sys.run();
+    EXPECT_GT(first.total(), 0u);
+    EXPECT_EQ(first.total(), second.total());
+    EXPECT_EQ(first.count(TraceEventKind::Broadcast),
+              second.count(TraceEventKind::Broadcast));
+}
+
 TEST(StatsDump, ContainsAllSections)
 {
     prog::Program p = streamProgram(4);

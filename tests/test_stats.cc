@@ -102,6 +102,69 @@ TEST(TableTest, Formatters)
     EXPECT_EQ(Table::pct(0.375, 1), "37.5%");
 }
 
+TEST(StatGroupTest, DuplicateNamePanics)
+{
+    StatGroup group("g");
+    Counter c(&group, "twice", "first registration");
+    EXPECT_DEATH(Counter(&group, "twice", "second registration"),
+                 "duplicate stat 'twice' in group 'g'");
+}
+
+TEST(HistogramTest, DumpAlwaysPrintsOverflow)
+{
+    StatGroup group("g");
+    Histogram h(&group, "h", "a histogram", 10, 2);
+    h.sample(5); // no overflow samples
+    std::ostringstream os;
+    h.dump(os);
+    EXPECT_NE(os.str().find("overflow"), std::string::npos)
+        << os.str();
+}
+
+TEST(ScalarTest, SetAndDump)
+{
+    StatGroup group("g");
+    Scalar s(&group, "ipc", "instructions per cycle");
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    s.set(1.25);
+    EXPECT_DOUBLE_EQ(s.value(), 1.25);
+    std::ostringstream os;
+    s.dump(os);
+    EXPECT_NE(os.str().find("1.25"), std::string::npos);
+}
+
+/** Records which visit method ran, proving typed dispatch. */
+struct KindVisitor : StatVisitor
+{
+    std::string last;
+    void visitCounter(const Counter &) override { last = "counter"; }
+    void visitScalar(const Scalar &) override { last = "scalar"; }
+    void visitAverage(const Average &) override { last = "average"; }
+    void
+    visitHistogram(const Histogram &) override
+    {
+        last = "histogram";
+    }
+};
+
+TEST(StatVisitorTest, TypedDispatch)
+{
+    StatGroup group("g");
+    Counter c(&group, "c", "");
+    Scalar s(&group, "s", "");
+    Average a(&group, "a", "");
+    Histogram h(&group, "h", "", 1, 1);
+    KindVisitor v;
+    c.visit(v);
+    EXPECT_EQ(v.last, "counter");
+    s.visit(v);
+    EXPECT_EQ(v.last, "scalar");
+    a.visit(v);
+    EXPECT_EQ(v.last, "average");
+    h.visit(v);
+    EXPECT_EQ(v.last, "histogram");
+}
+
 } // namespace
 } // namespace stats
 } // namespace dscalar

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Compare two google-benchmark JSON dumps and flag regressions.
+"""Compare two JSON dumps: google-benchmark runs or dsrun stats.
 
-Intended for the simspeed baseline workflow:
+Benchmark mode — the simspeed baseline workflow:
 
     build/bench/simspeed --benchmark_out=new.json \
                          --benchmark_out_format=json
@@ -13,8 +13,21 @@ simspeed benchmark reports); real_time is the fallback, normalized
 through time_unit. A benchmark is a regression when it got slower by
 more than --threshold (default 20%, generous because single-machine
 wall-clock — especially on loaded CI hosts — is noisy; tighten for a
-quiet dedicated box). Exit status: 0 = no regressions, 1 = at least
-one, 2 = usage/input error.
+quiet dedicated box).
+
+Stats mode — selected automatically when both inputs carry a
+"groups" key (dsrun --stats-json output, docs/OBSERVABILITY.md):
+
+    build/tools/dsrun --system=datascalar --stats-json=a.json ...
+    tools/benchdiff.py a.json b.json [--tolerance=0.01]
+
+Every stat field is flattened to group.stat.field and compared
+numerically; simulated counters are deterministic, so the default
+tolerance is exact. --tolerance accepts a relative bound for
+intentionally-perturbed comparisons (e.g. across fault seeds).
+
+Exit status: 0 = no regressions / all stats within tolerance,
+1 = at least one difference beyond the bound, 2 = usage/input error.
 """
 
 import argparse
@@ -24,13 +37,16 @@ import sys
 _TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load_rows(path):
-    """name -> (metric_value, higher_is_better) for every real run."""
+def load_json(path):
     try:
         with open(path) as f:
-            data = json.load(f)
+            return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"benchdiff: cannot read {path}: {e}")
+
+
+def load_rows(path, data):
+    """name -> (metric_value, higher_is_better) for every real run."""
     rows = {}
     for b in data.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev of repetitions).
@@ -47,20 +63,89 @@ def load_rows(path):
     return rows
 
 
+def flatten_stats(data):
+    """group.stat.field -> numeric value for a dsrun stats dump."""
+    flat = {}
+    for group, stats in data.get("groups", {}).items():
+        for stat, fields in stats.items():
+            for field, value in fields.items():
+                key = f"{group}.{stat}.{field}"
+                if isinstance(value, list):
+                    for i, v in enumerate(value):
+                        flat[f"{key}[{i}]"] = float(v)
+                else:
+                    flat[key] = float(value)
+    return flat
+
+
+def diff_stats(base_data, cur_data, tolerance):
+    base = flatten_stats(base_data)
+    cur = flatten_stats(cur_data)
+    if not base or not cur:
+        sys.exit("benchdiff: no stats in one of the inputs")
+
+    diffs = []
+    print(f"{'stat':<52} {'baseline':>14} {'current':>14} "
+          f"{'delta':>12}")
+    for key in sorted(base):
+        if key not in cur:
+            print(f"{key:<52} {'(missing in current)':>42}")
+            diffs.append((key, None))
+            continue
+        b, c = base[key], cur[key]
+        delta = c - b
+        rel = abs(delta) / abs(b) if b != 0 else float("inf")
+        within = delta == 0 or rel <= tolerance
+        if not within:
+            diffs.append((key, delta))
+        if delta != 0:
+            mark = "" if within else "  DIFF"
+            print(f"{key:<52} {b:>14.6g} {c:>14.6g} "
+                  f"{delta:>+12.6g}{mark}")
+    for key in sorted(set(cur) - set(base)):
+        print(f"{key:<52} {'(new, no baseline)':>42}")
+
+    if diffs:
+        print(f"\n{len(diffs)} stat(s) beyond tolerance "
+              f"{tolerance:g}:", file=sys.stderr)
+        for key, delta in diffs:
+            what = "missing" if delta is None else f"{delta:+g}"
+            print(f"  {key}: {what}", file=sys.stderr)
+        return 1
+    print(f"\nall stats within tolerance {tolerance:g}")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(
-        description="diff two google-benchmark JSON dumps")
+        description="diff two google-benchmark or dsrun-stats JSON "
+                    "dumps")
     ap.add_argument("baseline", help="reference JSON dump")
     ap.add_argument("current", help="candidate JSON dump")
     ap.add_argument("--threshold", type=float, default=0.20,
                     help="fractional slowdown that counts as a "
-                         "regression (default: %(default)s)")
+                         "regression (benchmark mode, default: "
+                         "%(default)s)")
+    ap.add_argument("--tolerance", type=float, default=0.0,
+                    help="relative per-stat bound (stats mode, "
+                         "default: exact)")
     args = ap.parse_args()
     if args.threshold < 0:
         ap.error("--threshold must be >= 0")
+    if args.tolerance < 0:
+        ap.error("--tolerance must be >= 0")
 
-    base = load_rows(args.baseline)
-    cur = load_rows(args.current)
+    base_data = load_json(args.baseline)
+    cur_data = load_json(args.current)
+    base_is_stats = "groups" in base_data
+    if base_is_stats != ("groups" in cur_data):
+        sys.exit("benchdiff: cannot mix a stats dump with a "
+                 "benchmark dump")
+    if base_is_stats:
+        return diff_stats(base_data, cur_data, args.tolerance)
+
+    base = load_rows(args.baseline, base_data)
+    cur = load_rows(args.current, cur_data)
 
     regressions = []
     print(f"{'benchmark':<44} {'baseline':>12} {'current':>12} "

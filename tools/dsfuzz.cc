@@ -24,6 +24,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "check/oracle.hh"
@@ -75,6 +77,36 @@ elapsedSeconds(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+/** Print the failing run's flight-recorder dump, if any. */
+void
+printFlightLog(const check::Oracle &oracle)
+{
+    const std::string &log = oracle.lastFlightLog();
+    if (log.empty())
+        return;
+    std::printf("flight recorder (failing run):\n%s", log.c_str());
+}
+
+/**
+ * Append the flight log to an already-written repro file as '#'
+ * comment lines — the repro parser skips them, so the file stays
+ * replayable while carrying its own post-mortem.
+ */
+void
+appendFlightLog(const std::string &path, const std::string &log)
+{
+    if (log.empty())
+        return;
+    std::ofstream out(path, std::ios::app);
+    if (!out)
+        return;
+    out << "#\n# flight recorder (failing run):\n";
+    std::istringstream lines(log);
+    std::string line;
+    while (std::getline(lines, line))
+        out << "# " << line << '\n';
+}
+
 /** Replay one saved repro case from scratch. */
 int
 replayRepro(const Options &opt)
@@ -98,6 +130,7 @@ replayRepro(const Options &opt)
         return 0;
     }
     std::printf("REPRODUCED: %s\n", mismatch.c_str());
+    printFlightLog(oracle);
     return 1;
 }
 
@@ -174,15 +207,26 @@ main(int argc, char **argv)
                     shrunk.params.minDataPages,
                     shrunk.params.maxDataPages);
 
+        // One confirming re-run of the shrunk case: the shrinker's
+        // final pass ends on passing candidates, so this re-captures
+        // the flight log that matches the minimal failing case.
+        std::string confirmed =
+            oracle.recheck(seed, shrunk.params, bad);
+        if (!confirmed.empty())
+            shrunk.mismatch = confirmed;
+        printFlightLog(oracle);
+
         check::ReproCase repro{seed, shrunk.params, bad,
                                shrunk.mismatch};
-        if (check::saveRepro(opt.reproOut, repro))
+        if (check::saveRepro(opt.reproOut, repro)) {
+            appendFlightLog(opt.reproOut, oracle.lastFlightLog());
             std::printf("repro written to %s\n",
                         opt.reproOut.c_str());
-        else
+        } else {
             std::fprintf(stderr,
                          "dsfuzz: cannot write repro file %s\n",
                          opt.reproOut.c_str());
+        }
         std::printf("final mismatch: %s\nreplay with: dsfuzz "
                     "--repro=%s\n",
                     shrunk.mismatch.c_str(), opt.reproOut.c_str());

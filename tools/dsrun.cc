@@ -17,6 +17,12 @@
  *   --jobs=N           sweep worker threads (default 1; 0 = all cores)
  *   --no-skip          disable event-driven cycle skipping
  *   --stats            print the full statistics dump
+ *   --stats-json=FILE  write run metadata + every stat as JSON
+ *                      (schema: docs/OBSERVABILITY.md)
+ *   --sample-interval=N  sample a per-node timeline every N cycles
+ *                      into the stats JSON ("timeline" key)
+ *   --perfetto=FILE    write the protocol event stream as Chrome
+ *                      trace-event JSON (open in ui.perfetto.dev)
  *   --trace            stream protocol events to stderr
  *   --fault-drop=P     drop each transmission with probability P
  *   --fault-dup=P      duplicate each transmission with probability P
@@ -37,7 +43,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "baseline/perfect.hh"
@@ -45,7 +53,11 @@
 #include "core/datascalar.hh"
 #include "driver/driver.hh"
 #include "func/func_sim.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/perfetto.hh"
+#include "obs/sampler.hh"
 #include "prog/asm_parser.hh"
+#include "stats/json_writer.hh"
 #include "workloads/workloads.hh"
 
 using namespace dscalar;
@@ -63,6 +75,9 @@ struct Options
     unsigned jobs = 1;
     bool noSkip = false;
     bool stats = false;
+    std::string statsJson;
+    std::string perfettoOut;
+    Cycle sampleInterval = 0;
     bool trace = false;
     bool sweep = false;
     bool noTraceReuse = false;
@@ -96,7 +111,9 @@ usage()
         "usage: dsrun [--system=func|perfect|traditional|datascalar]"
         "\n             [--nodes=N] [--ring] [--max-insts=N]"
         "\n             [--scale=N] [--block-pages=N] [--jobs=N]"
-        "\n             [--no-skip] [--stats] [--trace]"
+        "\n             [--no-skip] [--stats] [--stats-json=FILE]"
+        "\n             [--sample-interval=N] [--perfetto=FILE]"
+        "\n             [--trace]"
         "\n             [--fault-drop=P] [--fault-dup=P]"
         "\n             [--fault-delay=P] [--fault-max-delay=N]"
         "\n             [--fault-seed=S] [--rerequest-timeout=N]"
@@ -115,6 +132,69 @@ isRegisteredWorkload(const std::string &name)
         if (name == w.name)
             return true;
     return false;
+}
+
+/**
+ * Observability wiring shared by the three timing systems: optional
+ * stderr tracing and Perfetto export (fanned out via the system's
+ * TeeTraceSink), an always-on flight recorder dumped by any panic
+ * (e.g. the run-loop watchdog), an optional sampled timeline, and
+ * the stats dumps. @return the process exit code (0 = success).
+ */
+template <typename System>
+int
+runTimingSystem(System &sys, const Options &opt,
+                const stats::RunMeta &meta, core::RunResult &r)
+{
+    TextTraceSink text_sink(std::cerr);
+    if (opt.trace)
+        sys.addTraceSink(&text_sink);
+
+    std::ofstream perfetto_file;
+    std::unique_ptr<obs::PerfettoTraceSink> perfetto;
+    if (!opt.perfettoOut.empty()) {
+        perfetto_file.open(opt.perfettoOut);
+        if (!perfetto_file) {
+            std::fprintf(stderr, "dsrun: cannot write %s\n",
+                         opt.perfettoOut.c_str());
+            return 2;
+        }
+        perfetto =
+            std::make_unique<obs::PerfettoTraceSink>(perfetto_file);
+        sys.addTraceSink(perfetto.get());
+    }
+
+    obs::FlightRecorder flight;
+    sys.addTraceSink(&flight);
+    flight.installPanicDump();
+
+    obs::Sampler sampler(opt.sampleInterval ? opt.sampleInterval : 1);
+    if (opt.sampleInterval)
+        sys.setSampler(&sampler);
+
+    r = sys.run();
+    std::printf("%s", sys.output().c_str());
+    if (perfetto)
+        perfetto->finish();
+    if (opt.stats)
+        sys.dumpStats(std::cout);
+
+    if (!opt.statsJson.empty()) {
+        std::ofstream js(opt.statsJson);
+        if (!js) {
+            std::fprintf(stderr, "dsrun: cannot write %s\n",
+                         opt.statsJson.c_str());
+            return 2;
+        }
+        stats::JsonWriter::ExtraWriter timeline;
+        if (opt.sampleInterval)
+            timeline = [&sampler](std::ostream &os) {
+                sampler.writeJson(os);
+            };
+        stats::JsonWriter::write(js, meta, *sys.snapshotStats(),
+                                 timeline);
+    }
+    return 0;
 }
 
 } // namespace
@@ -169,6 +249,12 @@ main(int argc, char **argv)
             opt.noTraceReuse = true;
         } else if (arg == "--stats") {
             opt.stats = true;
+        } else if (parseFlag(arg, "--stats-json", value)) {
+            opt.statsJson = value;
+        } else if (parseFlag(arg, "--perfetto", value)) {
+            opt.perfettoOut = value;
+        } else if (parseFlag(arg, "--sample-interval", value)) {
+            opt.sampleInterval = std::stoull(value);
         } else if (arg == "--trace") {
             opt.trace = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -225,12 +311,25 @@ main(int argc, char **argv)
     if (!driver::parseSystemKind(opt.system, kind))
         return usage();
 
+    stats::RunMeta meta;
+    meta.add("system", opt.system);
+    meta.add("target", opt.target);
+    meta.add("scale", std::uint64_t(opt.scale));
+    meta.add("nodes", std::uint64_t(opt.nodes));
+    meta.add("interconnect",
+             driver::interconnectKindName(cfg.interconnect));
+    meta.add("block_pages", std::uint64_t(opt.blockPages));
+    meta.add("max_insts", std::uint64_t(opt.maxInsts));
+    meta.add("event_driven", std::uint64_t(cfg.eventDriven ? 1 : 0));
+    if (opt.sampleInterval)
+        meta.add("sample_interval", std::uint64_t(opt.sampleInterval));
+
     core::RunResult r;
+    int rc = 0;
     switch (kind) {
       case driver::SystemKind::Perfect: {
         baseline::PerfectSystem sys(program, cfg);
-        r = sys.run();
-        std::printf("%s", sys.output().c_str());
+        rc = runTimingSystem(sys, opt, meta, r);
         break;
       }
       case driver::SystemKind::Traditional: {
@@ -238,8 +337,7 @@ main(int argc, char **argv)
             program, cfg,
             driver::figure7PageTable(program, opt.nodes,
                                      opt.blockPages));
-        r = sys.run();
-        std::printf("%s", sys.output().c_str());
+        rc = runTimingSystem(sys, opt, meta, r);
         break;
       }
       case driver::SystemKind::DataScalar: {
@@ -247,23 +345,19 @@ main(int argc, char **argv)
             program, cfg,
             driver::figure7PageTable(program, opt.nodes,
                                      opt.blockPages));
-        TextTraceSink sink(std::cerr);
-        if (opt.trace)
-            sys.setTraceSink(&sink);
-        r = sys.run();
-        std::printf("%s", sys.output().c_str());
-        if (opt.stats)
-            sys.dumpStats(std::cout);
+        rc = runTimingSystem(sys, opt, meta, r);
         // Faults and hard BSHR capacity break the exactly-once
         // delivery the drained invariant rests on; residue there
         // is expected, not a protocol bug.
-        if (!sys.protocolDrained() && !cfg.fault.enabled() &&
-            !cfg.bshrHardCapacity)
+        if (rc == 0 && !sys.protocolDrained() &&
+            !cfg.fault.enabled() && !cfg.bshrHardCapacity)
             std::fprintf(stderr,
                          "warning: protocol not drained\n");
         break;
       }
     }
+    if (rc != 0)
+        return rc;
 
     std::printf("-- %s: %llu instructions, %llu cycles, IPC %.3f\n",
                 opt.system.c_str(),

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file (obs::PerfettoTraceSink).
+
+Checks the structural contract that ui.perfetto.dev / chrome://tracing
+rely on, so CI catches a malformed exporter before a human ever loads
+a trace:
+
+  - the document is one JSON object with a "traceEvents" array;
+  - every event has a known phase: "M" (metadata), "i" (instant),
+    "X" (complete/duration);
+  - metadata events are process_name/thread_name records with a
+    string args.name;
+  - instants and durations carry pid/tid and a non-negative integer
+    ts; durations a non-negative dur; instants scope "t";
+  - every tid that carries events was announced by a thread_name
+    metadata record (tracks render unnamed otherwise).
+
+Event order is NOT checked: the trace-event format allows unsorted
+events (the Perfetto importer sorts by ts), and the simulator
+legitimately emits out of cycle order — a delayed delivery is
+stamped with its future arrival cycle at decision time.
+
+Exit status: 0 = valid, 1 = validation failure, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+KNOWN_PHASES = {"M", "i", "X"}
+
+
+def fail(msg):
+    print(f"perfetto_check: {msg}", file=sys.stderr)
+    return 1
+
+
+def validate(data, min_events):
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        return fail("top level must be an object with 'traceEvents'")
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        return fail("'traceEvents' must be an array")
+
+    named_tids = set()
+    counts = {"M": 0, "i": 0, "X": 0}
+
+    for n, ev in enumerate(events):
+        where = f"event #{n}"
+        if not isinstance(ev, dict):
+            return fail(f"{where}: not an object")
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            return fail(f"{where}: unknown phase {ph!r}")
+        counts[ph] += 1
+
+        if ph == "M":
+            if ev.get("name") not in ("process_name", "thread_name"):
+                return fail(f"{where}: unexpected metadata "
+                            f"{ev.get('name')!r}")
+            name = ev.get("args", {}).get("name")
+            if not isinstance(name, str) or not name:
+                return fail(f"{where}: metadata without args.name")
+            if ev["name"] == "thread_name":
+                if "tid" not in ev:
+                    return fail(f"{where}: thread_name without tid")
+                named_tids.add(ev["tid"])
+            continue
+
+        for key in ("name", "ts", "pid", "tid"):
+            if key not in ev:
+                return fail(f"{where}: missing {key!r}")
+        ts = ev["ts"]
+        if not isinstance(ts, int) or ts < 0:
+            return fail(f"{where}: bad ts {ts!r}")
+        tid = ev["tid"]
+        if tid not in named_tids:
+            return fail(f"{where}: tid {tid} has no thread_name "
+                        "metadata")
+        if ph == "i" and ev.get("s") != "t":
+            return fail(f"{where}: instant without thread scope")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                return fail(f"{where}: bad dur {dur!r}")
+
+    emitted = counts["i"] + counts["X"]
+    if emitted < min_events:
+        return fail(f"only {emitted} events, expected at least "
+                    f"{min_events}")
+    print(f"ok: {emitted} events ({counts['i']} instant, "
+          f"{counts['X']} duration) on {len(named_tids)} tracks, "
+          f"{counts['M']} metadata records")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="validate Chrome trace-event JSON")
+    ap.add_argument("trace", help="trace-event JSON file")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="fail when fewer instant/duration events "
+                         "are present (default: %(default)s)")
+    args = ap.parse_args()
+    try:
+        with open(args.trace) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perfetto_check: cannot read {args.trace}: {e}",
+              file=sys.stderr)
+        return 2
+    return validate(data, args.min_events)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
