@@ -4,6 +4,7 @@
 
 #include "baseline/stats_util.hh"
 #include "common/logging.hh"
+#include "core/parallel_tick.hh"
 
 namespace dscalar {
 namespace baseline {
@@ -62,6 +63,9 @@ PerfectSystem::run()
 {
     panic_if(ran_, "PerfectSystem::run called twice");
     ran_ = true;
+    // Single core: tickThreads resolves to the serial loop (see
+    // TraditionalSystem::run).
+    core::resolveTickThreads(config_.tickThreads, 1);
 
     Cycle now = 0;
     Cycle last_progress = 0;

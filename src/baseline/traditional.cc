@@ -4,6 +4,7 @@
 
 #include "baseline/stats_util.hh"
 #include "common/logging.hh"
+#include "core/parallel_tick.hh"
 
 namespace dscalar {
 namespace baseline {
@@ -99,6 +100,12 @@ TraditionalSystem::run()
 {
     panic_if(ran_, "TraditionalSystem::run called twice");
     ran_ = true;
+    // The traditional baseline is a single core: parallel node
+    // ticking has exactly one node to tick, so any tickThreads
+    // request resolves to the serial loop. Resolved here (rather
+    // than ignored) so --tick-threads validation behaves uniformly
+    // across systems.
+    core::resolveTickThreads(config_.tickThreads, 1);
 
     Cycle now = 0;
     Cycle last_progress = 0;

@@ -227,6 +227,8 @@ describeConfig(const TrialConfig &c)
        << "way" << (c.writeAllocate ? "/wa" : "")
        << " ed=" << (c.eventDriven ? 1 : 0)
        << " xed=" << (c.crossEventDriven ? 1 : 0)
+       << " tt=" << c.tickThreads
+       << " xtt=" << (c.crossTickThreads ? 1 : 0)
        << " xreplay=" << (c.crossReplay ? 1 : 0)
        << " faults=" << (c.faults ? 1 : 0)
        << " hardbshr=" << (c.hardBshr ? 1 : 0)
@@ -247,6 +249,7 @@ toSimConfig(const TrialConfig &c)
     cfg.core.dcache.assoc = c.dcacheAssoc;
     cfg.core.dcache.writeAllocate = c.writeAllocate;
     cfg.eventDriven = c.eventDriven;
+    cfg.tickThreads = c.tickThreads;
     cfg.maxInsts = c.maxInsts;
     cfg.bshrCapacity = c.bshrCapacity;
     if (c.faults) {
@@ -313,6 +316,12 @@ Oracle::sampleConfig(Random &rng) const
     c.eventDriven = !rng.chance(0.25);
     c.crossEventDriven = rng.chance(0.25);
     c.crossReplay = rng.chance(0.35);
+    // Parallel ticking only changes anything on a multi-node
+    // DataScalar run, but sampling it everywhere also exercises the
+    // resolve-to-serial paths of the baselines.
+    if (rng.chance(0.3))
+        c.tickThreads = 2 + static_cast<unsigned>(rng.below(3));
+    c.crossTickThreads = rng.chance(0.25);
 
     if (ds) {
         c.faults = rng.chance(0.25);
@@ -380,6 +389,24 @@ Oracle::checkConfig(const prog::Program &program,
                               cfg.eventDriven
                                   ? "event-driven vs single-stepping"
                                   : "single-stepping vs event-driven");
+        if (!err.empty())
+            return fail(other, err);
+    }
+
+    if (config.crossTickThreads) {
+        core::SimConfig flipped = cfg;
+        flipped.tickThreads = cfg.tickThreads > 1 ? 1 : 4;
+        ++stats_.timingRuns;
+        RunOutcome other =
+            runConfigOnce(program, flipped, config, nullptr);
+        if (!other.invariantError.empty())
+            return fail(other,
+                        "flipped tick-thread count: " +
+                            other.invariantError);
+        err = compareOutcomes(live, other,
+                              cfg.tickThreads > 1
+                                  ? "parallel vs serial tick loop"
+                                  : "serial vs parallel tick loop");
         if (!err.empty())
             return fail(other, err);
     }

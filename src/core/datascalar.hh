@@ -47,7 +47,16 @@ class DataScalarSystem : public BroadcastPort
                      std::shared_ptr<const func::InstTrace> trace =
                          nullptr);
 
-    /** Run to completion (or the configured instruction budget). */
+    /**
+     * Run to completion (or the configured instruction budget).
+     *
+     * With SimConfig::tickThreads resolved above 1 the nodes tick
+     * concurrently in conservative windows bounded by the minimum
+     * cross-node delivery latency; results — cycle counts, stats,
+     * retirement output, trace-event streams, sampler timelines —
+     * are byte-identical to the serial loop (see docs/PERF.md and
+     * tests/test_parallel_tick.cc).
+     */
     RunResult run();
 
     unsigned numNodes() const { return config_.numNodes; }
@@ -153,6 +162,20 @@ class DataScalarSystem : public BroadcastPort
         }
     };
 
+    /** Per-run state of the parallel (windowed) loop; see the .cc. */
+    struct ParallelWindow;
+
+    /** The pre-existing serial run loop (tickThreads <= 1). */
+    RunResult runSerial();
+    /** Conservative-window parallel loop on @p threads workers. */
+    RunResult runParallel(unsigned threads);
+    /** Assemble the RunResult once the final cycle is known. */
+    RunResult finishRun(Cycle final_cycle, std::uint64_t loop_ticks);
+    /** Serial transmit path of broadcast(): puts the message on the
+     *  interconnect immediately and enqueues its deliveries. */
+    void broadcastNow(NodeId src, Addr line, interconnect::MsgKind kind,
+                      Cycle ready);
+
     SimConfig config_;
     std::unique_ptr<func::FuncSim> oracle_; ///< null when replaying
     std::string replayOutput_;
@@ -172,6 +195,11 @@ class DataScalarSystem : public BroadcastPort
     /** Owned fan-out for attached trace sinks (empty = tracing off). */
     TeeTraceSink tee_;
     obs::Sampler *sampler_ = nullptr;
+    /** Non-null only while worker threads are inside a parallel
+     *  window: broadcast() then buffers the send per source node
+     *  instead of transmitting, and the barrier replays the buffers
+     *  in the serial loop's order. */
+    ParallelWindow *pwin_ = nullptr;
 
     /** Point nodes and the fault model at the current effective
      *  sink (&tee_, or nullptr when no sink is attached). */

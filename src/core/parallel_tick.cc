@@ -1,0 +1,86 @@
+#include "core/parallel_tick.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.hh"
+#include "interconnect/bus.hh"
+#include "interconnect/message.hh"
+#include "interconnect/ring.hh"
+
+namespace dscalar {
+namespace core {
+
+Cycle
+minCrossNodeLatency(const SimConfig &config)
+{
+    using interconnect::MsgKind;
+
+    // The smallest message the protocol can put on the wire: a
+    // Rerequest is header-only, broadcasts carry a line. Only kinds
+    // the configuration can actually emit bound the window.
+    unsigned line_size = config.core.dcache.lineSize;
+    std::size_t min_bytes = interconnect::messageBytes(
+        MsgKind::Broadcast, line_size,
+        config.interconnect == InterconnectKind::Ring
+            ? config.ring.headerBytes
+            : config.bus.headerBytes);
+    if (config.rerequestTimeout > 0) {
+        min_bytes = std::min(
+            min_bytes,
+            interconnect::messageBytes(
+                MsgKind::Rerequest, line_size,
+                config.interconnect == InterconnectKind::Ring
+                    ? config.ring.headerBytes
+                    : config.bus.headerBytes));
+    }
+
+    Cycle lat;
+    if (config.interconnect == InterconnectKind::Ring) {
+        // First receiver: interface penalty, one link serialization,
+        // one hop of wire/router latency (Ring::traverse).
+        interconnect::Ring probe(std::max(config.numNodes, 2u),
+                                 config.ring);
+        lat = config.ring.interfacePenalty +
+              probe.serializationCycles(min_bytes) +
+              config.ring.hopLatency;
+    } else {
+        // Bus receivers see the message when it leaves the bus:
+        // interface penalty plus full occupancy (Bus::send).
+        interconnect::Bus probe(config.bus);
+        lat = config.bus.interfacePenalty +
+              probe.occupancyCycles(min_bytes);
+    }
+
+    fatal_if(lat == 0,
+             "tickThreads > 1 requires a minimum cross-node delivery "
+             "latency of at least 1 cycle, but this configuration's "
+             "is 0 (%s: interfacePenalty=%llu, smallest message %zu "
+             "bytes) -- parallel node ticking has no safe window; "
+             "raise interfacePenalty/headerBytes or run with "
+             "--tick-threads=1",
+             config.interconnect == InterconnectKind::Ring ? "ring"
+                                                           : "bus",
+             (unsigned long long)(
+                 config.interconnect == InterconnectKind::Ring
+                     ? config.ring.interfacePenalty
+                     : config.bus.interfacePenalty),
+             min_bytes);
+    return lat;
+}
+
+unsigned
+resolveTickThreads(unsigned requested, unsigned num_nodes)
+{
+    unsigned threads = requested;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    threads = std::min(threads, std::max(num_nodes, 1u));
+    return std::max(threads, 1u);
+}
+
+} // namespace core
+} // namespace dscalar

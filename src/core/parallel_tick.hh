@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared helpers for the conservative-window parallel run loop.
+ *
+ * The DataScalar nodes interact only through interconnect deliveries,
+ * and every delivery is at least one cycle away from its send: on the
+ * bus a message pays the interface penalty plus its occupancy before
+ * any receiver sees it, and on the ring it additionally pays the
+ * first hop's latency. That minimum cross-node delivery latency is a
+ * provably safe synchronization window — ticking every node
+ * independently for fewer cycles than it cannot miss or reorder any
+ * cross-node interaction, which is the classic conservative
+ * (lookahead-based) parallel discrete-event simulation argument.
+ * See docs/PERF.md ("Intra-simulation parallelism").
+ */
+
+#ifndef DSCALAR_CORE_PARALLEL_TICK_HH
+#define DSCALAR_CORE_PARALLEL_TICK_HH
+
+#include "common/types.hh"
+#include "core/sim_config.hh"
+
+namespace dscalar {
+namespace core {
+
+/**
+ * Minimum cycles between any node's broadcast() call and the
+ * earliest delivery it can produce at another node, over every
+ * message kind the DataScalar protocol can emit under @p config
+ * (Broadcast and ReparativeBroadcast always; Rerequest only when
+ * recovery is enabled). Fault injection can only delay or duplicate
+ * deliveries, never accelerate them, so the bound holds on faulty
+ * media too.
+ *
+ * Fatal (clear configuration error, not a panic) when the bound is
+ * zero — e.g. headerBytes == 0 with interfacePenalty == 0 — since a
+ * zero-latency interconnect admits no parallel window.
+ */
+Cycle minCrossNodeLatency(const SimConfig &config);
+
+/**
+ * Resolve a requested tick-thread count: 0 means hardware
+ * concurrency; the result is clamped to @p num_nodes (a thread per
+ * node is the maximum useful parallelism) and never below 1.
+ */
+unsigned resolveTickThreads(unsigned requested, unsigned num_nodes);
+
+} // namespace core
+} // namespace dscalar
+
+#endif // DSCALAR_CORE_PARALLEL_TICK_HH

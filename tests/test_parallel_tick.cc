@@ -1,0 +1,292 @@
+/** @file
+ * Byte-identity of the conservative-window parallel run loop.
+ *
+ * SimConfig::tickThreads > 1 ticks all nodes concurrently in windows
+ * bounded by the minimum cross-node delivery latency, exchanging
+ * interconnect messages only at window barriers. That is a pure
+ * performance transformation: for every system type, interconnect,
+ * run-loop mode, and fault setting, a parallel run must report
+ * exactly the cycle count, instruction count, statistics dump,
+ * retirement output, trace-event stream, and sampler timeline of the
+ * serial loop (tickThreads = 1). Modeled on tests/test_cycle_skip.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "baseline/perfect.hh"
+#include "baseline/traditional.hh"
+#include "common/trace.hh"
+#include "core/datascalar.hh"
+#include "core/parallel_tick.hh"
+#include "driver/driver.hh"
+#include "obs/sampler.hh"
+#include "workloads/workloads.hh"
+
+namespace dscalar {
+namespace {
+
+constexpr InstSeq kBudget = 20000;
+
+core::SimConfig
+testConfig(unsigned nodes, bool event_driven,
+           core::InterconnectKind kind, bool faults,
+           unsigned tick_threads)
+{
+    core::SimConfig cfg = driver::paperConfig();
+    cfg.numNodes = nodes;
+    cfg.maxInsts = kBudget;
+    cfg.eventDriven = event_driven;
+    cfg.interconnect = kind;
+    cfg.tickThreads = tick_threads;
+    if (faults) {
+        // The fuzz oracle's faulty-medium settings (check::toSimConfig):
+        // drops force re-request recovery, duplicates and jitter
+        // stress the BSHR paths.
+        cfg.fault.dropProb = 0.02;
+        cfg.fault.dupProb = 0.02;
+        cfg.fault.delayProb = 0.1;
+        cfg.fault.maxDelay = 24;
+        cfg.fault.seed = 17;
+        cfg.rerequestTimeout = 2'000;
+    }
+    return cfg;
+}
+
+struct DsObservation
+{
+    core::RunResult result;
+    std::string stats;
+    std::string output;
+    std::string trace;    ///< full TextTraceSink event stream
+    std::string timeline; ///< obs::Sampler JSON
+    std::uint64_t busMessages, busBytes, busBusy;
+    std::uint64_t ringMessages, ringBytes, ringBusy;
+};
+
+DsObservation
+runDs(const prog::Program &p, unsigned nodes, bool event_driven,
+      core::InterconnectKind kind, bool faults, unsigned tick_threads,
+      Cycle sample_interval = 37)
+{
+    core::DataScalarSystem sys(
+        p, testConfig(nodes, event_driven, kind, faults, tick_threads),
+        driver::figure7PageTable(p, nodes));
+    std::ostringstream tr;
+    TextTraceSink text(tr);
+    sys.addTraceSink(&text);
+    obs::Sampler sampler(sample_interval);
+    sys.setSampler(&sampler);
+
+    DsObservation obs;
+    obs.result = sys.run();
+    std::ostringstream ss;
+    sys.dumpStats(ss);
+    obs.stats = ss.str();
+    obs.output = sys.output();
+    obs.trace = tr.str();
+    std::ostringstream tl;
+    sampler.writeJson(tl);
+    obs.timeline = tl.str();
+    obs.busMessages = sys.bus().totalMessages();
+    obs.busBytes = sys.bus().totalBytes();
+    obs.busBusy = sys.bus().busyCycles();
+    obs.ringMessages = sys.ring().totalMessages();
+    obs.ringBytes = sys.ring().totalBytes();
+    obs.ringBusy = sys.ring().linkBusyCycles();
+    return obs;
+}
+
+void
+expectIdentical(const DsObservation &par, const DsObservation &ref,
+                unsigned threads)
+{
+    SCOPED_TRACE("tickThreads=" + std::to_string(threads));
+    EXPECT_EQ(par.result.cycles, ref.result.cycles);
+    EXPECT_EQ(par.result.instructions, ref.result.instructions);
+    EXPECT_DOUBLE_EQ(par.result.ipc, ref.result.ipc);
+    EXPECT_EQ(par.stats, ref.stats);
+    EXPECT_EQ(par.output, ref.output);
+    EXPECT_EQ(par.trace, ref.trace);
+    EXPECT_EQ(par.timeline, ref.timeline);
+    EXPECT_EQ(par.busMessages, ref.busMessages);
+    EXPECT_EQ(par.busBytes, ref.busBytes);
+    EXPECT_EQ(par.busBusy, ref.busBusy);
+    EXPECT_EQ(par.ringMessages, ref.ringMessages);
+    EXPECT_EQ(par.ringBytes, ref.ringBytes);
+    EXPECT_EQ(par.ringBusy, ref.ringBusy);
+}
+
+/** (interconnect, eventDriven, faults) at 4 nodes, threads 1/2/4. */
+class ParallelTickDataScalar
+    : public ::testing::TestWithParam<
+          std::tuple<core::InterconnectKind, bool, bool>>
+{
+};
+
+TEST_P(ParallelTickDataScalar, MatchesSerialLoop)
+{
+    auto [kind, event_driven, faults] = GetParam();
+    prog::Program p =
+        workloads::findWorkload("compress_s").build(1);
+
+    DsObservation ref = runDs(p, 4, event_driven, kind, faults, 1);
+    EXPECT_GT(ref.result.instructions, 0u);
+    EXPECT_GT(ref.result.cycles, 0u);
+    for (unsigned threads : {2u, 4u}) {
+        DsObservation par =
+            runDs(p, 4, event_driven, kind, faults, threads);
+        expectIdentical(par, ref, threads);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, ParallelTickDataScalar,
+    ::testing::Combine(
+        ::testing::Values(core::InterconnectKind::Bus,
+                          core::InterconnectKind::Ring),
+        ::testing::Bool(), ::testing::Bool()),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param) ==
+                                   core::InterconnectKind::Bus
+                               ? "bus"
+                               : "ring";
+        name += std::get<1>(info.param) ? "_skip" : "_step";
+        name += std::get<2>(info.param) ? "_faults" : "_reliable";
+        return name;
+    });
+
+/** Odd node count: threads that do not divide the node count. */
+TEST(ParallelTickDataScalarOddNodes, MatchesSerialLoop)
+{
+    prog::Program p =
+        workloads::findWorkload("compress_s").build(1);
+    DsObservation ref =
+        runDs(p, 3, true, core::InterconnectKind::Bus, false, 1);
+    for (unsigned threads : {2u, 4u}) {
+        DsObservation par =
+            runDs(p, 3, true, core::InterconnectKind::Bus, false,
+                  threads);
+        expectIdentical(par, ref, threads);
+    }
+}
+
+/** A different memory personality, plus the degenerate
+ *  sample-interval=1 case (every window collapses to one cycle). */
+TEST(ParallelTickDataScalarGo, MatchesSerialLoop)
+{
+    prog::Program p = workloads::findWorkload("go_s").build(1);
+    DsObservation ref =
+        runDs(p, 2, true, core::InterconnectKind::Bus, false, 1, 1);
+    DsObservation par =
+        runDs(p, 2, true, core::InterconnectKind::Bus, false, 2, 1);
+    expectIdentical(par, ref, 2);
+}
+
+/** tickThreads=0 resolves to hardware concurrency clamped to the
+ *  node count — and still matches the serial loop. */
+TEST(ParallelTickDataScalarAuto, ZeroThreadsMatchesSerialLoop)
+{
+    prog::Program p =
+        workloads::findWorkload("compress_s").build(1);
+    DsObservation ref =
+        runDs(p, 2, true, core::InterconnectKind::Ring, false, 1);
+    DsObservation par =
+        runDs(p, 2, true, core::InterconnectKind::Ring, false, 0);
+    expectIdentical(par, ref, 0);
+}
+
+/** Single-core systems resolve any tickThreads request to the serial
+ *  loop; results must be unaffected. */
+TEST(ParallelTickTraditional, ThreadCountIsIrrelevant)
+{
+    prog::Program p =
+        workloads::findWorkload("compress_s").build(1);
+    auto runOnce = [&](unsigned threads) {
+        baseline::TraditionalSystem sys(
+            p,
+            testConfig(2, true, core::InterconnectKind::Bus, false,
+                       threads),
+            driver::figure7PageTable(p, 2));
+        core::RunResult r = sys.run();
+        return std::make_tuple(r.cycles, r.instructions, sys.output(),
+                               sys.offChipReads(),
+                               sys.offChipWrites(),
+                               sys.bus().totalMessages());
+    };
+    auto ref = runOnce(1);
+    EXPECT_EQ(runOnce(2), ref);
+    EXPECT_EQ(runOnce(4), ref);
+    EXPECT_EQ(runOnce(0), ref);
+}
+
+TEST(ParallelTickPerfect, ThreadCountIsIrrelevant)
+{
+    prog::Program p =
+        workloads::findWorkload("compress_s").build(1);
+    auto runOnce = [&](unsigned threads) {
+        baseline::PerfectSystem sys(
+            p, testConfig(2, true, core::InterconnectKind::Bus, false,
+                          threads));
+        core::RunResult r = sys.run();
+        return std::make_tuple(r.cycles, r.instructions,
+                               sys.output());
+    };
+    auto ref = runOnce(1);
+    EXPECT_EQ(runOnce(2), ref);
+    EXPECT_EQ(runOnce(4), ref);
+}
+
+// -------------------------------------------------------------------
+// Helper units
+// -------------------------------------------------------------------
+
+TEST(ResolveTickThreads, ClampsAndResolvesZero)
+{
+    EXPECT_EQ(core::resolveTickThreads(1, 8), 1u);
+    EXPECT_EQ(core::resolveTickThreads(4, 8), 4u);
+    EXPECT_EQ(core::resolveTickThreads(16, 4), 4u);
+    EXPECT_EQ(core::resolveTickThreads(3, 1), 1u);
+    // 0 = hardware concurrency, still clamped to the node count.
+    EXPECT_EQ(core::resolveTickThreads(0, 1), 1u);
+    EXPECT_GE(core::resolveTickThreads(0, 1024), 1u);
+    EXPECT_LE(core::resolveTickThreads(0, 2), 2u);
+}
+
+TEST(MinCrossNodeLatencyDeath, RejectsZeroLatencyConfigs)
+{
+    // A medium that could deliver in the send cycle admits no
+    // conservative window; the run must refuse, not livelock.
+    core::SimConfig cfg = driver::paperConfig();
+    cfg.bus.interfacePenalty = 0;
+    cfg.bus.headerBytes = 0;
+    cfg.rerequestTimeout = 2'000; // header-only Rerequest: 0 bytes
+    EXPECT_DEATH(core::minCrossNodeLatency(cfg),
+                 "minimum cross-node delivery latency");
+}
+
+TEST(MinCrossNodeLatency, MatchesInterconnectModels)
+{
+    core::SimConfig cfg = driver::paperConfig();
+    // Bus: interfacePenalty + ceil((header+line)/width) bus clocks.
+    // Paper defaults: 2 + ceil((8+32)/8)*10 = 52.
+    EXPECT_EQ(core::minCrossNodeLatency(cfg), Cycle(52));
+
+    // Recovery enabled: a header-only Rerequest is the smallest
+    // emittable message — 2 + ceil(8/8)*10 = 12.
+    cfg.rerequestTimeout = 2'000;
+    EXPECT_EQ(core::minCrossNodeLatency(cfg), Cycle(12));
+
+    // Ring first hop: penalty + serialization + hopLatency.
+    // Defaults: 2 + ceil((8+32)/8)*2 + 4 = 16; rerequest 2 + 2 + 4.
+    cfg.interconnect = core::InterconnectKind::Ring;
+    EXPECT_EQ(core::minCrossNodeLatency(cfg), Cycle(8));
+    cfg.rerequestTimeout = 0;
+    EXPECT_EQ(core::minCrossNodeLatency(cfg), Cycle(16));
+}
+
+} // namespace
+} // namespace dscalar

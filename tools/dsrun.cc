@@ -15,6 +15,11 @@
  *   --scale=N          workload build scale (registered workloads)
  *   --block-pages=N    round-robin distribution block (default 1)
  *   --jobs=N           sweep worker threads (default 1; 0 = all cores)
+ *   --tick-threads=N   tick nodes of ONE simulation on N threads in
+ *                      conservative windows; byte-identical results
+ *                      (default 1 = serial; 0 = all cores, clamped
+ *                      to the node count). Composes with --jobs: a
+ *                      sweep runs jobs × tick-threads workers.
  *   --no-skip          disable event-driven cycle skipping
  *   --stats            print the full statistics dump
  *   --stats-json=FILE  write run metadata + every stat as JSON
@@ -73,6 +78,7 @@ struct Options
     unsigned scale = 1;
     unsigned blockPages = 1;
     unsigned jobs = 1;
+    unsigned tickThreads = 1;
     bool noSkip = false;
     bool stats = false;
     std::string statsJson;
@@ -111,6 +117,7 @@ usage()
         "usage: dsrun [--system=func|perfect|traditional|datascalar]"
         "\n             [--nodes=N] [--ring] [--max-insts=N]"
         "\n             [--scale=N] [--block-pages=N] [--jobs=N]"
+        "\n             [--tick-threads=N]"
         "\n             [--no-skip] [--stats] [--stats-json=FILE]"
         "\n             [--sample-interval=N] [--perfetto=FILE]"
         "\n             [--trace]"
@@ -226,6 +233,9 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::stoul(value));
         } else if (parseFlag(arg, "--jobs", value)) {
             opt.jobs = static_cast<unsigned>(std::stoul(value));
+        } else if (parseFlag(arg, "--tick-threads", value)) {
+            opt.tickThreads =
+                static_cast<unsigned>(std::stoul(value));
         } else if (parseFlag(arg, "--fault-drop", value)) {
             opt.faultDrop = std::stod(value);
         } else if (parseFlag(arg, "--fault-dup", value)) {
@@ -283,6 +293,7 @@ main(int argc, char **argv)
     cfg.numNodes = opt.nodes;
     cfg.maxInsts = opt.maxInsts;
     cfg.eventDriven = !opt.noSkip;
+    cfg.tickThreads = opt.tickThreads;
     if (opt.ring)
         cfg.interconnect = core::InterconnectKind::Ring;
     cfg.fault.dropProb = opt.faultDrop;
@@ -321,6 +332,7 @@ main(int argc, char **argv)
     meta.add("block_pages", std::uint64_t(opt.blockPages));
     meta.add("max_insts", std::uint64_t(opt.maxInsts));
     meta.add("event_driven", std::uint64_t(cfg.eventDriven ? 1 : 0));
+    meta.add("tick_threads", std::uint64_t(opt.tickThreads));
     if (opt.sampleInterval)
         meta.add("sample_interval", std::uint64_t(opt.sampleInterval));
 
