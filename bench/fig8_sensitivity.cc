@@ -36,16 +36,20 @@ sweep(const std::string &workload, const char *param,
           &apply,
       InstSeq budget, driver::TraceCache &cache)
 {
-    // Five system points per parameter value, all independent.
-    std::vector<driver::SweepPoint> points;
+    // Five system points per parameter value, all independent. The
+    // studied parameters (dcache geometry, memory latency, ...) are
+    // not part of the serialized RunRequest key set; library callers
+    // set them directly on RunRequest::config.
+    std::vector<driver::RunRequest> requests;
     for (std::uint64_t v : values) {
-        core::SimConfig cfg = driver::paperConfig();
-        cfg.maxInsts = budget;
-        apply(cfg, v);
+        driver::RunRequest req;
+        req.workload = workload;
+        req.config.maxInsts = budget;
+        apply(req.config, v);
         auto add = [&](driver::SystemKind system, unsigned nodes) {
-            cfg.numNodes = nodes;
-            points.push_back(
-                driver::SweepPoint{workload, system, cfg, 1, 1});
+            req.system = system;
+            req.config.numNodes = nodes;
+            requests.push_back(req);
         };
         add(driver::SystemKind::Perfect, 2);
         add(driver::SystemKind::DataScalar, 2);
@@ -57,18 +61,17 @@ sweep(const std::string &workload, const char *param,
     // Every point of every sub-sweep replays the one captured stream
     // for (workload, budget) — the parameters under study never
     // change the dynamic stream, only its timing.
-    std::vector<core::RunResult> results =
-        driver::runSweep(points, cache, bench::benchJobs());
+    std::vector<driver::RunResponse> results =
+        driver::runMany(requests, cache, bench::benchJobs());
 
     stats::Table table({param, "perfect", "DS-2", "DS-4", "trad-1/2",
                         "trad-1/4"});
     for (std::size_t i = 0; i < values.size(); ++i) {
-        table.addRow({std::to_string(values[i]),
-                      stats::Table::num(results[5 * i + 0].ipc, 3),
-                      stats::Table::num(results[5 * i + 1].ipc, 3),
-                      stats::Table::num(results[5 * i + 2].ipc, 3),
-                      stats::Table::num(results[5 * i + 3].ipc, 3),
-                      stats::Table::num(results[5 * i + 4].ipc, 3)});
+        auto ipc = [&](std::size_t k) {
+            return stats::Table::num(results[5 * i + k].result.ipc, 3);
+        };
+        table.addRow({std::to_string(values[i]), ipc(0), ipc(1),
+                      ipc(2), ipc(3), ipc(4)});
     }
     table.print(std::cout);
     std::printf("\n");

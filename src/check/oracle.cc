@@ -134,19 +134,18 @@ runConfigOnce(const prog::Program &program,
 {
     RunOutcome out;
     switch (config.system) {
-      case driver::SystemKind::Perfect: {
-        baseline::PerfectSystem sys(program, cfg, std::move(trace));
-        out.result = sys.run();
-        out.output = sys.output();
-        break;
-      }
+      case driver::SystemKind::Perfect:
       case driver::SystemKind::Traditional: {
-        baseline::TraditionalSystem sys(
-            program, cfg,
-            driver::figure7PageTable(program, cfg.numNodes),
-            std::move(trace));
-        out.result = sys.run();
-        out.output = sys.output();
+        // The baselines have no system-internal invariants to poke
+        // at, so they go through the driver API like any other run.
+        driver::RunRequest req = toRunRequest(config);
+        req.config = cfg; // caller may have flipped run-loop knobs
+        req.program = std::shared_ptr<const prog::Program>(
+            std::shared_ptr<const prog::Program>(), &program);
+        req.trace = std::move(trace);
+        driver::RunResponse resp = driver::runOne(req);
+        out.result = std::move(resp.result);
+        out.output = std::move(resp.output);
         break;
       }
       case driver::SystemKind::DataScalar: {
@@ -273,6 +272,15 @@ toSimConfig(const TrialConfig &c)
         cfg.rerequestTimeout = 2'000;
     }
     return cfg;
+}
+
+driver::RunRequest
+toRunRequest(const TrialConfig &c)
+{
+    driver::RunRequest req;
+    req.system = c.system;
+    req.config = toSimConfig(c);
+    return req;
 }
 
 GoldenRun

@@ -3,54 +3,23 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/kv.hh"
 #include "driver/driver.hh"
 
 namespace dscalar {
 namespace check {
 
+// The `key = value` line convention is shared with RunRequest
+// serialization and the dsserve wire protocol (common/kv.hh), so the
+// three formats cannot drift apart.
+using common::kv::emit;
+using common::kv::parseU64;
+using common::kv::splitLine;
+using common::kv::trim;
+
 namespace {
 
 constexpr char kMagic[] = "# dsfuzz repro v1";
-
-void
-emit(std::ostream &os, const char *key, std::uint64_t value)
-{
-    os << key << " = " << value << "\n";
-}
-
-void
-emit(std::ostream &os, const char *key, const char *value)
-{
-    os << key << " = " << value << "\n";
-}
-
-std::string
-trim(const std::string &s)
-{
-    std::size_t b = s.find_first_not_of(" \t\r");
-    if (b == std::string::npos)
-        return "";
-    std::size_t e = s.find_last_not_of(" \t\r");
-    return s.substr(b, e - b + 1);
-}
-
-bool
-parseU64(const std::string &value, std::uint64_t &out)
-{
-    if (value.empty())
-        return false;
-    std::uint64_t v = 0;
-    for (char c : value) {
-        if (c < '0' || c > '9')
-            return false;
-        std::uint64_t next = v * 10 + static_cast<std::uint64_t>(c - '0');
-        if (next < v)
-            return false; // overflow
-        v = next;
-    }
-    out = v;
-    return true;
-}
 
 } // namespace
 
@@ -116,13 +85,11 @@ parseRepro(std::istream &in, ReproCase &out, std::string &error)
         std::string t = trim(line);
         if (t.empty() || t[0] == '#')
             continue;
-        std::size_t eq = t.find('=');
-        if (eq == std::string::npos) {
+        std::string key, value;
+        if (!splitLine(t, key, value)) {
             error = "line " + std::to_string(lineno) + ": missing '='";
             return false;
         }
-        std::string key = trim(t.substr(0, eq));
-        std::string value = trim(t.substr(eq + 1));
 
         // String-valued keys first.
         if (key == "mismatch") {

@@ -1,0 +1,104 @@
+#include "common/kv.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dscalar {
+namespace common {
+namespace kv {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+bool
+splitLine(const std::string &line, std::string &key,
+          std::string &value)
+{
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos)
+        return false;
+    key = trim(line.substr(0, eq));
+    value = trim(line.substr(eq + 1));
+    return true;
+}
+
+bool
+parseU64(const std::string &value, std::uint64_t &out)
+{
+    if (value.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (char c : value) {
+        if (c < '0' || c > '9')
+            return false;
+        std::uint64_t next =
+            v * 10 + static_cast<std::uint64_t>(c - '0');
+        if (next < v)
+            return false; // overflow
+        v = next;
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseF64(const std::string &value, double &out)
+{
+    if (value.empty())
+        return false;
+    const char *begin = value.c_str();
+    char *end = nullptr;
+    double v = std::strtod(begin, &end);
+    if (end != begin + value.size())
+        return false;
+    out = v;
+    return true;
+}
+
+std::string
+formatF64(double v)
+{
+    char buf[64];
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        double back = 0.0;
+        if (parseF64(buf, back) && back == v)
+            return buf;
+    }
+    return buf; // %.17g is always exact for finite doubles
+}
+
+void
+emit(std::ostream &os, const char *key, std::uint64_t value)
+{
+    os << key << " = " << value << "\n";
+}
+
+void
+emit(std::ostream &os, const char *key, const char *value)
+{
+    os << key << " = " << value << "\n";
+}
+
+void
+emit(std::ostream &os, const char *key, const std::string &value)
+{
+    os << key << " = " << value << "\n";
+}
+
+void
+emit(std::ostream &os, const char *key, double value)
+{
+    os << key << " = " << formatF64(value) << "\n";
+}
+
+} // namespace kv
+} // namespace common
+} // namespace dscalar

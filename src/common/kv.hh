@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Line-oriented `key = value` text helpers shared by every format
+ * that uses the convention: dsfuzz repro files (check/repro.cc), the
+ * driver's RunRequest serialization (driver/run_request.cc), and the
+ * dsserve wire protocol (serve/protocol.cc). One implementation of
+ * trimming, splitting, and strict numeric parsing keeps the three
+ * formats from drifting apart.
+ */
+
+#ifndef DSCALAR_COMMON_KV_HH
+#define DSCALAR_COMMON_KV_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace dscalar {
+namespace common {
+namespace kv {
+
+/** @return @p s without leading/trailing spaces, tabs, CRs, or
+ *  newlines (callers pass both getline output and raw lines that
+ *  still carry their terminator). */
+std::string trim(const std::string &s);
+
+/**
+ * Split one `key = value` line (either side of '=' trimmed).
+ * @return false when @p line contains no '='.
+ */
+bool splitLine(const std::string &line, std::string &key,
+               std::string &value);
+
+/**
+ * Strict decimal unsigned parse: digits only, overflow-checked.
+ * @return false on empty, non-digit, or overflowing input.
+ */
+bool parseU64(const std::string &value, std::uint64_t &out);
+
+/** Strict double parse (strtod over the whole token).
+ *  @return false on empty input or trailing junk. */
+bool parseF64(const std::string &value, double &out);
+
+/** Shortest decimal rendering of @p v that parses back to exactly
+ *  the same double (so formatted requests round-trip bit-for-bit). */
+std::string formatF64(double v);
+
+/** Emit one `key = value` line. */
+void emit(std::ostream &os, const char *key, std::uint64_t value);
+void emit(std::ostream &os, const char *key, const char *value);
+void emit(std::ostream &os, const char *key, const std::string &value);
+/** Doubles render via formatF64. */
+void emit(std::ostream &os, const char *key, double value);
+/** Smaller non-negative integer types route to the u64 overload
+ *  (otherwise the double overload makes the call ambiguous). */
+inline void
+emit(std::ostream &os, const char *key, unsigned value)
+{
+    emit(os, key, static_cast<std::uint64_t>(value));
+}
+inline void
+emit(std::ostream &os, const char *key, int value)
+{
+    emit(os, key, static_cast<std::uint64_t>(value));
+}
+
+} // namespace kv
+} // namespace common
+} // namespace dscalar
+
+#endif // DSCALAR_COMMON_KV_HH

@@ -1,79 +1,14 @@
 #include "driver/driver.hh"
 
 #include "common/logging.hh"
-#include "common/thread_pool.hh"
 #include "func/func_sim.hh"
 #include "mem/cache.hh"
-#include "workloads/workloads.hh"
 
 namespace dscalar {
 namespace driver {
 
-core::SimConfig
-paperConfig()
-{
-    // Section 4.2: 8-way issue, 256-entry RUU, LSQ = RUU/2, 16 KB
-    // direct-mapped single-cycle split L1s (write-back,
-    // write-noallocate data cache), 8 ns on-chip banks behind a
-    // 256-bit bus at core clock, an 8-byte global bus at 1/10 core
-    // clock, 2-cycle interface penalties, 128-entry 1 ns BSHRs.
-    core::SimConfig cfg;
-    cfg.core = ooo::CoreParams{};
-    cfg.mem = mem::MainMemoryParams{};
-    cfg.bus = interconnect::BusParams{};
-    cfg.numNodes = 2;
-    cfg.bshrLatency = 1;
-    cfg.bshrCapacity = 128;
-    return cfg;
-}
-
-const char *
-systemKindName(SystemKind kind)
-{
-    switch (kind) {
-      case SystemKind::Perfect: return "perfect";
-      case SystemKind::DataScalar: return "datascalar";
-      case SystemKind::Traditional: return "traditional";
-    }
-    fatal("unknown SystemKind %d", static_cast<int>(kind));
-}
-
-bool
-parseSystemKind(const std::string &name, SystemKind &out)
-{
-    if (name == "perfect")
-        out = SystemKind::Perfect;
-    else if (name == "datascalar")
-        out = SystemKind::DataScalar;
-    else if (name == "traditional")
-        out = SystemKind::Traditional;
-    else
-        return false;
-    return true;
-}
-
-const char *
-interconnectKindName(core::InterconnectKind kind)
-{
-    switch (kind) {
-      case core::InterconnectKind::Bus: return "bus";
-      case core::InterconnectKind::Ring: return "ring";
-    }
-    fatal("unknown InterconnectKind %d", static_cast<int>(kind));
-}
-
-bool
-parseInterconnectKind(const std::string &name,
-                      core::InterconnectKind &out)
-{
-    if (name == "bus")
-        out = core::InterconnectKind::Bus;
-    else if (name == "ring")
-        out = core::InterconnectKind::Ring;
-    else
-        return false;
-    return true;
-}
+// paperConfig and the SystemKind/InterconnectKind helpers are defined
+// with the RunRequest API in driver/run_request.cc.
 
 mem::CacheParams
 table1CacheParams()
@@ -379,30 +314,16 @@ runSystem(SystemKind system, const prog::Program &program,
           std::shared_ptr<const func::InstTrace> trace,
           obs::Sampler *sampler)
 {
-    switch (system) {
-      case SystemKind::Perfect: {
-        baseline::PerfectSystem sys(program, config, std::move(trace));
-        sys.setSampler(sampler);
-        return sys.run();
-      }
-      case SystemKind::DataScalar: {
-        core::DataScalarSystem sys(
-            program, config,
-            figure7PageTable(program, config.numNodes, block_pages),
-            std::move(trace));
-        sys.setSampler(sampler);
-        return sys.run();
-      }
-      case SystemKind::Traditional: {
-        baseline::TraditionalSystem sys(
-            program, config,
-            figure7PageTable(program, config.numNodes, block_pages),
-            std::move(trace));
-        sys.setSampler(sampler);
-        return sys.run();
-      }
-    }
-    fatal("unknown SystemKind %d", static_cast<int>(system));
+    RunRequest req;
+    req.system = system;
+    req.config = config;
+    req.blockPages = block_pages;
+    // Non-owning alias: the caller's program outlives the run.
+    req.program = std::shared_ptr<const prog::Program>(
+        std::shared_ptr<const prog::Program>(), &program);
+    req.trace = std::move(trace);
+    req.sampler = sampler;
+    return runOne(req).result;
 }
 
 core::RunResult
@@ -429,27 +350,41 @@ runPerfect(const prog::Program &program, const core::SimConfig &config)
 // Parallel experiment sweeps
 // -------------------------------------------------------------------
 
+RunRequest
+toRunRequest(const SweepPoint &pt)
+{
+    RunRequest req;
+    req.workload = pt.workload;
+    req.scale = pt.scale;
+    req.system = pt.system;
+    req.config = pt.config;
+    req.blockPages = pt.blockPages;
+    return req;
+}
+
 namespace {
 
-core::RunResult
-runSweepPoint(const SweepPoint &pt, TraceCache *cache)
+std::vector<RunRequest>
+toRunRequests(const std::vector<SweepPoint> &points)
 {
-    if (!cache) {
-        prog::Program program =
-            workloads::findWorkload(pt.workload).build(pt.scale);
-        return runSystem(pt.system, program, pt.config,
-                         pt.blockPages);
+    std::vector<RunRequest> requests;
+    requests.reserve(points.size());
+    for (const SweepPoint &pt : points)
+        requests.push_back(toRunRequest(pt));
+    return requests;
+}
+
+std::vector<core::RunResult>
+toRunResults(std::vector<RunResponse> responses)
+{
+    std::vector<core::RunResult> results;
+    results.reserve(responses.size());
+    for (RunResponse &resp : responses) {
+        if (!resp.ok())
+            fatal("sweep point failed: %s", resp.error.c_str());
+        results.push_back(std::move(resp.result));
     }
-    // Build-once, capture-once: the cache assembles each
-    // (workload, scale) a single time and functionally executes each
-    // (workload, scale, maxInsts) a single time; this point replays
-    // the shared stream.
-    std::shared_ptr<const prog::Program> program =
-        cache->program(pt.workload, pt.scale);
-    std::shared_ptr<const func::InstTrace> trace =
-        cache->acquire(pt.workload, pt.scale, pt.config.maxInsts);
-    return runSystem(pt.system, *program, pt.config, pt.blockPages,
-                     std::move(trace));
+    return results;
 }
 
 } // namespace
@@ -458,14 +393,7 @@ std::vector<core::RunResult>
 runSweep(const std::vector<SweepPoint> &points, TraceCache &cache,
          unsigned jobs)
 {
-    // Every point gets its own simulator state; the shared writes
-    // are each task's pre-assigned result slot and the (internally
-    // synchronized) trace cache.
-    std::vector<core::RunResult> results(points.size());
-    common::parallelFor(jobs, points.size(), [&](std::size_t i) {
-        results[i] = runSweepPoint(points[i], &cache);
-    });
-    return results;
+    return toRunResults(runMany(toRunRequests(points), cache, jobs));
 }
 
 std::vector<core::RunResult>
@@ -476,11 +404,7 @@ runSweep(const std::vector<SweepPoint> &points, unsigned jobs,
         TraceCache cache;
         return runSweep(points, cache, jobs);
     }
-    std::vector<core::RunResult> results(points.size());
-    common::parallelFor(jobs, points.size(), [&](std::size_t i) {
-        results[i] = runSweepPoint(points[i], nullptr);
-    });
-    return results;
+    return toRunResults(runMany(toRunRequests(points), jobs));
 }
 
 stats::Table
@@ -488,14 +412,16 @@ fig7IpcTable(const std::vector<std::string> &workload_names,
              InstSeq budget, unsigned jobs, bool event_driven,
              bool trace_reuse)
 {
-    std::vector<SweepPoint> points;
+    std::vector<RunRequest> requests;
     for (const std::string &name : workload_names) {
-        core::SimConfig cfg = paperConfig();
-        cfg.maxInsts = budget;
-        cfg.eventDriven = event_driven;
+        RunRequest req;
+        req.workload = name;
+        req.config.maxInsts = budget;
+        req.config.eventDriven = event_driven;
         auto add = [&](SystemKind system, unsigned nodes) {
-            cfg.numNodes = nodes;
-            points.push_back(SweepPoint{name, system, cfg, 1, 1});
+            req.system = system;
+            req.config.numNodes = nodes;
+            requests.push_back(req);
         };
         add(SystemKind::Perfect, 2);
         add(SystemKind::DataScalar, 2);
@@ -504,18 +430,23 @@ fig7IpcTable(const std::vector<std::string> &workload_names,
         add(SystemKind::Traditional, 4);
     }
 
-    std::vector<core::RunResult> results =
-        runSweep(points, jobs, trace_reuse);
+    std::vector<RunResponse> responses;
+    if (trace_reuse) {
+        TraceCache cache;
+        responses = runMany(requests, cache, jobs);
+    } else {
+        responses = runMany(requests, jobs);
+    }
 
     stats::Table table({"benchmark", "perfect", "DS-2", "DS-4",
                         "trad-1/2", "trad-1/4", "DS2/trad2",
                         "DS4/trad4"});
     for (std::size_t w = 0; w < workload_names.size(); ++w) {
-        const core::RunResult &perfect = results[5 * w + 0];
-        const core::RunResult &ds2 = results[5 * w + 1];
-        const core::RunResult &ds4 = results[5 * w + 2];
-        const core::RunResult &t2 = results[5 * w + 3];
-        const core::RunResult &t4 = results[5 * w + 4];
+        const core::RunResult &perfect = responses[5 * w + 0].result;
+        const core::RunResult &ds2 = responses[5 * w + 1].result;
+        const core::RunResult &ds4 = responses[5 * w + 2].result;
+        const core::RunResult &t2 = responses[5 * w + 3].result;
+        const core::RunResult &t4 = responses[5 * w + 4].result;
         table.addRow({workload_names[w],
                       stats::Table::num(perfect.ipc, 3),
                       stats::Table::num(ds2.ipc, 3),

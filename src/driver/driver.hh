@@ -19,6 +19,7 @@
 #include "core/sim_config.hh"
 #include "baseline/perfect.hh"
 #include "baseline/traditional.hh"
+#include "driver/run_request.hh"
 #include "driver/trace_cache.hh"
 #include "func/inst_trace.hh"
 #include "obs/sampler.hh"
@@ -28,36 +29,9 @@
 namespace dscalar {
 namespace driver {
 
-/** The paper's Section 4.2 system parameters. */
-core::SimConfig paperConfig();
-
-/** Simulated system family for a timing run. */
-enum class SystemKind : std::uint8_t {
-    Perfect,     ///< perfect-data-cache upper bound
-    DataScalar,  ///< the paper's machine
-    Traditional  ///< request/response baseline
-};
-
-/** @return printable name of @p kind ("perfect" | "datascalar" |
- *  "traditional"). */
-const char *systemKindName(SystemKind kind);
-
-/**
- * Parse a CLI system name.
- * @return false when @p name matches no SystemKind (@p out untouched).
- */
-bool parseSystemKind(const std::string &name, SystemKind &out);
-
-/** @return printable name of @p kind ("bus" | "ring"). */
-const char *interconnectKindName(core::InterconnectKind kind);
-
-/**
- * Parse a CLI interconnect name.
- * @return false when @p name matches no InterconnectKind (@p out
- * untouched).
- */
-bool parseInterconnectKind(const std::string &name,
-                           core::InterconnectKind &out);
+// paperConfig, SystemKind, the name/parse helpers, and the
+// RunRequest/RunResponse runOne/runMany API live in
+// driver/run_request.hh (re-exported by the include above).
 
 /** The Table 1 / Section 3 study cache: 64 KB two-way 32 B lines,
  *  write-allocate write-back. */
@@ -181,8 +155,8 @@ mem::PageTable figure7PageTable(const prog::Program &program,
                                 unsigned block_pages = 1);
 
 /**
- * Run @p program on one system family under @p config — the single
- * timing-run entry point every bench, test, and sweep goes through.
+ * Run @p program on one system family under @p config — a thin
+ * wrapper over runOne for callers that already hold a built program.
  * @p block_pages sets the page-distribution block size (ignored by
  * Perfect, which has no page table). The returned RunResult carries
  * the full stat snapshot (RunResult::stats). A non-null @p sampler
@@ -226,6 +200,10 @@ struct SweepPoint
     unsigned scale = 1;      ///< workload build scale
     unsigned blockPages = 1; ///< page-distribution block size
 };
+
+/** The RunRequest equivalent of @p pt (runSweep is runMany over
+ *  these). */
+RunRequest toRunRequest(const SweepPoint &pt);
 
 /**
  * Run every point on up to @p jobs worker threads (1 = serial,

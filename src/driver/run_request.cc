@@ -1,0 +1,494 @@
+#include "driver/run_request.hh"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "baseline/perfect.hh"
+#include "baseline/traditional.hh"
+#include "common/kv.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "common/trace.hh"
+#include "core/datascalar.hh"
+#include "driver/driver.hh"
+#include "driver/trace_cache.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/perfetto.hh"
+#include "workloads/workloads.hh"
+
+namespace dscalar {
+namespace driver {
+
+namespace kv = common::kv;
+
+core::SimConfig
+paperConfig()
+{
+    // Section 4.2: 8-way issue, 256-entry RUU, LSQ = RUU/2, 16 KB
+    // direct-mapped single-cycle split L1s (write-back,
+    // write-noallocate data cache), 8 ns on-chip banks behind a
+    // 256-bit bus at core clock, an 8-byte global bus at 1/10 core
+    // clock, 2-cycle interface penalties, 128-entry 1 ns BSHRs.
+    core::SimConfig cfg;
+    cfg.core = ooo::CoreParams{};
+    cfg.mem = mem::MainMemoryParams{};
+    cfg.bus = interconnect::BusParams{};
+    cfg.numNodes = 2;
+    cfg.bshrLatency = 1;
+    cfg.bshrCapacity = 128;
+    return cfg;
+}
+
+const char *
+systemKindName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Perfect: return "perfect";
+      case SystemKind::DataScalar: return "datascalar";
+      case SystemKind::Traditional: return "traditional";
+    }
+    fatal("unknown SystemKind %d", static_cast<int>(kind));
+}
+
+std::optional<SystemKind>
+parseSystemKind(const std::string &name)
+{
+    if (name == "perfect")
+        return SystemKind::Perfect;
+    if (name == "datascalar")
+        return SystemKind::DataScalar;
+    if (name == "traditional")
+        return SystemKind::Traditional;
+    return std::nullopt;
+}
+
+bool
+parseSystemKind(const std::string &name, SystemKind &out)
+{
+    std::optional<SystemKind> kind = parseSystemKind(name);
+    if (!kind)
+        return false;
+    out = *kind;
+    return true;
+}
+
+const char *
+interconnectKindName(core::InterconnectKind kind)
+{
+    switch (kind) {
+      case core::InterconnectKind::Bus: return "bus";
+      case core::InterconnectKind::Ring: return "ring";
+    }
+    fatal("unknown InterconnectKind %d", static_cast<int>(kind));
+}
+
+std::optional<core::InterconnectKind>
+parseInterconnectKind(const std::string &name)
+{
+    if (name == "bus")
+        return core::InterconnectKind::Bus;
+    if (name == "ring")
+        return core::InterconnectKind::Ring;
+    return std::nullopt;
+}
+
+bool
+parseInterconnectKind(const std::string &name,
+                      core::InterconnectKind &out)
+{
+    std::optional<core::InterconnectKind> kind =
+        parseInterconnectKind(name);
+    if (!kind)
+        return false;
+    out = *kind;
+    return true;
+}
+
+// -------------------------------------------------------------------
+// Serialization
+// -------------------------------------------------------------------
+
+bool
+applyRunRequestKey(RunRequest &req, const std::string &key,
+                   const std::string &value, std::string &error)
+{
+    auto bad = [&](const char *expected) {
+        error = "bad value '" + value + "' for '" + key +
+                "' (expected " + expected + ")";
+        return false;
+    };
+
+    // String-valued keys.
+    if (key == "workload") {
+        if (value.empty())
+            return bad("a workload name");
+        req.workload = value;
+        return true;
+    }
+    if (key == "perfetto") {
+        req.perfettoPath = value;
+        return true;
+    }
+    if (key == "system") {
+        std::optional<SystemKind> kind = parseSystemKind(value);
+        if (!kind) {
+            error = "unknown system '" + value + "'";
+            return false;
+        }
+        req.system = *kind;
+        return true;
+    }
+    if (key == "interconnect") {
+        std::optional<core::InterconnectKind> kind =
+            parseInterconnectKind(value);
+        if (!kind) {
+            error = "unknown interconnect '" + value + "'";
+            return false;
+        }
+        req.config.interconnect = *kind;
+        return true;
+    }
+
+    // Probability-valued keys.
+    if (key == "fault_drop" || key == "fault_dup" ||
+        key == "fault_delay") {
+        double p = 0.0;
+        if (!kv::parseF64(value, p) || p < 0.0 || p > 1.0)
+            return bad("a probability in [0,1]");
+        if (key == "fault_drop")
+            req.config.fault.dropProb = p;
+        else if (key == "fault_dup")
+            req.config.fault.dupProb = p;
+        else
+            req.config.fault.delayProb = p;
+        return true;
+    }
+
+    // Everything else is an unsigned integer.
+    std::uint64_t v = 0;
+    if (!kv::parseU64(value, v)) {
+        if (key == "scale" || key == "nodes" || key == "max_insts" ||
+            key == "block_pages" || key == "event_driven" ||
+            key == "tick_threads" || key == "fault_max_delay" ||
+            key == "fault_seed" || key == "rerequest_timeout" ||
+            key == "bshr_hard" || key == "bshr_capacity" ||
+            key == "trace_reuse" || key == "sample_interval")
+            return bad("an unsigned integer");
+        error = "unknown key '" + key + "'";
+        return false;
+    }
+    auto u = [v] { return static_cast<unsigned>(v); };
+    if (key == "scale") {
+        if (v == 0 || v > 4096)
+            return bad("a scale in 1..4096");
+        req.scale = u();
+    } else if (key == "nodes") {
+        if (v == 0 || v > 256)
+            return bad("a node count in 1..256");
+        req.config.numNodes = u();
+    } else if (key == "block_pages") {
+        if (v == 0)
+            return bad("a positive page count");
+        req.blockPages = u();
+    } else if (key == "max_insts")
+        req.config.maxInsts = v;
+    else if (key == "event_driven")
+        req.config.eventDriven = v != 0;
+    else if (key == "tick_threads") {
+        if (v > 256)
+            return bad("a thread count in 0..256");
+        req.config.tickThreads = u();
+    } else if (key == "fault_max_delay")
+        req.config.fault.maxDelay = v;
+    else if (key == "fault_seed")
+        req.config.fault.seed = v;
+    else if (key == "rerequest_timeout") {
+        req.config.rerequestTimeout = v;
+        req.rerequestTimeoutSet = true;
+    } else if (key == "bshr_hard")
+        req.config.bshrHardCapacity = v != 0;
+    else if (key == "bshr_capacity") {
+        if (v == 0)
+            return bad("a positive entry count");
+        req.config.bshrCapacity = u();
+    } else if (key == "trace_reuse")
+        req.traceReuse = v != 0;
+    else if (key == "sample_interval")
+        req.sampleInterval = v;
+    else {
+        error = "unknown key '" + key + "'";
+        return false;
+    }
+    return true;
+}
+
+void
+finalizeRunRequest(RunRequest &req)
+{
+    // Dropped data must be recoverable: arm re-request recovery by
+    // default whenever drops or hard BSHR capacity are configured
+    // without an explicit timeout (the dsrun rule since PR 2).
+    if (!req.rerequestTimeoutSet &&
+        (req.config.fault.dropProb > 0.0 || req.config.bshrHardCapacity))
+        req.config.rerequestTimeout = 2000;
+}
+
+bool
+parseRunRequest(std::istream &in, RunRequest &out, std::string &error)
+{
+    RunRequest r;
+    bool any = false;
+    std::string line;
+    unsigned lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::string t = kv::trim(line);
+        if (t.empty()) {
+            if (any)
+                break; // a blank line terminates the block
+            continue;
+        }
+        if (t[0] == '#')
+            continue;
+        std::string key, value;
+        if (!kv::splitLine(t, key, value)) {
+            error = "line " + std::to_string(lineno) + ": missing '='";
+            return false;
+        }
+        if (!applyRunRequestKey(r, key, value, error)) {
+            error = "line " + std::to_string(lineno) + ": " + error;
+            return false;
+        }
+        any = true;
+    }
+    if (!any) {
+        error = "empty request";
+        return false;
+    }
+    finalizeRunRequest(r);
+    out = std::move(r);
+    return true;
+}
+
+std::string
+formatRunRequest(const RunRequest &req)
+{
+    std::ostringstream os;
+    kv::emit(os, "workload", req.workload);
+    kv::emit(os, "scale", std::uint64_t(req.scale));
+    kv::emit(os, "system", systemKindName(req.system));
+    kv::emit(os, "nodes", std::uint64_t(req.config.numNodes));
+    kv::emit(os, "interconnect",
+             interconnectKindName(req.config.interconnect));
+    kv::emit(os, "max_insts", std::uint64_t(req.config.maxInsts));
+    kv::emit(os, "block_pages", std::uint64_t(req.blockPages));
+    kv::emit(os, "event_driven",
+             std::uint64_t(req.config.eventDriven ? 1 : 0));
+    kv::emit(os, "tick_threads", std::uint64_t(req.config.tickThreads));
+    kv::emit(os, "fault_drop", req.config.fault.dropProb);
+    kv::emit(os, "fault_dup", req.config.fault.dupProb);
+    kv::emit(os, "fault_delay", req.config.fault.delayProb);
+    kv::emit(os, "fault_max_delay",
+             std::uint64_t(req.config.fault.maxDelay));
+    kv::emit(os, "fault_seed", req.config.fault.seed);
+    kv::emit(os, "rerequest_timeout",
+             std::uint64_t(req.config.rerequestTimeout));
+    kv::emit(os, "bshr_hard",
+             std::uint64_t(req.config.bshrHardCapacity ? 1 : 0));
+    kv::emit(os, "bshr_capacity",
+             std::uint64_t(req.config.bshrCapacity));
+    kv::emit(os, "trace_reuse", std::uint64_t(req.traceReuse ? 1 : 0));
+    kv::emit(os, "sample_interval", std::uint64_t(req.sampleInterval));
+    if (!req.perfettoPath.empty())
+        kv::emit(os, "perfetto", req.perfettoPath);
+    return os.str();
+}
+
+stats::RunMeta
+runMeta(const RunRequest &req)
+{
+    stats::RunMeta meta;
+    meta.add("system", systemKindName(req.system));
+    meta.add("target", req.workload);
+    meta.add("scale", std::uint64_t(req.scale));
+    meta.add("nodes", std::uint64_t(req.config.numNodes));
+    meta.add("interconnect",
+             interconnectKindName(req.config.interconnect));
+    meta.add("block_pages", std::uint64_t(req.blockPages));
+    meta.add("max_insts", std::uint64_t(req.config.maxInsts));
+    meta.add("event_driven",
+             std::uint64_t(req.config.eventDriven ? 1 : 0));
+    meta.add("tick_threads", std::uint64_t(req.config.tickThreads));
+    if (req.sampleInterval)
+        meta.add("sample_interval", std::uint64_t(req.sampleInterval));
+    return meta;
+}
+
+std::string
+RunResponse::statsJson() const
+{
+    if (!result.stats)
+        return "";
+    std::ostringstream os;
+    stats::JsonWriter::ExtraWriter extra;
+    if (!timelineJson.empty())
+        extra = [this](std::ostream &o) { o << timelineJson; };
+    stats::JsonWriter::write(os, meta, *result.stats, extra);
+    return os.str();
+}
+
+// -------------------------------------------------------------------
+// Execution
+// -------------------------------------------------------------------
+
+namespace {
+
+bool
+isRegisteredWorkload(const std::string &name)
+{
+    for (const auto &w : workloads::allWorkloads())
+        if (name == w.name)
+            return true;
+    return false;
+}
+
+/**
+ * Observability wiring shared by the three timing systems: optional
+ * stderr tracing and Perfetto export (fanned out via the system's
+ * TeeTraceSink), an optional flight recorder dumped by any panic
+ * (e.g. the run-loop watchdog), an optional sampled timeline, and
+ * the run itself. @return false with resp.error set when an
+ * attachment cannot be created.
+ */
+template <typename System>
+bool
+runAttached(System &sys, const RunRequest &req, RunResponse &resp)
+{
+    TextTraceSink text_sink(std::cerr);
+    if (req.traceToStderr)
+        sys.addTraceSink(&text_sink);
+
+    std::ofstream perfetto_file;
+    std::unique_ptr<obs::PerfettoTraceSink> perfetto;
+    if (!req.perfettoPath.empty()) {
+        perfetto_file.open(req.perfettoPath);
+        if (!perfetto_file) {
+            resp.error =
+                "cannot write perfetto file '" + req.perfettoPath + "'";
+            return false;
+        }
+        perfetto =
+            std::make_unique<obs::PerfettoTraceSink>(perfetto_file);
+        sys.addTraceSink(perfetto.get());
+    }
+
+    obs::FlightRecorder flight;
+    if (req.flightRecorder) {
+        sys.addTraceSink(&flight);
+        flight.installPanicDump();
+    }
+
+    obs::Sampler local_sampler(req.sampleInterval ? req.sampleInterval
+                                                  : 1);
+    obs::Sampler *sampler = req.sampler;
+    if (!sampler && req.sampleInterval)
+        sampler = &local_sampler;
+    if (sampler)
+        sys.setSampler(sampler);
+
+    resp.result = sys.run();
+    resp.output = sys.output();
+    if (perfetto)
+        perfetto->finish();
+    if (sampler == &local_sampler) {
+        std::ostringstream os;
+        local_sampler.writeJson(os);
+        resp.timelineJson = os.str();
+    }
+    return true;
+}
+
+} // namespace
+
+RunResponse
+runOne(const RunRequest &req, TraceCache *cache)
+{
+    RunResponse resp;
+    resp.meta = runMeta(req);
+
+    std::shared_ptr<const prog::Program> program = req.program;
+    if (!program) {
+        if (!isRegisteredWorkload(req.workload)) {
+            resp.error = "unknown workload '" + req.workload + "'";
+            return resp;
+        }
+        program =
+            cache ? cache->program(req.workload, req.scale)
+                  : std::make_shared<const prog::Program>(
+                        workloads::findWorkload(req.workload)
+                            .build(req.scale));
+    }
+
+    std::shared_ptr<const func::InstTrace> trace = req.trace;
+    if (!trace && cache && req.traceReuse && !req.program) {
+        bool hit = false;
+        trace = cache->acquire(req.workload, req.scale,
+                               req.config.maxInsts, hit);
+        resp.cacheHit = hit;
+    }
+
+    const core::SimConfig &cfg = req.config;
+    switch (req.system) {
+      case SystemKind::Perfect: {
+        baseline::PerfectSystem sys(*program, cfg, std::move(trace));
+        runAttached(sys, req, resp);
+        break;
+      }
+      case SystemKind::Traditional: {
+        baseline::TraditionalSystem sys(
+            *program, cfg,
+            figure7PageTable(*program, cfg.numNodes, req.blockPages),
+            std::move(trace));
+        runAttached(sys, req, resp);
+        break;
+      }
+      case SystemKind::DataScalar: {
+        core::DataScalarSystem sys(
+            *program, cfg,
+            figure7PageTable(*program, cfg.numNodes, req.blockPages),
+            std::move(trace));
+        if (runAttached(sys, req, resp))
+            resp.drained = sys.protocolDrained();
+        break;
+      }
+    }
+    return resp;
+}
+
+std::vector<RunResponse>
+runMany(const std::vector<RunRequest> &requests, TraceCache &cache,
+        unsigned jobs)
+{
+    // Every request gets its own simulator state; the shared writes
+    // are each task's pre-assigned response slot and the (internally
+    // synchronized) trace cache.
+    std::vector<RunResponse> responses(requests.size());
+    common::parallelFor(jobs, requests.size(), [&](std::size_t i) {
+        responses[i] = runOne(requests[i], &cache);
+    });
+    return responses;
+}
+
+std::vector<RunResponse>
+runMany(const std::vector<RunRequest> &requests, unsigned jobs)
+{
+    std::vector<RunResponse> responses(requests.size());
+    common::parallelFor(jobs, requests.size(), [&](std::size_t i) {
+        responses[i] = runOne(requests[i], nullptr);
+    });
+    return responses;
+}
+
+} // namespace driver
+} // namespace dscalar

@@ -49,6 +49,14 @@ std::shared_ptr<const func::InstTrace>
 TraceCache::acquire(const std::string &workload, unsigned scale,
                     InstSeq max_insts)
 {
+    bool hit = false;
+    return acquire(workload, scale, max_insts, hit);
+}
+
+std::shared_ptr<const func::InstTrace>
+TraceCache::acquire(const std::string &workload, unsigned scale,
+                    InstSeq max_insts, bool &hit)
+{
     std::promise<std::shared_ptr<const func::InstTrace>> promise;
     std::shared_future<std::shared_ptr<const func::InstTrace>> future;
     bool capture_here = false;
@@ -63,6 +71,7 @@ TraceCache::acquire(const std::string &workload, unsigned scale,
         } else {
             ++hits_;
         }
+        hit = !inserted;
         future = it->second;
     }
     // Capture — and wait — outside the lock. The capturing thread

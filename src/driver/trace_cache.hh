@@ -45,6 +45,12 @@ class TraceCache
     acquire(const std::string &workload, unsigned scale,
             InstSeq max_insts);
 
+    /** As above; @p hit reports whether the key was already cached
+     *  (i.e. this call was served without a new capture). */
+    std::shared_ptr<const func::InstTrace>
+    acquire(const std::string &workload, unsigned scale,
+            InstSeq max_insts, bool &hit);
+
     /** The built program for (workload, scale), assembled once. */
     std::shared_ptr<const prog::Program>
     program(const std::string &workload, unsigned scale);

@@ -1,0 +1,121 @@
+#include "serve/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/kv.hh"
+
+namespace dscalar {
+namespace serve {
+
+namespace kv = common::kv;
+
+Client::~Client()
+{
+    close();
+}
+
+bool
+Client::connect(const std::string &socket_path, std::string &error)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.empty() ||
+        socket_path.size() >= sizeof(addr.sun_path)) {
+        error = "socket path too long";
+        return false;
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        error = std::string("connect '") + socket_path +
+                "': " + std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    reader_ = std::make_unique<BlockReader>(fd_);
+    return true;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+    reader_.reset();
+}
+
+Reply
+Client::exchange(const std::string &block)
+{
+    Reply reply;
+    if (!connected()) {
+        reply.error = "not connected";
+        return reply;
+    }
+    if (!writeAll(fd_, block + "\n")) {
+        reply.error = "write failed";
+        return reply;
+    }
+    std::string header;
+    // Reply headers are small; 64 KB is far past any legal one.
+    BlockReader::Status st = reader_->readBlock(header, 64 * 1024);
+    if (st != BlockReader::Status::Block) {
+        reply.error = "connection closed by server";
+        return reply;
+    }
+    if (!parseReplyHeader(header, reply)) {
+        reply.error = "malformed reply header";
+        return reply;
+    }
+    std::uint64_t body_bytes = 0;
+    if (kv::parseU64(reply.field("json_bytes"), body_bytes) &&
+        body_bytes) {
+        if (!reader_->readBytes(body_bytes, reply.json)) {
+            reply.ok = false;
+            reply.error = "truncated reply body";
+        }
+    }
+    return reply;
+}
+
+Reply
+Client::run(const driver::RunRequest &req)
+{
+    return exchange(driver::formatRunRequest(req));
+}
+
+Reply
+Client::ping()
+{
+    return exchange("op = ping\n");
+}
+
+Reply
+Client::serverStats()
+{
+    return exchange("op = stats\n");
+}
+
+Reply
+Client::shutdown()
+{
+    return exchange("op = shutdown\n");
+}
+
+} // namespace serve
+} // namespace dscalar

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Client side of the dsserve wire protocol: connect to a daemon's
+ * Unix-domain socket and exchange request/reply blocks. Used by
+ * dsbench, the serve tests, and anything else that wants warm-cache
+ * simulation results without forking a dsrun per run.
+ */
+
+#ifndef DSCALAR_SERVE_CLIENT_HH
+#define DSCALAR_SERVE_CLIENT_HH
+
+#include <memory>
+#include <string>
+
+#include "driver/run_request.hh"
+#include "serve/protocol.hh"
+
+namespace dscalar {
+namespace serve {
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    /** Movable: the handle transfers, the source disconnects. */
+    Client(Client &&other) noexcept
+        : fd_(other.fd_), reader_(std::move(other.reader_))
+    {
+        other.fd_ = -1;
+    }
+    Client &
+    operator=(Client &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            reader_ = std::move(other.reader_);
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    /** Connect to a daemon. @return false with @p error set when the
+     *  socket cannot be reached. */
+    bool connect(const std::string &socket_path, std::string &error);
+
+    void close();
+    bool connected() const { return fd_ >= 0; }
+
+    /** Execute @p req remotely. Reply::json carries the stats JSON
+     *  (byte-identical to a cold dsrun --stats-json of the same
+     *  request); cycles/instructions/ipc/drained/cache_hit arrive as
+     *  header fields. */
+    Reply run(const driver::RunRequest &req);
+
+    /** Liveness probe. */
+    Reply ping();
+
+    /** Server counters as a stats JSON document (Reply::json). */
+    Reply serverStats();
+
+    /** Ask the daemon to shut down (it drains in-flight requests);
+     *  the server closes this connection afterwards. */
+    Reply shutdown();
+
+  private:
+    /** Send one block (terminator appended) and read the reply. */
+    Reply exchange(const std::string &block);
+
+    int fd_ = -1;
+    std::unique_ptr<BlockReader> reader_;
+};
+
+} // namespace serve
+} // namespace dscalar
+
+#endif // DSCALAR_SERVE_CLIENT_HH

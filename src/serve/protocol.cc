@@ -1,0 +1,149 @@
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <sstream>
+
+#include "common/kv.hh"
+
+namespace dscalar {
+namespace serve {
+
+namespace kv = common::kv;
+
+std::string
+Reply::field(const std::string &key) const
+{
+    auto it = fields.find(key);
+    return it == fields.end() ? "" : it->second;
+}
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        // send + MSG_NOSIGNAL: a peer that disconnected before its
+        // reply must surface as EPIPE here, not kill the process.
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+BlockReader::fill()
+{
+    if (eof_ || error_)
+        return false;
+    char chunk[4096];
+    ssize_t n;
+    do {
+        n = ::read(fd_, chunk, sizeof(chunk));
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+        error_ = true;
+        return false;
+    }
+    if (n == 0) {
+        eof_ = true;
+        return false;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+    return true;
+}
+
+BlockReader::Status
+BlockReader::readBlock(std::string &block, std::size_t max_bytes)
+{
+    std::string out;
+    std::size_t scanned = 0; // bytes of buf_ already known line-less
+    for (;;) {
+        std::size_t nl = buf_.find('\n', scanned);
+        if (nl == std::string::npos) {
+            if (buf_.size() > max_bytes)
+                return Status::Oversize;
+            scanned = buf_.size();
+            if (!fill()) {
+                if (error_)
+                    return Status::Error;
+                // EOF: flush any unterminated final line.
+                out += buf_;
+                buf_.clear();
+                if (out.empty())
+                    return Status::Eof;
+                block = std::move(out);
+                return Status::Block;
+            }
+            continue;
+        }
+        std::string line = buf_.substr(0, nl + 1);
+        buf_.erase(0, nl + 1);
+        scanned = 0;
+        if (kv::trim(line).empty()) {
+            // Blank line: terminator when the block has content,
+            // an (invalid) empty block otherwise.
+            block = std::move(out);
+            return Status::Block;
+        }
+        out += line;
+        if (out.size() > max_bytes)
+            return Status::Oversize;
+    }
+}
+
+bool
+BlockReader::readBytes(std::size_t n, std::string &out)
+{
+    while (buf_.size() < n) {
+        if (!fill())
+            return false;
+    }
+    out = buf_.substr(0, n);
+    buf_.erase(0, n);
+    return true;
+}
+
+std::string
+formatErrorReply(const std::string &message)
+{
+    std::ostringstream os;
+    kv::emit(os, "status", "error");
+    kv::emit(os, "error", message);
+    os << "\n";
+    return os.str();
+}
+
+bool
+parseReplyHeader(const std::string &block, Reply &out)
+{
+    out = Reply{};
+    std::istringstream in(block);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string t = kv::trim(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        std::string key, value;
+        if (!kv::splitLine(t, key, value))
+            continue;
+        out.fields.emplace(key, value);
+    }
+    auto status = out.fields.find("status");
+    if (status == out.fields.end())
+        return false;
+    out.ok = status->second == "ok";
+    out.error = out.field("error");
+    return true;
+}
+
+} // namespace serve
+} // namespace dscalar

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Wire protocol of the dsserve daemon: newline-delimited `key = value`
+ * text over a Unix-domain stream socket, in the same line convention
+ * as dsfuzz repro files and RunRequest serialization (common/kv.hh).
+ *
+ * A *block* is a run of non-blank lines terminated by one blank line
+ * (or connection EOF). Requests are one block: an optional
+ * `op = run|stats|ping|shutdown` line (default run) plus, for run,
+ * the RunRequest keys of driver::parseRunRequest. Replies are one
+ * header block — `status = ok|error`, result fields, and
+ * `json_bytes = N` when a body follows — then exactly N bytes of
+ * stats JSON. A connection carries any number of request/reply
+ * exchanges in sequence. Full schema: docs/SERVING.md.
+ */
+
+#ifndef DSCALAR_SERVE_PROTOCOL_HH
+#define DSCALAR_SERVE_PROTOCOL_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace dscalar {
+namespace serve {
+
+/** One parsed reply: header fields plus the optional JSON body. */
+struct Reply
+{
+    bool ok = false;    ///< status field was "ok"
+    std::string error;  ///< error field (or transport failure)
+    /** Every header field verbatim (status, cycles, ipc, ...). */
+    std::map<std::string, std::string> fields;
+    std::string json;   ///< stats JSON body ("" when none)
+
+    /** @return the named header field, or "" when absent. */
+    std::string field(const std::string &key) const;
+};
+
+/** Write all of @p data to @p fd, retrying short writes.
+ *  @return false on any write error. */
+bool writeAll(int fd, const std::string &data);
+
+/**
+ * Buffered block reader over one socket. Reads are consumed through
+ * the terminating blank line, so back-to-back blocks on one
+ * connection frame correctly.
+ */
+class BlockReader
+{
+  public:
+    explicit BlockReader(int fd) : fd_(fd) {}
+
+    enum class Status {
+        Block,    ///< one complete block returned
+        Eof,      ///< clean end of stream, no pending content
+        Oversize, ///< block exceeded max_bytes before terminating
+        Error     ///< read error
+    };
+
+    /**
+     * Read the next block into @p block (terminator not included;
+     * trailing newline on the last line kept). A stream ending
+     * without a final blank line still yields its content as a
+     * block.
+     */
+    Status readBlock(std::string &block, std::size_t max_bytes);
+
+    /** Read exactly @p n body bytes. @return false on EOF/error. */
+    bool readBytes(std::size_t n, std::string &out);
+
+  private:
+    /** Pull more data into the buffer. @return false on EOF/error. */
+    bool fill();
+
+    int fd_;
+    std::string buf_;
+    bool eof_ = false;
+    bool error_ = false;
+};
+
+/** Render an error reply block (status, error, terminator). */
+std::string formatErrorReply(const std::string &message);
+
+/**
+ * Parse a reply header block into @p out (fields, ok, error).
+ * @return false when the block has no parseable `status` line.
+ */
+bool parseReplyHeader(const std::string &block, Reply &out);
+
+} // namespace serve
+} // namespace dscalar
+
+#endif // DSCALAR_SERVE_PROTOCOL_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The dsserve daemon core: a Unix-domain socket server executing
+ * driver::RunRequests on a shared common::ThreadPool with one
+ * process-wide driver::TraceCache.
+ *
+ * Threading model: one accept thread; one lightweight thread per
+ * connection that frames requests and writes replies; a fixed
+ * ThreadPool (ServerConfig::jobs workers) that runs the actual
+ * simulations. Admission control bounds the work outstanding on the
+ * pool (maxQueueDepth) and optionally the per-request instruction
+ * budget (maxInstBudget); rejected requests get `status = error`
+ * replies and never touch the pool.
+ *
+ * Responses are byte-identical to a cold one-shot dsrun of the same
+ * request: both go through driver::runOne + RunResponse::statsJson,
+ * and the trace cache only changes wall-clock (SPSD replay,
+ * PR 3/PR 6). Locked by tests/test_dsserve.cc.
+ *
+ * stop() drains: the listener closes, every connection's read side
+ * shuts down, in-flight simulations finish and their replies are
+ * written before the connection threads join.
+ */
+
+#ifndef DSCALAR_SERVE_SERVER_HH
+#define DSCALAR_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/thread_pool.hh"
+#include "common/types.hh"
+#include "driver/run_request.hh"
+#include "driver/trace_cache.hh"
+
+namespace dscalar {
+namespace serve {
+
+/** Deployment knobs (documented in docs/SERVING.md). */
+struct ServerConfig
+{
+    /** Socket filesystem path. Keep it short and relative: sun_path
+     *  holds ~107 bytes. An existing file is unlinked on start. */
+    std::string socketPath = "dsserve.sock";
+    /** Simulation worker threads (0 = hardware concurrency).
+     *  Connection threads are extra but only frame and wait. */
+    unsigned jobs = 0;
+    /** Admission: max simulations queued or running; requests beyond
+     *  it are rejected, not delayed. */
+    unsigned maxQueueDepth = 256;
+    /** Admission: per-request instruction budget. When nonzero,
+     *  requests must set max_insts in (0, budget]. 0 = unlimited. */
+    InstSeq maxInstBudget = 0;
+    /** Max bytes of one request block; larger ones are rejected and
+     *  the connection closed (framing is lost past this point). */
+    std::size_t maxRequestBytes = 16 * 1024;
+    /** Directory for server-side Perfetto trace files; requests with
+     *  a `perfetto` key are rejected when empty. The requested path's
+     *  basename lands in this directory (no traversal). */
+    std::string outputDir;
+    /** Test-only: hold each simulation this long before it runs, so
+     *  overload/drain tests can pin requests in flight. */
+    unsigned testHoldMillis = 0;
+};
+
+/** One snapshot of the server counters (op = stats renders these as
+ *  a stats JSON document; see statsJson()). */
+struct ServerStats
+{
+    std::uint64_t connections = 0;     ///< accepted connections
+    std::uint64_t requests = 0;        ///< request blocks received
+    std::uint64_t completed = 0;       ///< runs finished successfully
+    std::uint64_t failed = 0;          ///< admitted runs that errored
+    std::uint64_t rejectedParse = 0;   ///< malformed request blocks
+    std::uint64_t rejectedBudget = 0;  ///< instruction budget exceeded
+    std::uint64_t rejectedOverload = 0;///< queue-depth admission
+    std::uint64_t rejectedOversize = 0;///< oversized request blocks
+    std::uint64_t queueDepth = 0;      ///< runs in flight now
+    std::uint64_t queuePeak = 0;       ///< max queueDepth ever
+    std::uint64_t traceCaptures = 0;   ///< TraceCache::captures()
+    std::uint64_t traceHits = 0;       ///< TraceCache::hits()
+    std::uint64_t traceBytes = 0;      ///< TraceCache::memoryBytes()
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig cfg);
+    /** Stops (and drains) if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind the socket and start serving.
+     *  @return false with @p error set on socket setup failure. */
+    bool start(std::string &error);
+
+    /** Drain and shut down: no new connections or requests, every
+     *  in-flight run completes and its reply is written (idempotent). */
+    void stop();
+
+    bool running() const { return running_; }
+
+    /** True once a client sent `op = shutdown`. */
+    bool shutdownRequested() const { return shutdownRequested_; }
+
+    /** Block until a client requests shutdown (or stop() is called);
+     *  the caller then invokes stop(). */
+    void waitShutdownRequest();
+
+    const ServerConfig &config() const { return cfg_; }
+    driver::TraceCache &traceCache() { return cache_; }
+
+    ServerStats stats() const;
+    /** The op = stats reply body: counters as a stats JSON document
+     *  (run_meta carries service/socket). */
+    std::string statsJson() const;
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    void acceptLoop();
+    void handleConnection(Connection *conn);
+    /** @return the reply for one request block. @p close_after is
+     *  set when framing was lost and the connection must drop. */
+    std::string handleBlock(const std::string &block,
+                            bool &close_after);
+    std::string handleRun(std::istream &in);
+    /** Run on the pool behind admission control. */
+    std::string admitAndRun(driver::RunRequest req);
+
+    /** Join connection threads that already finished. */
+    void reapConnections();
+
+    ServerConfig cfg_;
+    driver::TraceCache cache_;
+    std::unique_ptr<common::ThreadPool> pool_;
+
+    int listenFd_ = -1;
+    std::thread acceptThread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+
+    std::mutex connMutex_;
+    std::list<Connection> connections_;
+
+    mutable std::mutex statsMutex_;
+    ServerStats counters_; ///< trace* fields filled on read
+
+    std::atomic<bool> shutdownRequested_{false};
+    std::mutex shutdownMutex_;
+    std::condition_variable shutdownCv_;
+};
+
+} // namespace serve
+} // namespace dscalar
+
+#endif // DSCALAR_SERVE_SERVER_HH

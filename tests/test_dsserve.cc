@@ -1,0 +1,394 @@
+/**
+ * @file
+ * dsserve subsystem tests: in-process serve::Server + serve::Client
+ * over real Unix-domain sockets. Covers the protocol ops, the
+ * dsserve contract (warm replies byte-identical to cold in-process
+ * runs), concurrent clients sharing one trace cache, every rejection
+ * path (malformed, oversized, instruction budget, overload), and
+ * shutdown draining in-flight requests.
+ *
+ * Socket paths are short and relative (sun_path holds ~107 bytes);
+ * ctest runs these from the build tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/run_request.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+
+namespace dscalar {
+namespace {
+
+serve::ServerConfig
+testConfig(const std::string &socket)
+{
+    serve::ServerConfig cfg;
+    cfg.socketPath = socket;
+    cfg.jobs = 2;
+    return cfg;
+}
+
+driver::RunRequest
+smallRequest(const std::string &workload = "go_s",
+             InstSeq budget = 2000)
+{
+    driver::RunRequest req;
+    req.workload = workload;
+    req.config.maxInsts = budget;
+    return req;
+}
+
+serve::Client
+connectTo(const std::string &socket)
+{
+    serve::Client client;
+    std::string error;
+    EXPECT_TRUE(client.connect(socket, error)) << error;
+    return client;
+}
+
+TEST(DsServe, StartStopUnlinksSocket)
+{
+    serve::Server server(testConfig("t_dss_start.sock"));
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    EXPECT_TRUE(server.running());
+
+    serve::Client client = connectTo("t_dss_start.sock");
+    EXPECT_TRUE(client.ping().ok);
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+    server.stop(); // idempotent
+
+    serve::Client again;
+    EXPECT_FALSE(again.connect("t_dss_start.sock", error));
+}
+
+TEST(DsServe, RejectsOverlongSocketPath)
+{
+    serve::Server server(testConfig(std::string(200, 'x')));
+    std::string error;
+    EXPECT_FALSE(server.start(error));
+    EXPECT_NE(error.find("socket path"), std::string::npos) << error;
+}
+
+TEST(DsServe, PingStatsAndUnknownOp)
+{
+    serve::Server server(testConfig("t_dss_ops.sock"));
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    serve::Client client = connectTo("t_dss_ops.sock");
+    EXPECT_TRUE(client.ping().ok);
+
+    serve::Reply stats = client.serverStats();
+    ASSERT_TRUE(stats.ok);
+    EXPECT_NE(stats.json.find("\"service\":\"dsserve\""),
+              std::string::npos)
+        << stats.json;
+    EXPECT_NE(stats.json.find("\"connections\""), std::string::npos);
+
+    // Unknown op over raw bytes: error reply, connection survives.
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strcpy(addr.sun_path, "t_dss_ops.sock");
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    ASSERT_TRUE(serve::writeAll(fd, "op = teleport\n\n"));
+    serve::BlockReader reader(fd);
+    std::string block;
+    ASSERT_EQ(reader.readBlock(block, 4096),
+              serve::BlockReader::Status::Block);
+    serve::Reply bad;
+    ASSERT_TRUE(serve::parseReplyHeader(block, bad));
+    EXPECT_FALSE(bad.ok);
+    EXPECT_NE(bad.error.find("unknown op"), std::string::npos)
+        << bad.error;
+
+    ASSERT_TRUE(serve::writeAll(fd, "op = ping\n\n"));
+    ASSERT_EQ(reader.readBlock(block, 4096),
+              serve::BlockReader::Status::Block);
+    ASSERT_TRUE(serve::parseReplyHeader(block, bad));
+    EXPECT_TRUE(bad.ok);
+    ::close(fd);
+
+    server.stop();
+}
+
+TEST(DsServe, WarmReplyByteIdenticalToColdRun)
+{
+    serve::Server server(testConfig("t_dss_warm.sock"));
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    driver::RunRequest req = smallRequest("compress_s");
+    serve::Client client = connectTo("t_dss_warm.sock");
+
+    serve::Reply first = client.run(req);
+    ASSERT_TRUE(first.ok) << first.error;
+    EXPECT_EQ(first.field("cache_hit"), "0");
+    EXPECT_FALSE(first.field("cycles").empty());
+    EXPECT_FALSE(first.field("ipc").empty());
+    EXPECT_EQ(first.field("drained"), "1");
+
+    serve::Reply warm = client.run(req);
+    ASSERT_TRUE(warm.ok) << warm.error;
+    EXPECT_EQ(warm.field("cache_hit"), "1");
+    EXPECT_EQ(warm.json, first.json);
+
+    // The dsserve contract: the warm served reply byte-matches a
+    // cold one-shot run of the same request (dsrun arms the flight
+    // recorder too, so mirror it).
+    driver::RunRequest cold_req = req;
+    cold_req.flightRecorder = true;
+    driver::RunResponse cold = driver::runOne(cold_req);
+    ASSERT_TRUE(cold.ok()) << cold.error;
+    EXPECT_EQ(warm.json, cold.statsJson());
+
+    serve::ServerStats s = server.stats();
+    EXPECT_EQ(s.completed, 2u);
+    EXPECT_EQ(s.traceCaptures, 1u);
+    EXPECT_EQ(s.traceHits, 1u);
+    server.stop();
+}
+
+TEST(DsServe, MalformedRequestRejectedConnectionSurvives)
+{
+    serve::Server server(testConfig("t_dss_bad.sock"));
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    serve::Client client = connectTo("t_dss_bad.sock");
+
+    driver::RunRequest bogus = smallRequest();
+    bogus.workload = "no_such_workload";
+    serve::Reply reply = client.run(bogus);
+    EXPECT_FALSE(reply.ok);
+    EXPECT_NE(reply.error.find("unknown workload"), std::string::npos)
+        << reply.error;
+
+    // Framing intact: the same connection still serves.
+    EXPECT_TRUE(client.ping().ok);
+    EXPECT_TRUE(client.run(smallRequest()).ok);
+
+    serve::ServerStats s = server.stats();
+    EXPECT_EQ(s.failed, 1u);
+    server.stop();
+}
+
+TEST(DsServe, OversizedRequestDropsConnection)
+{
+    serve::ServerConfig cfg = testConfig("t_dss_big.sock");
+    cfg.maxRequestBytes = 128;
+    serve::Server server(cfg);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    serve::Client client = connectTo("t_dss_big.sock");
+    driver::RunRequest req = smallRequest();
+    req.perfettoPath = std::string(512, 'p'); // inflates one line
+    serve::Reply reply = client.run(req);
+    EXPECT_FALSE(reply.ok);
+    EXPECT_NE(reply.error.find("oversized"), std::string::npos)
+        << reply.error;
+
+    // Framing is lost past the limit, so the server dropped us.
+    EXPECT_FALSE(client.ping().ok);
+
+    serve::ServerStats s = server.stats();
+    EXPECT_EQ(s.rejectedOversize, 1u);
+    server.stop();
+}
+
+TEST(DsServe, PerfettoRejectedWithoutOutputDir)
+{
+    serve::Server server(testConfig("t_dss_pft.sock"));
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    serve::Client client = connectTo("t_dss_pft.sock");
+    driver::RunRequest req = smallRequest();
+    req.perfettoPath = "trace.json";
+    serve::Reply reply = client.run(req);
+    EXPECT_FALSE(reply.ok);
+    EXPECT_NE(reply.error.find("perfetto"), std::string::npos)
+        << reply.error;
+    server.stop();
+}
+
+TEST(DsServe, InstructionBudgetEnforced)
+{
+    serve::ServerConfig cfg = testConfig("t_dss_budget.sock");
+    cfg.maxInstBudget = 5000;
+    serve::Server server(cfg);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    serve::Client client = connectTo("t_dss_budget.sock");
+
+    serve::Reply over = client.run(smallRequest("go_s", 20000));
+    EXPECT_FALSE(over.ok);
+    EXPECT_NE(over.error.find("budget"), std::string::npos)
+        << over.error;
+
+    // An unbounded run (max_insts = 0) is over any finite budget.
+    serve::Reply unbounded = client.run(smallRequest("go_s", 0));
+    EXPECT_FALSE(unbounded.ok);
+
+    serve::Reply within = client.run(smallRequest("go_s", 5000));
+    EXPECT_TRUE(within.ok) << within.error;
+
+    serve::ServerStats s = server.stats();
+    EXPECT_EQ(s.rejectedBudget, 2u);
+    EXPECT_EQ(s.completed, 1u);
+    server.stop();
+}
+
+TEST(DsServe, OverloadRejectsBeyondQueueDepth)
+{
+    serve::ServerConfig cfg = testConfig("t_dss_load.sock");
+    cfg.maxQueueDepth = 1;
+    cfg.jobs = 1;
+    cfg.testHoldMillis = 400; // pins the admitted run in flight
+    serve::Server server(cfg);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    serve::Reply slow_reply;
+    std::thread slow([&] {
+        serve::Client client = connectTo("t_dss_load.sock");
+        slow_reply = client.run(smallRequest());
+    });
+
+    // Wait until the slow request occupies the queue slot.
+    for (int i = 0; i < 100; ++i) {
+        if (server.stats().queueDepth > 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_GT(server.stats().queueDepth, 0u);
+
+    serve::Client client = connectTo("t_dss_load.sock");
+    serve::Reply rejected = client.run(smallRequest());
+    EXPECT_FALSE(rejected.ok);
+    EXPECT_NE(rejected.error.find("overloaded"), std::string::npos)
+        << rejected.error;
+
+    slow.join();
+    EXPECT_TRUE(slow_reply.ok) << slow_reply.error;
+
+    serve::ServerStats s = server.stats();
+    EXPECT_EQ(s.rejectedOverload, 1u);
+    EXPECT_EQ(s.queuePeak, 1u);
+    server.stop();
+}
+
+TEST(DsServe, ConcurrentClientsShareOneCache)
+{
+    serve::Server server(testConfig("t_dss_conc.sock"));
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    constexpr unsigned kClients = 4;
+    constexpr unsigned kPerClient = 5;
+    std::vector<unsigned> failures(kClients, 0);
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < kClients; ++c) {
+        threads.emplace_back([c, &failures] {
+            serve::Client client = connectTo("t_dss_conc.sock");
+            for (unsigned i = 0; i < kPerClient; ++i) {
+                driver::RunRequest req = smallRequest(
+                    (c + i) % 2 ? "go_s" : "compress_s");
+                req.system = i % 2 ? driver::SystemKind::Traditional
+                                   : driver::SystemKind::DataScalar;
+                if (!client.run(req).ok)
+                    ++failures[c];
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (unsigned c = 0; c < kClients; ++c)
+        EXPECT_EQ(failures[c], 0u) << "client " << c;
+
+    serve::ServerStats s = server.stats();
+    EXPECT_EQ(s.completed, kClients * kPerClient);
+    EXPECT_EQ(s.connections, kClients);
+    // Two distinct workloads at one budget: exactly two captures,
+    // everything else replays from the shared cache.
+    EXPECT_EQ(s.traceCaptures, 2u);
+    EXPECT_EQ(s.traceHits, kClients * kPerClient - 2u);
+    server.stop();
+}
+
+TEST(DsServe, ShutdownDrainsInFlightRequests)
+{
+    serve::ServerConfig cfg = testConfig("t_dss_drain.sock");
+    cfg.testHoldMillis = 300;
+    serve::Server server(cfg);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    serve::Reply slow_reply;
+    std::thread slow([&] {
+        serve::Client client = connectTo("t_dss_drain.sock");
+        slow_reply = client.run(smallRequest());
+    });
+    for (int i = 0; i < 100; ++i) {
+        if (server.stats().queueDepth > 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_GT(server.stats().queueDepth, 0u);
+
+    serve::Client client = connectTo("t_dss_drain.sock");
+    serve::Reply ack = client.shutdown();
+    EXPECT_TRUE(ack.ok) << ack.error;
+    EXPECT_TRUE(server.shutdownRequested());
+
+    server.waitShutdownRequest(); // satisfied, returns immediately
+    server.stop();                // must drain the held run
+
+    slow.join();
+    EXPECT_TRUE(slow_reply.ok) << slow_reply.error;
+    EXPECT_FALSE(slow_reply.json.empty());
+}
+
+TEST(DsServeProtocol, BlockReaderAndReplyHeader)
+{
+    serve::Reply reply;
+    ASSERT_TRUE(serve::parseReplyHeader(
+        "status = ok\ncycles = 42\njson_bytes = 3\n", reply));
+    EXPECT_TRUE(reply.ok);
+    EXPECT_EQ(reply.field("cycles"), "42");
+    EXPECT_EQ(reply.field("missing"), "");
+
+    ASSERT_TRUE(
+        serve::parseReplyHeader("status = error\nerror = nope\n", reply));
+    EXPECT_FALSE(reply.ok);
+    EXPECT_EQ(reply.error, "nope");
+
+    EXPECT_FALSE(serve::parseReplyHeader("cycles = 42\n", reply));
+
+    EXPECT_EQ(serve::formatErrorReply("boom"),
+              "status = error\nerror = boom\n\n");
+}
+
+} // namespace
+} // namespace dscalar

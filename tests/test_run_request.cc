@@ -1,0 +1,304 @@
+/**
+ * @file
+ * RunRequest API tests: kv helper semantics, parse/format exactness
+ * (format ∘ parse ∘ format is the identity on the serializable
+ * subset), key-level error reporting, the recovery-default finalize
+ * rule, the optional-returning name parsers, and equivalence of the
+ * legacy driver entry points (runSystem, runSweep) with the
+ * runOne/runMany core they now wrap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/kv.hh"
+#include "driver/driver.hh"
+#include "driver/trace_cache.hh"
+#include "workloads/workloads.hh"
+
+namespace dscalar {
+namespace {
+
+namespace kv = common::kv;
+
+TEST(Kv, TrimStripsNewlines)
+{
+    // Protocol code trims raw lines that still carry their
+    // terminator; repro parsing trims getline output without one.
+    EXPECT_EQ(kv::trim("op = ping\n"), "op = ping");
+    EXPECT_EQ(kv::trim(" \t x \r\n"), "x");
+    EXPECT_EQ(kv::trim("\n"), "");
+    EXPECT_EQ(kv::trim(""), "");
+}
+
+TEST(Kv, ParseU64Strict)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(kv::parseU64("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(kv::parseU64("18446744073709551615", v));
+    EXPECT_EQ(v, UINT64_MAX);
+    EXPECT_FALSE(kv::parseU64("", v));
+    EXPECT_FALSE(kv::parseU64("12x", v));
+    EXPECT_FALSE(kv::parseU64("-1", v));
+    EXPECT_FALSE(kv::parseU64("18446744073709551616", v)); // overflow
+}
+
+TEST(Kv, FormatF64RoundTrips)
+{
+    for (double v : {0.0, 0.05, 1.0 / 3.0, 2000.0, 1e-9, 123.456}) {
+        double back = 0.0;
+        ASSERT_TRUE(kv::parseF64(kv::formatF64(v), back));
+        EXPECT_EQ(back, v) << kv::formatF64(v);
+    }
+}
+
+driver::RunRequest
+nonDefaultRequest()
+{
+    driver::RunRequest req;
+    req.workload = "go_s";
+    req.scale = 2;
+    req.system = driver::SystemKind::Traditional;
+    req.config.numNodes = 4;
+    req.config.interconnect = core::InterconnectKind::Ring;
+    req.config.maxInsts = 5000;
+    req.config.eventDriven = false;
+    req.config.tickThreads = 2;
+    req.config.fault.dropProb = 0.05;
+    req.config.fault.dupProb = 0.25;
+    req.config.fault.delayProb = 0.125;
+    req.config.fault.maxDelay = 7;
+    req.config.fault.seed = 99;
+    req.config.rerequestTimeout = 1234;
+    req.rerequestTimeoutSet = true;
+    req.config.bshrHardCapacity = true;
+    req.config.bshrCapacity = 16;
+    req.blockPages = 2;
+    req.traceReuse = false;
+    req.sampleInterval = 500;
+    req.perfettoPath = "trace.json";
+    return req;
+}
+
+TEST(RunRequestFormat, ParseIsExactInverse)
+{
+    driver::RunRequest req = nonDefaultRequest();
+    std::string text = driver::formatRunRequest(req);
+
+    std::istringstream in(text);
+    driver::RunRequest parsed;
+    std::string error;
+    ASSERT_TRUE(driver::parseRunRequest(in, parsed, error)) << error;
+    EXPECT_EQ(driver::formatRunRequest(parsed), text);
+
+    EXPECT_EQ(parsed.workload, "go_s");
+    EXPECT_EQ(parsed.scale, 2u);
+    EXPECT_EQ(parsed.system, driver::SystemKind::Traditional);
+    EXPECT_EQ(parsed.config.numNodes, 4u);
+    EXPECT_EQ(parsed.config.interconnect, core::InterconnectKind::Ring);
+    EXPECT_EQ(parsed.config.maxInsts, 5000u);
+    EXPECT_FALSE(parsed.config.eventDriven);
+    EXPECT_EQ(parsed.config.tickThreads, 2u);
+    EXPECT_EQ(parsed.config.fault.dropProb, 0.05);
+    EXPECT_EQ(parsed.config.fault.maxDelay, 7u);
+    EXPECT_EQ(parsed.config.rerequestTimeout, 1234u);
+    EXPECT_TRUE(parsed.config.bshrHardCapacity);
+    EXPECT_EQ(parsed.config.bshrCapacity, 16u);
+    EXPECT_EQ(parsed.blockPages, 2u);
+    EXPECT_FALSE(parsed.traceReuse);
+    EXPECT_EQ(parsed.sampleInterval, 500u);
+    EXPECT_EQ(parsed.perfettoPath, "trace.json");
+}
+
+TEST(RunRequestFormat, DefaultRequestRoundTrips)
+{
+    driver::RunRequest req;
+    req.workload = "compress_s";
+    std::string text = driver::formatRunRequest(req);
+
+    std::istringstream in(text);
+    driver::RunRequest parsed;
+    std::string error;
+    ASSERT_TRUE(driver::parseRunRequest(in, parsed, error)) << error;
+    EXPECT_EQ(driver::formatRunRequest(parsed), text);
+}
+
+TEST(RunRequestParse, CommentsAndBlankPrefix)
+{
+    std::istringstream in(
+        "\n# a comment\n\nworkload = go_s\nmax_insts = 100\n\n"
+        "this text is in the next block and never read\n");
+    driver::RunRequest req;
+    std::string error;
+    ASSERT_TRUE(driver::parseRunRequest(in, req, error)) << error;
+    EXPECT_EQ(req.workload, "go_s");
+    EXPECT_EQ(req.config.maxInsts, 100u);
+}
+
+TEST(RunRequestParse, Errors)
+{
+    driver::RunRequest req;
+    std::string error;
+
+    std::istringstream empty("\n\n");
+    EXPECT_FALSE(driver::parseRunRequest(empty, req, error));
+    EXPECT_NE(error.find("empty request"), std::string::npos) << error;
+
+    std::istringstream unknown("workload = go_s\nbogus = 1\n\n");
+    EXPECT_FALSE(driver::parseRunRequest(unknown, req, error));
+    EXPECT_NE(error.find("unknown key 'bogus'"), std::string::npos)
+        << error;
+
+    std::istringstream badsys("system = vector\n\n");
+    EXPECT_FALSE(driver::parseRunRequest(badsys, req, error));
+    EXPECT_NE(error.find("unknown system 'vector'"), std::string::npos)
+        << error;
+
+    std::istringstream badval("nodes = 0\n\n");
+    EXPECT_FALSE(driver::parseRunRequest(badval, req, error));
+    EXPECT_NE(error.find("bad value '0' for 'nodes'"),
+              std::string::npos)
+        << error;
+
+    std::istringstream badprob("fault_drop = 1.5\n\n");
+    EXPECT_FALSE(driver::parseRunRequest(badprob, req, error));
+    EXPECT_NE(error.find("fault_drop"), std::string::npos) << error;
+}
+
+TEST(RunRequestParse, KeyErrorLeavesRequestUnchanged)
+{
+    driver::RunRequest req;
+    std::string error;
+    EXPECT_FALSE(
+        driver::applyRunRequestKey(req, "nodes", "4096", error));
+    EXPECT_EQ(req.config.numNodes, driver::paperConfig().numNodes);
+}
+
+TEST(RunRequestParse, FinalizeArmsRecoveryDefault)
+{
+    // Drop faults without an explicit rerequest_timeout arm the
+    // 2000-cycle recovery default; an explicit value is kept.
+    std::istringstream in("workload = go_s\nfault_drop = 0.5\n\n");
+    driver::RunRequest req;
+    std::string error;
+    ASSERT_TRUE(driver::parseRunRequest(in, req, error)) << error;
+    EXPECT_EQ(req.config.rerequestTimeout, 2000u);
+
+    std::istringstream in2(
+        "workload = go_s\nfault_drop = 0.5\n"
+        "rerequest_timeout = 77\n\n");
+    driver::RunRequest req2;
+    ASSERT_TRUE(driver::parseRunRequest(in2, req2, error)) << error;
+    EXPECT_EQ(req2.config.rerequestTimeout, 77u);
+}
+
+TEST(KindParsers, OptionalOverloads)
+{
+    auto sys = driver::parseSystemKind("perfect");
+    ASSERT_TRUE(sys.has_value());
+    EXPECT_EQ(*sys, driver::SystemKind::Perfect);
+    EXPECT_FALSE(driver::parseSystemKind("vector").has_value());
+
+    auto net = driver::parseInterconnectKind("ring");
+    ASSERT_TRUE(net.has_value());
+    EXPECT_EQ(*net, core::InterconnectKind::Ring);
+    EXPECT_FALSE(driver::parseInterconnectKind("mesh").has_value());
+
+    // The bool-out wrappers leave the out-param untouched on failure.
+    driver::SystemKind kind = driver::SystemKind::Traditional;
+    EXPECT_FALSE(driver::parseSystemKind("vector", kind));
+    EXPECT_EQ(kind, driver::SystemKind::Traditional);
+}
+
+TEST(RunOne, UnknownWorkloadIsAnError)
+{
+    driver::RunRequest req;
+    req.workload = "no_such_workload";
+    driver::RunResponse resp = driver::runOne(req);
+    EXPECT_FALSE(resp.ok());
+    EXPECT_NE(resp.error.find("unknown workload"), std::string::npos)
+        << resp.error;
+}
+
+TEST(RunOne, MatchesLegacyRunSystem)
+{
+    prog::Program program = workloads::findWorkload("go_s").build(1);
+    core::SimConfig cfg = driver::paperConfig();
+    cfg.maxInsts = 3000;
+
+    core::RunResult legacy = driver::runSystem(
+        driver::SystemKind::DataScalar, program, cfg);
+
+    driver::RunRequest req;
+    req.workload = "go_s";
+    req.system = driver::SystemKind::DataScalar;
+    req.config = cfg;
+    driver::RunResponse resp = driver::runOne(req);
+
+    ASSERT_TRUE(resp.ok()) << resp.error;
+    EXPECT_EQ(resp.result.cycles, legacy.cycles);
+    EXPECT_EQ(resp.result.instructions, legacy.instructions);
+    EXPECT_EQ(resp.result.ipc, legacy.ipc);
+}
+
+TEST(RunMany, MatchesLegacyRunSweep)
+{
+    core::SimConfig cfg = driver::paperConfig();
+    cfg.maxInsts = 3000;
+    std::vector<driver::SweepPoint> points;
+    for (driver::SystemKind system :
+         {driver::SystemKind::Perfect, driver::SystemKind::DataScalar,
+          driver::SystemKind::Traditional}) {
+        driver::SweepPoint pt;
+        pt.workload = "compress_s";
+        pt.system = system;
+        pt.config = cfg;
+        points.push_back(pt);
+    }
+
+    std::vector<core::RunResult> legacy = driver::runSweep(points);
+
+    std::vector<driver::RunRequest> requests;
+    for (const driver::SweepPoint &pt : points)
+        requests.push_back(driver::toRunRequest(pt));
+    driver::TraceCache cache;
+    std::vector<driver::RunResponse> responses =
+        driver::runMany(requests, cache);
+
+    ASSERT_EQ(responses.size(), legacy.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+        ASSERT_TRUE(responses[i].ok()) << responses[i].error;
+        EXPECT_EQ(responses[i].result.cycles, legacy[i].cycles);
+        EXPECT_EQ(responses[i].result.ipc, legacy[i].ipc);
+    }
+}
+
+TEST(RunOne, WarmCacheStatsJsonByteIdentical)
+{
+    driver::RunRequest req;
+    req.workload = "li_s";
+    req.config.maxInsts = 2000;
+
+    // Cold: no cache at all (fresh build + live execution).
+    driver::RunResponse cold = driver::runOne(req);
+    ASSERT_TRUE(cold.ok()) << cold.error;
+    EXPECT_FALSE(cold.cacheHit);
+
+    // Warm: second acquire of the same (workload, scale, budget)
+    // replays the cached trace. SPSD: byte-identical stats.
+    driver::TraceCache cache;
+    driver::RunResponse first = driver::runOne(req, &cache);
+    driver::RunResponse warm = driver::runOne(req, &cache);
+    ASSERT_TRUE(warm.ok()) << warm.error;
+    EXPECT_FALSE(first.cacheHit);
+    EXPECT_TRUE(warm.cacheHit);
+    EXPECT_EQ(cold.statsJson(), first.statsJson());
+    EXPECT_EQ(cold.statsJson(), warm.statsJson());
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.captures(), 1u);
+}
+
+} // namespace
+} // namespace dscalar

@@ -2,7 +2,10 @@
  * @file
  * dsrun — command-line driver: assemble a .s file (or pick a
  * registered workload) and run it functionally or on any of the
- * timing systems.
+ * timing systems. One-shot front end over driver::RunRequest — every
+ * `--key=value` flag below maps 1:1 onto a serialized RunRequest key
+ * (dashes to underscores), so a dsrun invocation, a dsfuzz repro
+ * file, and a dsserve wire request can describe the same run.
  *
  * Usage:
  *   dsrun [options] <program.s | workload-name>
@@ -47,67 +50,20 @@
  */
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 
-#include "baseline/perfect.hh"
-#include "baseline/traditional.hh"
-#include "core/datascalar.hh"
+#include "common/kv.hh"
 #include "driver/driver.hh"
 #include "func/func_sim.hh"
-#include "obs/flight_recorder.hh"
-#include "obs/perfetto.hh"
-#include "obs/sampler.hh"
 #include "prog/asm_parser.hh"
-#include "stats/json_writer.hh"
 #include "workloads/workloads.hh"
 
 using namespace dscalar;
 
 namespace {
-
-struct Options
-{
-    std::string system = "func";
-    unsigned nodes = 2;
-    bool ring = false;
-    InstSeq maxInsts = 0;
-    unsigned scale = 1;
-    unsigned blockPages = 1;
-    unsigned jobs = 1;
-    unsigned tickThreads = 1;
-    bool noSkip = false;
-    bool stats = false;
-    std::string statsJson;
-    std::string perfettoOut;
-    Cycle sampleInterval = 0;
-    bool trace = false;
-    bool sweep = false;
-    bool noTraceReuse = false;
-    double faultDrop = 0.0;
-    double faultDup = 0.0;
-    double faultDelay = 0.0;
-    Cycle faultMaxDelay = 0;
-    std::uint64_t faultSeed = 1;
-    Cycle rerequestTimeout = 0;
-    bool rerequestTimeoutSet = false;
-    bool bshrHard = false;
-    std::string target;
-};
-
-bool
-parseFlag(const std::string &arg, const char *name,
-          std::string &value)
-{
-    std::string prefix = std::string(name) + "=";
-    if (arg.rfind(prefix, 0) != 0)
-        return false;
-    value = arg.substr(prefix.size());
-    return true;
-}
 
 int
 usage()
@@ -141,67 +97,21 @@ isRegisteredWorkload(const std::string &name)
     return false;
 }
 
-/**
- * Observability wiring shared by the three timing systems: optional
- * stderr tracing and Perfetto export (fanned out via the system's
- * TeeTraceSink), an always-on flight recorder dumped by any panic
- * (e.g. the run-loop watchdog), an optional sampled timeline, and
- * the stats dumps. @return the process exit code (0 = success).
- */
-template <typename System>
-int
-runTimingSystem(System &sys, const Options &opt,
-                const stats::RunMeta &meta, core::RunResult &r)
+/** `--long-flag=value` -> RunRequest key `long_flag` + value.
+ *  @return false for non-flag arguments. */
+bool
+argToKey(const std::string &arg, std::string &key, std::string &value)
 {
-    TextTraceSink text_sink(std::cerr);
-    if (opt.trace)
-        sys.addTraceSink(&text_sink);
-
-    std::ofstream perfetto_file;
-    std::unique_ptr<obs::PerfettoTraceSink> perfetto;
-    if (!opt.perfettoOut.empty()) {
-        perfetto_file.open(opt.perfettoOut);
-        if (!perfetto_file) {
-            std::fprintf(stderr, "dsrun: cannot write %s\n",
-                         opt.perfettoOut.c_str());
-            return 2;
-        }
-        perfetto =
-            std::make_unique<obs::PerfettoTraceSink>(perfetto_file);
-        sys.addTraceSink(perfetto.get());
-    }
-
-    obs::FlightRecorder flight;
-    sys.addTraceSink(&flight);
-    flight.installPanicDump();
-
-    obs::Sampler sampler(opt.sampleInterval ? opt.sampleInterval : 1);
-    if (opt.sampleInterval)
-        sys.setSampler(&sampler);
-
-    r = sys.run();
-    std::printf("%s", sys.output().c_str());
-    if (perfetto)
-        perfetto->finish();
-    if (opt.stats)
-        sys.dumpStats(std::cout);
-
-    if (!opt.statsJson.empty()) {
-        std::ofstream js(opt.statsJson);
-        if (!js) {
-            std::fprintf(stderr, "dsrun: cannot write %s\n",
-                         opt.statsJson.c_str());
-            return 2;
-        }
-        stats::JsonWriter::ExtraWriter timeline;
-        if (opt.sampleInterval)
-            timeline = [&sampler](std::ostream &os) {
-                sampler.writeJson(os);
-            };
-        stats::JsonWriter::write(js, meta, *sys.snapshotStats(),
-                                 timeline);
-    }
-    return 0;
+    if (arg.rfind("--", 0) != 0)
+        return false;
+    std::size_t eq = arg.find('=');
+    key = arg.substr(2, eq == std::string::npos ? std::string::npos
+                                                : eq - 2);
+    value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    for (char &c : key)
+        if (c == '-')
+            c = '_';
+    return true;
 }
 
 } // namespace
@@ -209,108 +119,95 @@ runTimingSystem(System &sys, const Options &opt,
 int
 main(int argc, char **argv)
 {
-    Options opt;
+    driver::RunRequest req;
+    std::string system = "func";
+    std::string statsJsonPath;
+    std::string target;
+    unsigned jobs = 1;
+    bool stats = false;
+    bool sweep = false;
+    bool noTraceReuse = false;
+
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        std::string value;
         if (arg == "--list") {
             for (const auto &w : workloads::allWorkloads())
                 std::printf("%-12s %-9s %s\n", w.name, w.spec,
                             w.desc);
             return 0;
-        } else if (parseFlag(arg, "--system", value)) {
-            opt.system = value;
-        } else if (parseFlag(arg, "--nodes", value)) {
-            opt.nodes = static_cast<unsigned>(std::stoul(value));
-        } else if (arg == "--ring") {
-            opt.ring = true;
-        } else if (parseFlag(arg, "--max-insts", value)) {
-            opt.maxInsts = std::stoull(value);
-        } else if (parseFlag(arg, "--scale", value)) {
-            opt.scale = static_cast<unsigned>(std::stoul(value));
-        } else if (parseFlag(arg, "--block-pages", value)) {
-            opt.blockPages =
-                static_cast<unsigned>(std::stoul(value));
-        } else if (parseFlag(arg, "--jobs", value)) {
-            opt.jobs = static_cast<unsigned>(std::stoul(value));
-        } else if (parseFlag(arg, "--tick-threads", value)) {
-            opt.tickThreads =
-                static_cast<unsigned>(std::stoul(value));
-        } else if (parseFlag(arg, "--fault-drop", value)) {
-            opt.faultDrop = std::stod(value);
-        } else if (parseFlag(arg, "--fault-dup", value)) {
-            opt.faultDup = std::stod(value);
-        } else if (parseFlag(arg, "--fault-delay", value)) {
-            opt.faultDelay = std::stod(value);
-        } else if (parseFlag(arg, "--fault-max-delay", value)) {
-            opt.faultMaxDelay = std::stoull(value);
-        } else if (parseFlag(arg, "--fault-seed", value)) {
-            opt.faultSeed = std::stoull(value);
-        } else if (parseFlag(arg, "--rerequest-timeout", value)) {
-            opt.rerequestTimeout = std::stoull(value);
-            opt.rerequestTimeoutSet = true;
-        } else if (arg == "--bshr-hard") {
-            opt.bshrHard = true;
-        } else if (arg == "--no-skip") {
-            opt.noSkip = true;
-        } else if (arg == "--sweep") {
-            opt.sweep = true;
-        } else if (arg == "--no-trace-reuse") {
-            opt.noTraceReuse = true;
-        } else if (arg == "--stats") {
-            opt.stats = true;
-        } else if (parseFlag(arg, "--stats-json", value)) {
-            opt.statsJson = value;
-        } else if (parseFlag(arg, "--perfetto", value)) {
-            opt.perfettoOut = value;
-        } else if (parseFlag(arg, "--sample-interval", value)) {
-            opt.sampleInterval = std::stoull(value);
         } else if (arg == "--trace") {
-            opt.trace = true;
+            req.traceToStderr = true;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--sweep") {
+            sweep = true;
+        } else if (arg == "--no-trace-reuse") {
+            noTraceReuse = true;
+        } else if (arg == "--ring") {
+            req.config.interconnect = core::InterconnectKind::Ring;
+        } else if (arg == "--no-skip") {
+            req.config.eventDriven = false;
+        } else if (arg == "--bshr-hard") {
+            req.config.bshrHardCapacity = true;
         } else if (!arg.empty() && arg[0] == '-') {
-            return usage();
+            std::string key, value;
+            if (!argToKey(arg, key, value))
+                return usage();
+            if (key == "system") {
+                system = value;
+                continue;
+            }
+            if (key == "jobs") {
+                std::uint64_t v = 0;
+                if (!common::kv::parseU64(value, v))
+                    return usage();
+                jobs = static_cast<unsigned>(v);
+                continue;
+            }
+            if (key == "stats_json") {
+                statsJsonPath = value;
+                continue;
+            }
+            // Everything else is a serialized RunRequest key.
+            std::string error;
+            if (!driver::applyRunRequestKey(req, key, value, error)) {
+                std::fprintf(stderr, "dsrun: %s\n", error.c_str());
+                return usage();
+            }
         } else {
-            opt.target = arg;
+            target = arg;
         }
     }
-    if (opt.sweep) {
-        InstSeq budget = opt.maxInsts ? opt.maxInsts : 100'000;
+
+    if (sweep) {
+        InstSeq budget =
+            req.config.maxInsts ? req.config.maxInsts : 100'000;
         stats::Table table = driver::fig7IpcTable(
-            workloads::timingWorkloadNames(), budget, opt.jobs,
-            !opt.noSkip, !opt.noTraceReuse);
+            workloads::timingWorkloadNames(), budget, jobs,
+            req.config.eventDriven, !noTraceReuse);
         table.print(std::cout);
         return 0;
     }
-    if (opt.target.empty())
+    if (target.empty())
         return usage();
 
-    prog::Program program =
-        isRegisteredWorkload(opt.target)
-            ? workloads::findWorkload(opt.target).build(opt.scale)
-            : prog::assembleFile(opt.target);
+    driver::finalizeRunRequest(req);
+    req.workload = target;
+    if (!isRegisteredWorkload(target)) {
+        // Assemble a local .s file; fatal on parse errors, exactly
+        // like the registry build path.
+        req.program = std::make_shared<const prog::Program>(
+            prog::assembleFile(target));
+    }
 
-    core::SimConfig cfg = driver::paperConfig();
-    cfg.numNodes = opt.nodes;
-    cfg.maxInsts = opt.maxInsts;
-    cfg.eventDriven = !opt.noSkip;
-    cfg.tickThreads = opt.tickThreads;
-    if (opt.ring)
-        cfg.interconnect = core::InterconnectKind::Ring;
-    cfg.fault.dropProb = opt.faultDrop;
-    cfg.fault.dupProb = opt.faultDup;
-    cfg.fault.delayProb = opt.faultDelay;
-    cfg.fault.maxDelay = opt.faultMaxDelay;
-    cfg.fault.seed = opt.faultSeed;
-    cfg.bshrHardCapacity = opt.bshrHard;
-    if (opt.rerequestTimeoutSet)
-        cfg.rerequestTimeout = opt.rerequestTimeout;
-    else if (opt.faultDrop > 0.0 || opt.bshrHard)
-        cfg.rerequestTimeout = 2000; // dropped data must be recoverable
-
-    if (opt.system == "func") {
+    if (system == "func") {
+        prog::Program program =
+            req.program ? *req.program
+                        : workloads::findWorkload(target).build(
+                              req.scale);
         func::FuncSim sim(program);
-        sim.run(opt.maxInsts ? opt.maxInsts
-                             : ~static_cast<InstSeq>(0));
+        sim.run(req.config.maxInsts ? req.config.maxInsts
+                                    : ~static_cast<InstSeq>(0));
         std::printf("%s", sim.output().c_str());
         std::printf("-- %llu instructions, halted=%d\n",
                     (unsigned long long)sim.retired(),
@@ -318,62 +215,44 @@ main(int argc, char **argv)
         return 0;
     }
 
-    driver::SystemKind kind;
-    if (!driver::parseSystemKind(opt.system, kind))
+    std::optional<driver::SystemKind> kind =
+        driver::parseSystemKind(system);
+    if (!kind)
         return usage();
+    req.system = *kind;
+    req.flightRecorder = true;
 
-    stats::RunMeta meta;
-    meta.add("system", opt.system);
-    meta.add("target", opt.target);
-    meta.add("scale", std::uint64_t(opt.scale));
-    meta.add("nodes", std::uint64_t(opt.nodes));
-    meta.add("interconnect",
-             driver::interconnectKindName(cfg.interconnect));
-    meta.add("block_pages", std::uint64_t(opt.blockPages));
-    meta.add("max_insts", std::uint64_t(opt.maxInsts));
-    meta.add("event_driven", std::uint64_t(cfg.eventDriven ? 1 : 0));
-    meta.add("tick_threads", std::uint64_t(opt.tickThreads));
-    if (opt.sampleInterval)
-        meta.add("sample_interval", std::uint64_t(opt.sampleInterval));
-
-    core::RunResult r;
-    int rc = 0;
-    switch (kind) {
-      case driver::SystemKind::Perfect: {
-        baseline::PerfectSystem sys(program, cfg);
-        rc = runTimingSystem(sys, opt, meta, r);
-        break;
-      }
-      case driver::SystemKind::Traditional: {
-        baseline::TraditionalSystem sys(
-            program, cfg,
-            driver::figure7PageTable(program, opt.nodes,
-                                     opt.blockPages));
-        rc = runTimingSystem(sys, opt, meta, r);
-        break;
-      }
-      case driver::SystemKind::DataScalar: {
-        core::DataScalarSystem sys(
-            program, cfg,
-            driver::figure7PageTable(program, opt.nodes,
-                                     opt.blockPages));
-        rc = runTimingSystem(sys, opt, meta, r);
-        // Faults and hard BSHR capacity break the exactly-once
-        // delivery the drained invariant rests on; residue there
-        // is expected, not a protocol bug.
-        if (rc == 0 && !sys.protocolDrained() &&
-            !cfg.fault.enabled() && !cfg.bshrHardCapacity)
-            std::fprintf(stderr,
-                         "warning: protocol not drained\n");
-        break;
-      }
+    driver::RunResponse resp = driver::runOne(req);
+    if (!resp.ok()) {
+        std::fprintf(stderr, "dsrun: %s\n", resp.error.c_str());
+        return 2;
     }
-    if (rc != 0)
-        return rc;
+    std::printf("%s", resp.output.c_str());
+    if (stats)
+        resp.result.stats->dump(std::cout);
+
+    if (!statsJsonPath.empty()) {
+        std::ofstream js(statsJsonPath);
+        if (!js) {
+            std::fprintf(stderr, "dsrun: cannot write %s\n",
+                         statsJsonPath.c_str());
+            return 2;
+        }
+        js << resp.statsJson();
+    }
+
+    // Faults and hard BSHR capacity break the exactly-once delivery
+    // the drained invariant rests on; residue there is expected, not
+    // a protocol bug.
+    if (req.system == driver::SystemKind::DataScalar &&
+        !resp.drained && !req.config.fault.enabled() &&
+        !req.config.bshrHardCapacity)
+        std::fprintf(stderr, "warning: protocol not drained\n");
 
     std::printf("-- %s: %llu instructions, %llu cycles, IPC %.3f\n",
-                opt.system.c_str(),
-                (unsigned long long)r.instructions,
-                (unsigned long long)r.cycles, r.ipc);
+                system.c_str(),
+                (unsigned long long)resp.result.instructions,
+                (unsigned long long)resp.result.cycles,
+                resp.result.ipc);
     return 0;
 }
