@@ -12,6 +12,9 @@
  * the Figure 7 sweep at 1 vs benchJobs() workers; their *NoReuse
  * twins disable the shared trace capture (driver::TraceCache), so
  * the win from executing each workload once is visible directly.
+ * BM_TraceCaptureCold/BM_TraceLoadDisk time a functional trace
+ * capture against mmap-loading the same trace back from the
+ * persistent store (docs/PERF.md "Persistent trace store").
  *
  * Smoke variants (--benchmark_filter=Smoke) run one tiny iteration
  * of every engine; the custom main() exits non-zero if any run
@@ -22,11 +25,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "bench/bench_util.hh"
 #include "core/datascalar.hh"
 #include "driver/driver.hh"
+#include "func/trace_file.hh"
 #include "workloads/workloads.hh"
 
 using namespace dscalar;
@@ -64,6 +73,95 @@ BM_FunctionalSim(benchmark::State &state)
         func::FuncSim sim(p);
         benchmark::DoNotOptimize(sim.run(budget));
     }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(budget));
+}
+
+/** The persistent-trace-store twins — the two TraceCache miss
+ *  paths with a store configured. Cold: capture by functional
+ *  execution, then write the trace file (what the first process
+ *  ever to want this trace pays). Disk: mmap-load the file back
+ *  (what every later process pays instead). The load side is not
+ *  lazy — checksum validation reads the whole payload, so every
+ *  page is resident when loadTraceFile returns; the loop only
+ *  spot-reads each chunk's borrowed columns on top. Per-record
+ *  decode happens during replay either way, so it belongs to
+ *  neither side. The ratio is the warm-restart win the store
+ *  exists for; bytes_per_record tracks the on-disk cost of the raw
+ *  ({insts, 0}) and delta-compressed ({insts, 1}) layouts. */
+std::string
+benchTracePath(const char *tag)
+{
+    const char *tmp = std::getenv("TMPDIR");
+    return std::string(tmp && *tmp ? tmp : "/tmp") +
+           "/simspeed-trace." + std::to_string(::getpid()) + "." +
+           tag + ".dstrace";
+}
+
+void
+BM_TraceCaptureCold(benchmark::State &state)
+{
+    const prog::Program &p = compressProgram();
+    InstSeq budget = static_cast<InstSeq>(state.range(0));
+    std::string path = benchTracePath("cold");
+    std::string err;
+    for (auto _ : state) {
+        auto t = func::InstTrace::capture(p, budget);
+        if (!func::saveTraceFile(path, *t, "bench", p.imageDigest(),
+                                 err)) {
+            state.SkipWithError(err.c_str());
+            break;
+        }
+        benchmark::DoNotOptimize(t);
+    }
+    std::remove(path.c_str());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(budget));
+}
+
+void
+BM_TraceLoadDisk(benchmark::State &state)
+{
+    const prog::Program &p = compressProgram();
+    InstSeq budget = static_cast<InstSeq>(state.range(0));
+    func::TraceSaveOptions save;
+    save.compressed = state.range(1) != 0;
+
+    std::string path =
+        benchTracePath(save.compressed ? "z" : "raw");
+    auto captured = func::InstTrace::capture(p, budget);
+    std::string err;
+    if (!func::saveTraceFile(path, *captured, "bench",
+                             p.imageDigest(), err, save)) {
+        state.SkipWithError(err.c_str());
+        return;
+    }
+
+    for (auto _ : state) {
+        auto t = func::loadTraceFile(path, "bench", p.imageDigest(),
+                                     err);
+        if (!t) {
+            state.SkipWithError(err.c_str());
+            break;
+        }
+        std::uint64_t sum = 0;
+        for (std::size_t ci = 0; ci < t->numChunks(); ++ci) {
+            const auto &c = t->chunk(ci);
+            std::size_t last = c->size() - 1;
+            sum += c->pc[0] + c->word[last] + c->effAddr[0] +
+                   c->memSize[last] + c->nextPc[last];
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+
+    func::TraceFileInfo info;
+    if (func::probeTraceFile(path, info, err) && info.records)
+        state.counters["bytes_per_record"] =
+            static_cast<double>(info.fileBytes) /
+            static_cast<double>(info.records);
+    std::remove(path.c_str());
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
         static_cast<std::int64_t>(budget));
@@ -193,6 +291,11 @@ BM_SweepParallelNoReuse(benchmark::State &state)
 }
 
 BENCHMARK(BM_FunctionalSim)->Arg(100000);
+BENCHMARK(BM_TraceCaptureCold)->Arg(100000);
+// {insts, compressed}
+BENCHMARK(BM_TraceLoadDisk)
+    ->Args({100000, 0})
+    ->Args({100000, 1});
 // {insts, skip} / {insts, nodes, skip}
 BENCHMARK(BM_PerfectTiming)->Args({30000, 1})->Args({30000, 0});
 BENCHMARK(BM_DataScalarTiming)
@@ -262,6 +365,16 @@ BM_SmokeSweepParallel(benchmark::State &state)
 {
     sweepBody(state, 4);
 }
+void
+BM_SmokeTraceCapture(benchmark::State &state)
+{
+    BM_TraceCaptureCold(state);
+}
+void
+BM_SmokeTraceLoad(benchmark::State &state)
+{
+    BM_TraceLoadDisk(state);
+}
 
 BENCHMARK(BM_SmokeFunctional)->Arg(5000)->Iterations(1);
 BENCHMARK(BM_SmokePerfect)->Args({2000, 1})->Iterations(1);
@@ -272,6 +385,8 @@ BENCHMARK(BM_SmokeDataScalar)
 BENCHMARK(BM_SmokeTraditional)->Args({2000, 2, 1})->Iterations(1);
 BENCHMARK(BM_SmokeParallelTick)->Args({2000, 4, 2})->Iterations(1);
 BENCHMARK(BM_SmokeSweepParallel)->Arg(2000)->Iterations(1);
+BENCHMARK(BM_SmokeTraceCapture)->Arg(5000)->Iterations(1);
+BENCHMARK(BM_SmokeTraceLoad)->Args({5000, 1})->Iterations(1);
 
 /**
  * Console reporter that also checks every run for forward progress:

@@ -77,6 +77,12 @@ struct TrialConfig
     /** Also replay the golden trace through the same config and
      *  require identical cycles / output / stats. */
     bool crossReplay = false;
+    /** When non-empty: persist the golden trace into this directory
+     *  (func::saveTraceFile), mmap-load it back, and replay the
+     *  loaded copy through the same config, requiring identical
+     *  cycles / output / stats. Catches trace-store serialization
+     *  bugs the in-memory crossReplay differential cannot see. */
+    std::string traceDir;
 
     /** Drop/dup/delay fault injection with re-request recovery
      *  armed (DataScalar only). */
@@ -144,6 +150,12 @@ struct OracleOptions
 {
     unsigned configsPerTrial = 2;
     InstSeq goldenBudget = 50'000'000;
+    /** When non-empty, sampleConfig points a fraction of configs at
+     *  this directory (TrialConfig::traceDir) so campaigns cover the
+     *  disk-loaded replay differential. The rng draw happens either
+     *  way, so setting this never reshuffles the rest of the matrix
+     *  a seed explores. */
+    std::string traceDir;
 };
 
 /** The differential oracle: golden run + sampled config checks. */

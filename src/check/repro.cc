@@ -68,6 +68,7 @@ formatRepro(const ReproCase &r)
     emit(os, "bshr_capacity", c.bshrCapacity);
     emit(os, "max_insts", c.maxInsts);
     emit(os, "fault_seed", c.faultSeed);
+    emit(os, "trace_dir", c.traceDir);
 
     emit(os, "mismatch", r.mismatch.c_str());
     return os.str();
@@ -87,13 +88,17 @@ parseRepro(std::istream &in, ReproCase &out, std::string &error)
             continue;
         std::string key, value;
         if (!splitLine(t, key, value)) {
-            error = "line " + std::to_string(lineno) + ": missing '='";
+            error = "line " + std::to_string(lineno) + ": missing '=' or malformed value";
             return false;
         }
 
         // String-valued keys first.
         if (key == "mismatch") {
             r.mismatch = value;
+            continue;
+        }
+        if (key == "trace_dir") {
+            r.config.traceDir = value;
             continue;
         }
         if (key == "system") {

@@ -17,6 +17,82 @@ trim(const std::string &s)
     return s.substr(b, e - b + 1);
 }
 
+namespace {
+
+/** True when @p v would not survive a trim()+literal round trip. */
+bool
+needsQuoting(const std::string &v)
+{
+    if (v.empty())
+        return false;
+    if (v != trim(v))
+        return true;
+    if (v.front() == '"' || v.front() == '#')
+        return true;
+    for (char c : v)
+        if (c == '\n' || c == '\r')
+            return true;
+    return false;
+}
+
+std::string
+quoteValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size() + 2);
+    out += '"';
+    for (char c : v) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+/** Decode a trimmed `"..."` token in place.
+ *  @return false when the quoting is malformed (no closing quote,
+ *  trailing junk, or a dangling escape). */
+bool
+unquoteValue(std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    std::size_t i = 1; // past the opening quote
+    while (i < value.size()) {
+        char c = value[i++];
+        if (c == '"') {
+            if (i != value.size())
+                return false; // junk after the closing quote
+            value = out;
+            return true;
+        }
+        if (c == '\\') {
+            if (i == value.size())
+                return false;
+            char e = value[i++];
+            switch (e) {
+              case '\\': out += '\\'; break;
+              case '"': out += '"'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              default: return false;
+            }
+        } else {
+            out += c;
+        }
+    }
+    return false; // never saw the closing quote
+}
+
+} // namespace
+
 bool
 splitLine(const std::string &line, std::string &key,
           std::string &value)
@@ -26,6 +102,8 @@ splitLine(const std::string &line, std::string &key,
         return false;
     key = trim(line.substr(0, eq));
     value = trim(line.substr(eq + 1));
+    if (!value.empty() && value.front() == '"')
+        return unquoteValue(value);
     return true;
 }
 
@@ -84,13 +162,14 @@ emit(std::ostream &os, const char *key, std::uint64_t value)
 void
 emit(std::ostream &os, const char *key, const char *value)
 {
-    os << key << " = " << value << "\n";
+    emit(os, key, std::string(value));
 }
 
 void
 emit(std::ostream &os, const char *key, const std::string &value)
 {
-    os << key << " = " << value << "\n";
+    os << key << " = "
+       << (needsQuoting(value) ? quoteValue(value) : value) << "\n";
 }
 
 void

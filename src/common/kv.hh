@@ -25,8 +25,12 @@ namespace kv {
 std::string trim(const std::string &s);
 
 /**
- * Split one `key = value` line (either side of '=' trimmed).
- * @return false when @p line contains no '='.
+ * Split one `key = value` line (either side of '=' trimmed). A value
+ * wrapped in double quotes is unescaped (see emit: `\\` `\"` `\n`
+ * `\r` `\t`), so path-valued keys survive leading/trailing
+ * whitespace exactly; unquoted values are taken literally.
+ * @return false when @p line contains no '=' or carries a malformed
+ * quoted value.
  */
 bool splitLine(const std::string &line, std::string &key,
                std::string &value);
@@ -45,7 +49,11 @@ bool parseF64(const std::string &value, double &out);
  *  the same double (so formatted requests round-trip bit-for-bit). */
 std::string formatF64(double v);
 
-/** Emit one `key = value` line. */
+/** Emit one `key = value` line. String values that trimming or
+ *  comment/quote detection would mangle (leading/trailing
+ *  whitespace, embedded newlines, a leading '"' or '#') are emitted
+ *  quoted and escaped so splitLine restores them byte-exactly;
+ *  everything else stays plain text. */
 void emit(std::ostream &os, const char *key, std::uint64_t value);
 void emit(std::ostream &os, const char *key, const char *value);
 void emit(std::ostream &os, const char *key, const std::string &value);

@@ -130,6 +130,10 @@ applyRunRequestKey(RunRequest &req, const std::string &key,
         req.perfettoPath = value;
         return true;
     }
+    if (key == "trace_dir") {
+        req.traceDir = value;
+        return true;
+    }
     if (key == "system") {
         std::optional<SystemKind> kind = parseSystemKind(value);
         if (!kind) {
@@ -253,7 +257,7 @@ parseRunRequest(std::istream &in, RunRequest &out, std::string &error)
             continue;
         std::string key, value;
         if (!kv::splitLine(t, key, value)) {
-            error = "line " + std::to_string(lineno) + ": missing '='";
+            error = "line " + std::to_string(lineno) + ": missing '=' or malformed value";
             return false;
         }
         if (!applyRunRequestKey(r, key, value, error)) {
@@ -302,6 +306,8 @@ formatRunRequest(const RunRequest &req)
     kv::emit(os, "sample_interval", std::uint64_t(req.sampleInterval));
     if (!req.perfettoPath.empty())
         kv::emit(os, "perfetto", req.perfettoPath);
+    if (!req.traceDir.empty())
+        kv::emit(os, "trace_dir", req.traceDir);
     return os.str();
 }
 
@@ -431,11 +437,22 @@ runOne(const RunRequest &req, TraceCache *cache)
     }
 
     std::shared_ptr<const func::InstTrace> trace = req.trace;
-    if (!trace && cache && req.traceReuse && !req.program) {
-        bool hit = false;
-        trace = cache->acquire(req.workload, req.scale,
-                               req.config.maxInsts, hit);
-        resp.cacheHit = hit;
+    if (!trace && req.traceReuse && !req.program) {
+        if (cache) {
+            bool hit = false;
+            trace = cache->acquire(req.workload, req.scale,
+                                   req.config.maxInsts, hit);
+            resp.cacheHit = hit;
+        } else if (!req.traceDir.empty()) {
+            // One-shot callers still get cross-process warmth: a
+            // private cache over the persistent store mmap-loads a
+            // stored capture or writes one back for the next run.
+            TraceCache local;
+            local.setTraceDir(req.traceDir);
+            trace = local.acquire(req.workload, req.scale,
+                                  req.config.maxInsts);
+            resp.cacheHit = local.diskHits() > 0;
+        }
     }
 
     const core::SimConfig &cfg = req.config;

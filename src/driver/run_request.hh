@@ -115,6 +115,14 @@ struct RunRequest
     /** Write a Perfetto trace to this (server-side) file
      *  (key `perfetto`; "" = off). */
     std::string perfettoPath;
+    /** Persistent trace store directory (key `trace_dir`; "" = off).
+     *  A cache-less runOne (one-shot dsrun, a replayed repro) builds
+     *  a private TraceCache over it so captures persist across
+     *  processes; when a shared TraceCache is passed in, its own
+     *  configured directory wins and this field is ignored. dsserve
+     *  scrubs the key from wire requests — the daemon's store is
+     *  controlled only by its own --trace-dir. */
+    std::string traceDir;
 
     /** Bookkeeping: true once `rerequest_timeout` was set explicitly
      *  (finalizeRunRequest only applies the fault/hard-BSHR recovery

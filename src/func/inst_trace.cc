@@ -10,11 +10,31 @@ namespace func {
 std::size_t
 InstTrace::Chunk::bytes() const
 {
-    return pc.capacity() * sizeof(Addr) +
-           word.capacity() * sizeof(std::uint32_t) +
-           effAddr.capacity() * sizeof(Addr) +
-           memSize.capacity() * sizeof(std::uint8_t) +
-           nextPc.capacity() * sizeof(Addr);
+    return pcStore.capacity() * sizeof(Addr) +
+           wordStore.capacity() * sizeof(std::uint32_t) +
+           effAddrStore.capacity() * sizeof(Addr) +
+           memSizeStore.capacity() * sizeof(std::uint8_t) +
+           nextPcStore.capacity() * sizeof(Addr);
+}
+
+void
+InstTrace::Chunk::seal()
+{
+    if (!pc)
+        pc = pcStore.data();
+    if (!word)
+        word = wordStore.data();
+    if (!effAddr)
+        effAddr = effAddrStore.data();
+    if (!memSize)
+        memSize = memSizeStore.data();
+    if (!nextPc)
+        nextPc = nextPcStore.data();
+    // A loader that borrows every column sets count itself; owned
+    // chunks derive it from their longest store.
+    count = std::max({count, pcStore.size(), wordStore.size(),
+                      effAddrStore.size(), memSizeStore.size(),
+                      nextPcStore.size()});
 }
 
 std::size_t
@@ -45,6 +65,29 @@ InstTrace::outputPrefix(InstSeq max_insts) const
 }
 
 std::shared_ptr<const InstTrace>
+InstTrace::fromParts(Parts &&parts)
+{
+    auto trace = std::shared_ptr<InstTrace>(new InstTrace());
+    InstSeq total = 0;
+    for (const auto &c : parts.chunks) {
+        panic_if(!c || !c->pc || c->count == 0,
+                 "InstTrace::fromParts: unsealed or empty chunk");
+        total += c->count;
+    }
+    panic_if(total != parts.length,
+             "InstTrace::fromParts: chunks cover %llu records, "
+             "expected %llu",
+             static_cast<unsigned long long>(total),
+             static_cast<unsigned long long>(parts.length));
+    trace->chunks_ = std::move(parts.chunks);
+    trace->length_ = parts.length;
+    trace->halted_ = parts.halted;
+    trace->output_ = std::move(parts.output);
+    trace->outputMarks_ = std::move(parts.outputMarks);
+    return trace;
+}
+
+std::shared_ptr<const InstTrace>
 InstTrace::capture(const prog::Program &program, InstSeq max_insts)
 {
     FuncSim sim(program);
@@ -56,25 +99,28 @@ InstTrace::capture(const prog::Program &program, InstSeq max_insts)
     std::size_t out_len = 0;
     InstSeq budget = max_insts ? max_insts : ~static_cast<InstSeq>(0);
     while (n < budget && sim.step(&rec)) {
-        if (!cur || cur->size() == kChunkRecords) {
-            if (cur)
+        if (!cur || cur->pcStore.size() == kChunkRecords) {
+            if (cur) {
+                cur->seal();
                 trace->chunks_.push_back(std::move(cur));
+            }
             cur = std::make_shared<Chunk>();
             std::size_t reserve = static_cast<std::size_t>(
                 std::min(budget - n, kChunkRecords));
-            cur->pc.reserve(reserve);
-            cur->word.reserve(reserve);
-            cur->effAddr.reserve(reserve);
-            cur->memSize.reserve(reserve);
-            cur->nextPc.reserve(reserve);
+            cur->pcStore.reserve(reserve);
+            cur->wordStore.reserve(reserve);
+            cur->effAddrStore.reserve(reserve);
+            cur->memSizeStore.reserve(reserve);
+            cur->nextPcStore.reserve(reserve);
         }
-        cur->pc.push_back(rec.pc);
+        cur->pcStore.push_back(rec.pc);
         // encode() round-trips through decode(), so the stored word
         // reproduces the retired instruction exactly.
-        cur->word.push_back(isa::encode(rec.inst));
-        cur->effAddr.push_back(rec.effAddr);
-        cur->memSize.push_back(static_cast<std::uint8_t>(rec.memSize));
-        cur->nextPc.push_back(rec.nextPc);
+        cur->wordStore.push_back(isa::encode(rec.inst));
+        cur->effAddrStore.push_back(rec.effAddr);
+        cur->memSizeStore.push_back(
+            static_cast<std::uint8_t>(rec.memSize));
+        cur->nextPcStore.push_back(rec.nextPc);
         if (sim.output().size() != out_len) {
             out_len = sim.output().size();
             trace->outputMarks_.push_back(
@@ -82,8 +128,10 @@ InstTrace::capture(const prog::Program &program, InstSeq max_insts)
         }
         ++n;
     }
-    if (cur)
+    if (cur) {
+        cur->seal();
         trace->chunks_.push_back(std::move(cur));
+    }
     trace->length_ = n;
     trace->halted_ = sim.halted();
     trace->output_ = sim.output();

@@ -15,6 +15,14 @@
  * advanced past a chunk can drop its reference and let the memory go
  * as soon as every other holder has too — the same
  * compute-once-and-broadcast shape the paper applies to operands.
+ *
+ * Each chunk exposes its columns as raw read-only pointer views.
+ * A chunk produced by capture() (or a decompressing load) *owns* its
+ * columns in the *Store vectors; a chunk loaded from an on-disk trace
+ * file (func/trace_file.hh) may instead *borrow* them straight out of
+ * a read-only file mapping, with `backing` keeping the mapping alive
+ * until the last borrowed chunk is released — so loading a multi-GB
+ * trace costs O(pages touched), never a copy.
  */
 
 #ifndef DSCALAR_FUNC_INST_TRACE_HH
@@ -45,19 +53,28 @@ class InstTrace
 
     /**
      * Structure-of-arrays block of consecutive dynamic instructions.
-     * Element i of every column describes record firstSeq + i; the
-     * raw word re-decodes to the retired instruction.
+     * Element i of every column view describes record firstSeq + i;
+     * the raw word re-decodes to the retired instruction.
+     *
+     * The pointer views are the read interface. Columns filled into
+     * the *Store vectors are published through them by seal();
+     * columns borrowed from a file mapping point into `backing`.
+     * A sealed chunk is immutable.
      */
     struct Chunk
     {
-        std::vector<Addr> pc;
-        std::vector<std::uint32_t> word;  ///< encoded instruction
-        std::vector<Addr> effAddr;        ///< invalidAddr if not mem
-        std::vector<std::uint8_t> memSize; ///< bytes, 0 if not mem
-        std::vector<Addr> nextPc;
+        const Addr *pc = nullptr;
+        const std::uint32_t *word = nullptr; ///< encoded instruction
+        const Addr *effAddr = nullptr;       ///< invalidAddr if not mem
+        const std::uint8_t *memSize = nullptr; ///< bytes, 0 if not mem
+        const Addr *nextPc = nullptr;
+        std::size_t count = 0;
 
-        std::size_t size() const { return pc.size(); }
+        std::size_t size() const { return count; }
+        /** Owned heap payload; borrowed columns cost no heap. */
         std::size_t bytes() const;
+        /** True when any column lives in a file mapping. */
+        bool borrowed() const { return backing != nullptr; }
 
         /** Expand record @p i of this chunk (sequence @p seq) into
          *  the DynInst a live FuncSim step would have produced. */
@@ -71,6 +88,28 @@ class InstTrace
             out.memSize = memSize[i];
             out.nextPc = nextPc[i];
         }
+
+        /** Point every null view at its *Store vector and set count
+         *  (all owned columns must have equal length). Views already
+         *  aimed at borrowed storage are left alone. */
+        void seal();
+
+        // Owned column storage (capture, or decompressed load).
+        std::vector<Addr> pcStore;
+        std::vector<std::uint32_t> wordStore;
+        std::vector<Addr> effAddrStore;
+        std::vector<std::uint8_t> memSizeStore;
+        std::vector<Addr> nextPcStore;
+        /** Keep-alive for columns borrowed from a file mapping. */
+        std::shared_ptr<const void> backing;
+    };
+
+    /** Output length watermark: after record seq retired, output()
+     *  held bytes bytes. Only records that printed get a mark. */
+    struct OutputMark
+    {
+        InstSeq seq;
+        std::uint64_t bytes;
     };
 
     /**
@@ -82,6 +121,20 @@ class InstTrace
     static std::shared_ptr<const InstTrace>
     capture(const prog::Program &program, InstSeq max_insts = 0);
 
+    /** Everything a loader must supply to rebuild a trace. */
+    struct Parts
+    {
+        std::vector<std::shared_ptr<const Chunk>> chunks;
+        InstSeq length = 0;
+        bool halted = false;
+        std::string output;
+        std::vector<OutputMark> outputMarks; ///< ascending seq
+    };
+
+    /** Reassemble a trace from loader-built parts (trace_file.cc).
+     *  Chunks must be sealed and sum to @p parts.length records. */
+    static std::shared_ptr<const InstTrace> fromParts(Parts &&parts);
+
     /** Number of captured records. */
     InstSeq length() const { return length_; }
 
@@ -91,6 +144,13 @@ class InstTrace
 
     /** Bytes written by Print* syscalls during the captured prefix. */
     const std::string &output() const { return output_; }
+
+    /** Watermarks backing outputPrefix(), in ascending seq order. */
+    const std::vector<OutputMark> &
+    outputMarks() const
+    {
+        return outputMarks_;
+    }
 
     /**
      * Bytes written by the first @p max_insts captured records
@@ -107,7 +167,9 @@ class InstTrace
         return chunks_[index];
     }
 
-    /** Approximate heap footprint of the SoA payload in bytes. */
+    /** Approximate heap footprint of the SoA payload in bytes
+     *  (borrowed chunks count only their bookkeeping — their pages
+     *  belong to the shared file mapping). */
     std::size_t memoryBytes() const;
 
     /** Expand record @p seq (must be < length()). */
@@ -138,14 +200,6 @@ class InstTrace
 
   private:
     InstTrace() = default;
-
-    /** Output length watermark: after record seq retired, output_
-     *  held bytes bytes. Only records that printed get a mark. */
-    struct OutputMark
-    {
-        InstSeq seq;
-        std::uint64_t bytes;
-    };
 
     std::vector<std::shared_ptr<const Chunk>> chunks_;
     InstSeq length_ = 0;

@@ -1,0 +1,607 @@
+#include "func/trace_file.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace dscalar {
+namespace func {
+
+namespace {
+
+constexpr char kMagic[8] = {'d', 's', 't', 'r', 'a', 'c', 'e', '\n'};
+constexpr std::uint32_t kEndianTag = 0x01020304;
+constexpr std::uint32_t kFlagCompressed = 1u << 0;
+constexpr unsigned kColumns = 4; ///< pc(+sentinel), word, effAddr, memSize
+
+/** Fixed file header; every multi-byte field is host (little)
+ *  endian, guarded by the endian tag. */
+struct RawHeader
+{
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t endian;
+    std::uint32_t flags;
+    std::uint32_t halted;
+    std::uint64_t records;
+    std::uint64_t imageDigest;
+    std::uint64_t keyOffset;
+    std::uint64_t keyBytes;
+    std::uint64_t outputOffset;
+    std::uint64_t outputBytes;
+    std::uint64_t marksOffset;
+    std::uint64_t markCount;
+    std::uint64_t chunkDirOffset;
+    std::uint64_t fileBytes;
+    std::uint64_t payloadChecksum;
+};
+static_assert(sizeof(RawHeader) == 112, "header layout drifted");
+static_assert(sizeof(RawHeader) % 8 == 0,
+              "payload base must stay 8-aligned for borrowed columns");
+
+/** One stored column's location (kColumns per chunk, in order). */
+struct DirEntry
+{
+    std::uint64_t offset;
+    std::uint64_t bytes;
+};
+static_assert(sizeof(DirEntry) == 16, "dir entry layout drifted");
+
+/** Payload checksum: four interleaved FNV-1a lanes over 64-bit
+ *  little-endian words (tail bytes zero-padded into a final word),
+ *  folded into one value at the end. A byte-serial FNV is a strict
+ *  dependency chain (~1 byte/cycle) and would dominate warm loads;
+ *  word-wide independent lanes validate at memory speed. Any
+ *  single-word corruption still flips its lane deterministically —
+ *  (h ^ w) * prime is invertible in 2^64. */
+std::uint64_t
+fnv1a(const std::uint8_t *p, std::size_t n)
+{
+    constexpr std::uint64_t kOffset = 14695981039346656037ull;
+    constexpr std::uint64_t kPrime = 1099511628211ull;
+    std::uint64_t lane[4] = {kOffset, kOffset + 1, kOffset + 2,
+                             kOffset + 3};
+    std::size_t words = n / 8;
+    std::size_t i = 0;
+    for (; i + 4 <= words; i += 4) {
+        for (unsigned l = 0; l < 4; ++l) {
+            std::uint64_t w;
+            std::memcpy(&w, p + (i + l) * 8, 8);
+            lane[l] = (lane[l] ^ w) * kPrime;
+        }
+    }
+    for (; i < words; ++i) {
+        std::uint64_t w;
+        std::memcpy(&w, p + i * 8, 8);
+        lane[0] = (lane[0] ^ w) * kPrime;
+    }
+    if (n % 8) {
+        std::uint64_t w = 0;
+        std::memcpy(&w, p + words * 8, n % 8);
+        lane[1] = (lane[1] ^ w) * kPrime;
+    }
+    std::uint64_t h = kOffset;
+    for (unsigned l = 0; l < 4; ++l)
+        h = (h ^ lane[l]) * kPrime;
+    return h;
+}
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void
+appendRaw(std::string &buf, const void *data, std::size_t n)
+{
+    buf.append(static_cast<const char *>(data), n);
+}
+
+/** Pad @p buf to the next 8-byte payload boundary and return the
+ *  absolute file offset of the byte that follows. */
+std::uint64_t
+alignPayload(std::string &buf)
+{
+    while ((sizeof(RawHeader) + buf.size()) % 8 != 0)
+        buf.push_back('\0');
+    return sizeof(RawHeader) + buf.size();
+}
+
+void
+appendVarint(std::string &buf, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        buf.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    buf.push_back(static_cast<char>(v));
+}
+
+bool
+readVarint(const std::uint8_t *&p, const std::uint8_t *end,
+           std::uint64_t &out)
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    while (p != end && shift < 64) {
+        std::uint8_t b = *p++;
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80)) {
+            out = v;
+            return true;
+        }
+        shift += 7;
+    }
+    return false;
+}
+
+/** Append an Addr column as zigzag deltas (addresses and pcs are
+ *  nearly sequential, so the varints are short). */
+void
+appendDeltaColumn(std::string &buf, const Addr *col, std::size_t n)
+{
+    Addr prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        appendVarint(buf, zigzag(static_cast<std::int64_t>(
+                              col[i] - prev)));
+        prev = col[i];
+    }
+}
+
+bool
+decodeDeltaColumn(const std::uint8_t *p, std::size_t bytes,
+                  std::size_t n, std::vector<Addr> &out)
+{
+    const std::uint8_t *end = p + bytes;
+    out.clear();
+    out.reserve(n);
+    Addr prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t zz = 0;
+        if (!readVarint(p, end, zz))
+            return false;
+        prev += static_cast<Addr>(unzigzag(zz));
+        out.push_back(prev);
+    }
+    return p == end; // a stored column must decode exactly
+}
+
+std::string
+tmpPathFor(const std::string &path)
+{
+    static std::atomic<std::uint64_t> seq{0};
+    return path + ".tmp." + std::to_string(::getpid()) + "." +
+           std::to_string(seq.fetch_add(1));
+}
+
+/** Read-only whole-file mapping; unmapped when the last borrowed
+ *  chunk (and the loader) lets go. */
+struct Mapping
+{
+    const std::uint8_t *base = nullptr;
+    std::size_t len = 0;
+
+    ~Mapping()
+    {
+        if (base)
+            ::munmap(const_cast<std::uint8_t *>(base), len);
+    }
+};
+
+/** Map @p path and run the structural header checks (magic, version,
+ *  endianness, size, section ranges). @return nullptr with @p error
+ *  set on the first failed check. */
+std::shared_ptr<Mapping>
+mapAndValidate(const std::string &path, RawHeader &hdr,
+               std::string &key, std::string &error)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        error = "cannot open: " + std::string(std::strerror(errno));
+        return nullptr;
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        error = "cannot stat: " + std::string(std::strerror(errno));
+        ::close(fd);
+        return nullptr;
+    }
+    auto size = static_cast<std::size_t>(st.st_size);
+    if (size < sizeof(RawHeader)) {
+        error = "file smaller than header";
+        ::close(fd);
+        return nullptr;
+    }
+    // MAP_POPULATE batches the page-table setup in-kernel: the
+    // checksum pass reads every payload page anyway, and one populate
+    // is much cheaper than ~size/4K soft faults taken one at a time.
+    int flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+    flags |= MAP_POPULATE;
+#endif
+    void *base = ::mmap(nullptr, size, PROT_READ, flags, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED) {
+        error = "mmap failed: " + std::string(std::strerror(errno));
+        return nullptr;
+    }
+    auto map = std::make_shared<Mapping>();
+    map->base = static_cast<const std::uint8_t *>(base);
+    map->len = size;
+
+    std::memcpy(&hdr, map->base, sizeof(hdr));
+    if (std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0) {
+        error = "bad magic (not a dstrace file)";
+        return nullptr;
+    }
+    if (hdr.endian != kEndianTag) {
+        error = "endianness mismatch";
+        return nullptr;
+    }
+    if (hdr.version != kTraceFileVersion) {
+        error = "unsupported version " + std::to_string(hdr.version);
+        return nullptr;
+    }
+    if (hdr.fileBytes != size) {
+        error = "truncated file (header claims " +
+                std::to_string(hdr.fileBytes) + " bytes, file has " +
+                std::to_string(size) + ")";
+        return nullptr;
+    }
+
+    auto in_range = [&](std::uint64_t off, std::uint64_t len) {
+        return off >= sizeof(RawHeader) && off <= size &&
+               len <= size - off;
+    };
+    std::uint64_t chunks =
+        (hdr.records + InstTrace::kChunkRecords - 1) >>
+        InstTrace::kChunkShift;
+    if (!in_range(hdr.keyOffset, hdr.keyBytes) ||
+        !in_range(hdr.outputOffset, hdr.outputBytes) ||
+        !in_range(hdr.marksOffset,
+                  hdr.markCount * sizeof(std::uint64_t) * 2) ||
+        !in_range(hdr.chunkDirOffset,
+                  chunks * kColumns * sizeof(DirEntry))) {
+        error = "section out of range";
+        return nullptr;
+    }
+    key.assign(reinterpret_cast<const char *>(map->base) +
+                   hdr.keyOffset,
+               hdr.keyBytes);
+    return map;
+}
+
+} // namespace
+
+bool
+saveTraceFile(const std::string &path, const InstTrace &trace,
+              const std::string &key, std::uint64_t image_digest,
+              std::string &error, const TraceSaveOptions &opts)
+{
+    RawHeader hdr;
+    std::memset(&hdr, 0, sizeof(hdr));
+    std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+    hdr.version = kTraceFileVersion;
+    hdr.endian = kEndianTag;
+    hdr.flags = opts.compressed ? kFlagCompressed : 0;
+    hdr.halted = trace.programHalted() ? 1 : 0;
+    hdr.records = trace.length();
+    hdr.imageDigest = image_digest;
+
+    std::string buf; // payload, file offset sizeof(RawHeader)+i
+    hdr.keyOffset = alignPayload(buf);
+    hdr.keyBytes = key.size();
+    appendRaw(buf, key.data(), key.size());
+
+    hdr.outputOffset = alignPayload(buf);
+    hdr.outputBytes = trace.output().size();
+    appendRaw(buf, trace.output().data(), trace.output().size());
+
+    hdr.marksOffset = alignPayload(buf);
+    hdr.markCount = trace.outputMarks().size();
+    for (const auto &m : trace.outputMarks()) {
+        std::uint64_t seq = m.seq;
+        appendRaw(buf, &seq, sizeof(seq));
+        appendRaw(buf, &m.bytes, sizeof(m.bytes));
+    }
+
+    std::vector<DirEntry> dir;
+    dir.reserve(trace.numChunks() * kColumns);
+    auto raw_column = [&](const void *data, std::size_t bytes) {
+        DirEntry e{alignPayload(buf), bytes};
+        appendRaw(buf, data, bytes);
+        dir.push_back(e);
+    };
+    // The dynamic stream is sequential — record i+1 executes at
+    // record i's nextPc — so no nextPc column is stored. Each chunk's
+    // pc column carries n+1 entries (the sentinel is the last
+    // record's nextPc) and the loader aliases nextPc = pc + 1,
+    // saving 8 bytes/record. The invariant is verified here so a
+    // round trip can never silently rewrite a stream violating it.
+    std::vector<Addr> pc_scratch;
+    for (std::size_t ci = 0; ci < trace.numChunks(); ++ci) {
+        const InstTrace::Chunk &c = *trace.chunk(ci);
+        std::size_t n = c.size();
+        for (std::size_t i = 0; i + 1 < n; ++i) {
+            if (c.nextPc[i] != c.pc[i + 1]) {
+                error = "trace stream is not sequential; cannot "
+                        "share the pc column";
+                return false;
+            }
+        }
+        if (opts.compressed) {
+            pc_scratch.assign(c.pc, c.pc + n);
+            pc_scratch.push_back(c.nextPc[n - 1]);
+            DirEntry e{alignPayload(buf), 0};
+            appendDeltaColumn(buf, pc_scratch.data(), n + 1);
+            e.bytes = sizeof(RawHeader) + buf.size() - e.offset;
+            dir.push_back(e);
+        } else {
+            DirEntry e{alignPayload(buf), (n + 1) * sizeof(Addr)};
+            appendRaw(buf, c.pc, n * sizeof(Addr));
+            appendRaw(buf, &c.nextPc[n - 1], sizeof(Addr));
+            dir.push_back(e);
+        }
+        raw_column(c.word, n * sizeof(std::uint32_t));
+        if (opts.compressed) {
+            DirEntry e{alignPayload(buf), 0};
+            appendDeltaColumn(buf, c.effAddr, n);
+            e.bytes = sizeof(RawHeader) + buf.size() - e.offset;
+            dir.push_back(e);
+        } else {
+            raw_column(c.effAddr, n * sizeof(Addr));
+        }
+        raw_column(c.memSize, n * sizeof(std::uint8_t));
+    }
+
+    hdr.chunkDirOffset = alignPayload(buf);
+    appendRaw(buf, dir.data(), dir.size() * sizeof(DirEntry));
+
+    hdr.fileBytes = sizeof(RawHeader) + buf.size();
+    hdr.payloadChecksum = fnv1a(
+        reinterpret_cast<const std::uint8_t *>(buf.data()),
+        buf.size());
+
+    std::string tmp = tmpPathFor(path);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            error = "cannot create " + tmp;
+            return false;
+        }
+        out.write(reinterpret_cast<const char *>(&hdr), sizeof(hdr));
+        out.write(buf.data(),
+                  static_cast<std::streamsize>(buf.size()));
+        out.flush();
+        if (!out) {
+            error = "short write to " + tmp;
+            out.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        error = "rename failed: " + std::string(std::strerror(errno));
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::shared_ptr<const InstTrace>
+loadTraceFile(const std::string &path, const std::string &expect_key,
+              std::uint64_t expect_digest, std::string &error,
+              TraceFileInfo *info)
+{
+    RawHeader hdr;
+    std::string key;
+    std::shared_ptr<Mapping> map =
+        mapAndValidate(path, hdr, key, error);
+    if (!map)
+        return nullptr;
+
+    if (!expect_key.empty()) {
+        if (key != expect_key) {
+            error = "workload key mismatch (stored \"" + key + "\")";
+            return nullptr;
+        }
+        if (hdr.imageDigest != expect_digest) {
+            error = "image digest mismatch (stale trace)";
+            return nullptr;
+        }
+    }
+    if (fnv1a(map->base + sizeof(RawHeader),
+              map->len - sizeof(RawHeader)) != hdr.payloadChecksum) {
+        error = "payload checksum mismatch";
+        return nullptr;
+    }
+
+    bool compressed = (hdr.flags & kFlagCompressed) != 0;
+    std::uint64_t num_chunks =
+        (hdr.records + InstTrace::kChunkRecords - 1) >>
+        InstTrace::kChunkShift;
+    const auto *dir = reinterpret_cast<const DirEntry *>(
+        map->base + hdr.chunkDirOffset);
+    std::uint64_t payload_bytes = 0;
+
+    InstTrace::Parts parts;
+    parts.length = hdr.records;
+    parts.halted = hdr.halted != 0;
+    parts.output.assign(reinterpret_cast<const char *>(map->base) +
+                            hdr.outputOffset,
+                        hdr.outputBytes);
+    parts.outputMarks.reserve(hdr.markCount);
+    {
+        const auto *m = reinterpret_cast<const std::uint64_t *>(
+            map->base + hdr.marksOffset);
+        InstSeq prev_seq = 0;
+        for (std::uint64_t i = 0; i < hdr.markCount; ++i) {
+            InstTrace::OutputMark mark{m[2 * i], m[2 * i + 1]};
+            if (mark.seq >= hdr.records ||
+                (i > 0 && mark.seq <= prev_seq)) {
+                error = "corrupt output marks";
+                return nullptr;
+            }
+            prev_seq = mark.seq;
+            parts.outputMarks.push_back(mark);
+        }
+    }
+
+    parts.chunks.reserve(num_chunks);
+    for (std::uint64_t ci = 0; ci < num_chunks; ++ci) {
+        std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(InstTrace::kChunkRecords,
+                                    hdr.records -
+                                        (ci
+                                         << InstTrace::kChunkShift)));
+        const DirEntry *e = dir + ci * kColumns;
+        auto chunk = std::make_shared<InstTrace::Chunk>();
+        chunk->backing = map;
+
+        // Validate one column and either borrow it from the mapping
+        // (raw) or leave the view null for the decoder to fill.
+        auto column = [&](const DirEntry &d, std::size_t width,
+                          const void *&view) -> bool {
+            if (d.offset < sizeof(RawHeader) ||
+                d.offset > map->len ||
+                d.bytes > map->len - d.offset) {
+                error = "column out of range";
+                return false;
+            }
+            payload_bytes += d.bytes;
+            if (width) { // raw fixed-width column
+                if (d.bytes != n * width || d.offset % 8 != 0) {
+                    error = "malformed column";
+                    return false;
+                }
+                view = map->base + d.offset;
+            }
+            return true;
+        };
+        auto addr_column = [&](const DirEntry &d, const Addr *&view,
+                               std::vector<Addr> &store) -> bool {
+            const void *raw = nullptr;
+            if (!column(d, compressed ? 0 : sizeof(Addr), raw))
+                return false;
+            if (!compressed) {
+                view = static_cast<const Addr *>(raw);
+                return true;
+            }
+            if (!decodeDeltaColumn(map->base + d.offset,
+                                   static_cast<std::size_t>(d.bytes),
+                                   n, store)) {
+                error = "corrupt delta column";
+                return false;
+            }
+            return true;
+        };
+
+        // The pc column carries n+1 entries — the sentinel is the
+        // last record's nextPc — and the sequential-stream invariant
+        // the saver verified makes nextPc a one-record-shifted view
+        // of the same storage.
+        const DirEntry &dpc = e[0];
+        if (dpc.offset < sizeof(RawHeader) || dpc.offset > map->len ||
+            dpc.bytes > map->len - dpc.offset) {
+            error = "column out of range";
+            return nullptr;
+        }
+        payload_bytes += dpc.bytes;
+        if (!compressed) {
+            if (dpc.bytes != (n + 1) * sizeof(Addr) ||
+                dpc.offset % 8 != 0) {
+                error = "malformed column";
+                return nullptr;
+            }
+            chunk->pc = reinterpret_cast<const Addr *>(map->base +
+                                                       dpc.offset);
+        } else {
+            if (!decodeDeltaColumn(
+                    map->base + dpc.offset,
+                    static_cast<std::size_t>(dpc.bytes), n + 1,
+                    chunk->pcStore)) {
+                error = "corrupt delta column";
+                return nullptr;
+            }
+            chunk->pc = chunk->pcStore.data();
+        }
+        chunk->nextPc = chunk->pc + 1;
+
+        const void *word_view = nullptr;
+        const void *size_view = nullptr;
+        if (!column(e[1], sizeof(std::uint32_t), word_view) ||
+            !addr_column(e[2], chunk->effAddr, chunk->effAddrStore) ||
+            !column(e[3], sizeof(std::uint8_t), size_view))
+            return nullptr;
+        chunk->word = static_cast<const std::uint32_t *>(word_view);
+        chunk->memSize = static_cast<const std::uint8_t *>(size_view);
+        chunk->seal();
+        // After seal: the pc store holds n+1 entries, so the owned-
+        // store maximum overshoots by the sentinel; the record count
+        // is authoritative here.
+        chunk->count = n;
+        parts.chunks.push_back(std::move(chunk));
+    }
+
+    if (info) {
+        info->version = hdr.version;
+        info->compressed = compressed;
+        info->records = hdr.records;
+        info->halted = hdr.halted != 0;
+        info->imageDigest = hdr.imageDigest;
+        info->key = key;
+        info->fileBytes = hdr.fileBytes;
+        info->payloadBytes = payload_bytes;
+    }
+    error.clear();
+    return InstTrace::fromParts(std::move(parts));
+}
+
+bool
+probeTraceFile(const std::string &path, TraceFileInfo &info,
+               std::string &error)
+{
+    RawHeader hdr;
+    std::string key;
+    std::shared_ptr<Mapping> map =
+        mapAndValidate(path, hdr, key, error);
+    if (!map)
+        return false;
+    std::uint64_t chunks =
+        (hdr.records + InstTrace::kChunkRecords - 1) >>
+        InstTrace::kChunkShift;
+    const auto *dir = reinterpret_cast<const DirEntry *>(
+        map->base + hdr.chunkDirOffset);
+    std::uint64_t payload_bytes = 0;
+    for (std::uint64_t i = 0; i < chunks * kColumns; ++i)
+        payload_bytes += dir[i].bytes;
+    info.version = hdr.version;
+    info.compressed = (hdr.flags & kFlagCompressed) != 0;
+    info.records = hdr.records;
+    info.halted = hdr.halted != 0;
+    info.imageDigest = hdr.imageDigest;
+    info.key = key;
+    info.fileBytes = hdr.fileBytes;
+    info.payloadBytes = payload_bytes;
+    error.clear();
+    return true;
+}
+
+} // namespace func
+} // namespace dscalar

@@ -20,7 +20,11 @@ namespace serve {
 
 namespace kv = common::kv;
 
-Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)) {}
+Server::Server(ServerConfig cfg) : cfg_(std::move(cfg))
+{
+    if (!cfg_.traceDir.empty())
+        cache_.setTraceDir(cfg_.traceDir);
+}
 
 Server::~Server()
 {
@@ -222,6 +226,10 @@ Server::handleRun(std::istream &in)
     req.sampler = nullptr;
     req.traceToStderr = false;
     req.flightRecorder = true;
+    // The daemon's persistent store is set by --trace-dir alone; a
+    // remote client must not redirect it (or make runOne sidestep
+    // the shared cache with a private one).
+    req.traceDir.clear();
 
     if (!req.perfettoPath.empty()) {
         if (cfg_.outputDir.empty())
@@ -316,6 +324,8 @@ Server::stats() const
     out.traceCaptures = cache_.captures();
     out.traceHits = cache_.hits();
     out.traceBytes = cache_.memoryBytes();
+    out.traceDiskHits = cache_.diskHits();
+    out.traceDiskWrites = cache_.diskWrites();
     return out;
 }
 
@@ -352,6 +362,10 @@ Server::statsJson() const
                     "acquires served from cache");
     snap.addCounter(cache, "bytes", s.traceBytes,
                     "bytes held across cached traces");
+    snap.addCounter(cache, "disk_hits", s.traceDiskHits,
+                    "misses served from the trace store");
+    snap.addCounter(cache, "disk_writes", s.traceDiskWrites,
+                    "trace files written to the store");
 
     stats::RunMeta meta;
     meta.add("service", "dsserve");

@@ -46,6 +46,47 @@ TEST(FuzzOracle, CrossChecksRunExtraTimingRuns)
     EXPECT_EQ(oracle.stats().timingRuns, 3u);
 }
 
+TEST(FuzzOracle, DiskReplayDifferentialPasses)
+{
+    check::Oracle oracle;
+    check::ProgramGen gen(oracle.genParams());
+    prog::Program p = gen.generate(13);
+    check::GoldenRun golden = check::runGolden(p);
+
+    check::TrialConfig config;
+    config.traceDir = ::testing::TempDir() + "/fuzz_oracle_store";
+    EXPECT_EQ(oracle.checkConfig(p, golden, config), "");
+    // One live run + one disk-loaded replay.
+    EXPECT_EQ(oracle.stats().timingRuns, 2u);
+}
+
+TEST(FuzzOracle, TraceDirSamplingKeepsStreamAligned)
+{
+    // Setting OracleOptions::traceDir must only add the traceDir
+    // field to some sampled configs — the rest of the matrix a seed
+    // explores has to stay byte-identical, or existing repro seeds
+    // would silently start exercising different configs.
+    check::OracleOptions with;
+    with.traceDir = "store";
+    check::Oracle plain;
+    check::Oracle stored(with);
+    Random ra(99), rb(99);
+    bool sampled = false;
+    for (int i = 0; i < 64; ++i) {
+        check::TrialConfig ca = plain.sampleConfig(ra);
+        check::TrialConfig cb = stored.sampleConfig(rb);
+        EXPECT_TRUE(ca.traceDir.empty());
+        if (!cb.traceDir.empty()) {
+            sampled = true;
+            EXPECT_EQ(cb.traceDir, "store");
+        }
+        cb.traceDir.clear();
+        EXPECT_EQ(check::describeConfig(ca),
+                  check::describeConfig(cb));
+    }
+    EXPECT_TRUE(sampled);
+}
+
 TEST(FuzzOracle, FlagsFaultInjectionWithoutRecovery)
 {
     // The designed-in mismatch: duplicate/delay faults on the
@@ -158,6 +199,8 @@ TEST(FuzzRepro, FormatParseRoundTrip)
     r.config.bshrCapacity = 16;
     r.config.maxInsts = 12345;
     r.config.faultSeed = 99;
+    // A path with spaces rides on the kv quoting layer.
+    r.config.traceDir = "/tmp/fuzz trace store";
     r.mismatch = "output divergence: 3 bytes vs golden 5 bytes";
 
     std::istringstream in(check::formatRepro(r));
@@ -182,6 +225,7 @@ TEST(FuzzRepro, FormatParseRoundTrip)
     EXPECT_EQ(back.config.bshrCapacity, 16u);
     EXPECT_EQ(back.config.maxInsts, 12345u);
     EXPECT_EQ(back.config.faultSeed, 99u);
+    EXPECT_EQ(back.config.traceDir, "/tmp/fuzz trace store");
     EXPECT_EQ(back.mismatch, r.mismatch);
 }
 

@@ -79,6 +79,7 @@ nonDefaultRequest()
     req.traceReuse = false;
     req.sampleInterval = 500;
     req.perfettoPath = "trace.json";
+    req.traceDir = "traces";
     return req;
 }
 
@@ -110,6 +111,27 @@ TEST(RunRequestFormat, ParseIsExactInverse)
     EXPECT_FALSE(parsed.traceReuse);
     EXPECT_EQ(parsed.sampleInterval, 500u);
     EXPECT_EQ(parsed.perfettoPath, "trace.json");
+    EXPECT_EQ(parsed.traceDir, "traces");
+}
+
+TEST(RunRequestFormat, PathValuesRideTheQuotingLayer)
+{
+    // Paths with spaces — including leading/trailing ones that plain
+    // `key = value` trimming would eat — must survive the round trip
+    // via kv quoting.
+    driver::RunRequest req;
+    req.workload = "go_s";
+    req.perfettoPath = " out dir/trace.json ";
+    req.traceDir = "/var/cache/ds traces/";
+    std::string text = driver::formatRunRequest(req);
+
+    std::istringstream in(text);
+    driver::RunRequest parsed;
+    std::string error;
+    ASSERT_TRUE(driver::parseRunRequest(in, parsed, error)) << error;
+    EXPECT_EQ(parsed.perfettoPath, " out dir/trace.json ");
+    EXPECT_EQ(parsed.traceDir, "/var/cache/ds traces/");
+    EXPECT_EQ(driver::formatRunRequest(parsed), text);
 }
 
 TEST(RunRequestFormat, DefaultRequestRoundTrips)

@@ -17,12 +17,20 @@
  *
  * Usage:
  *   dsbench [--socket=PATH] [--spawn=DSSERVE] [--requests=N]
- *           [--connections=N] [--max-insts=N] [--smoke] [--shutdown]
+ *           [--connections=N] [--max-insts=N] [--trace-dir=DIR]
+ *           [--expect-no-captures] [--smoke] [--shutdown]
  *
  * Options:
  *   --socket=PATH     daemon socket (default dsserve.sock)
  *   --spawn=DSSERVE   fork/exec this dsserve binary on --socket,
  *                     bench it, then shut it down and reap it
+ *   --trace-dir=DIR   pass a persistent trace store to the spawned
+ *                     daemon (--spawn only) and report its disk
+ *                     hit/write counters
+ *   --expect-no-captures  fail unless the daemon served the whole
+ *                     bench with 0 functional captures and > 0 trace
+ *                     store disk hits (the warm-restart acceptance
+ *                     check: run the bench twice on one --trace-dir)
  *   --requests=N      total requests across all connections
  *                     (default 1000)
  *   --connections=N   concurrent client connections (default 16)
@@ -59,8 +67,9 @@ usage()
     std::fprintf(
         stderr,
         "usage: dsbench [--socket=PATH] [--spawn=DSSERVE] [--requests=N]"
-        "\n               [--connections=N] [--max-insts=N] [--smoke]"
-        " [--shutdown]\n");
+        "\n               [--connections=N] [--max-insts=N]"
+        "\n               [--trace-dir=DIR] [--expect-no-captures]"
+        "\n               [--smoke] [--shutdown]\n");
     return 2;
 }
 
@@ -259,6 +268,8 @@ main(int argc, char **argv)
     std::uint64_t total_requests = 1000;
     std::uint64_t connections = 16;
     std::uint64_t budget = 10000;
+    std::string trace_dir;
+    bool expect_no_captures = false;
     bool shutdown_only = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -270,6 +281,10 @@ main(int argc, char **argv)
             budget = 2000;
         } else if (arg == "--shutdown") {
             shutdown_only = true;
+        } else if (arg == "--expect-no-captures") {
+            expect_no_captures = true;
+        } else if (flagValue(arg, "--trace-dir", value)) {
+            trace_dir = value;
         } else if (flagValue(arg, "--socket", value)) {
             socket_path = value;
         } else if (flagValue(arg, "--spawn", value)) {
@@ -313,8 +328,14 @@ main(int argc, char **argv)
         }
         if (daemon == 0) {
             std::string socket_arg = "--socket=" + socket_path;
-            execl(spawn_path.c_str(), spawn_path.c_str(),
-                  socket_arg.c_str(), (char *)nullptr);
+            std::string trace_arg = "--trace-dir=" + trace_dir;
+            if (trace_dir.empty())
+                execl(spawn_path.c_str(), spawn_path.c_str(),
+                      socket_arg.c_str(), (char *)nullptr);
+            else
+                execl(spawn_path.c_str(), spawn_path.c_str(),
+                      socket_arg.c_str(), trace_arg.c_str(),
+                      (char *)nullptr);
             std::perror("dsbench: exec dsserve");
             _exit(127);
         }
@@ -347,6 +368,7 @@ main(int argc, char **argv)
 
     std::uint64_t server_hits = 0, server_captures = 0;
     std::uint64_t server_requests = 0, server_completed = 0;
+    std::uint64_t disk_hits = 0, disk_writes = 0;
     {
         serve::Client client;
         std::string error;
@@ -361,6 +383,10 @@ main(int argc, char **argv)
                                server_requests);
                 extractCounter(stats.json, "server", "completed",
                                server_completed);
+                extractCounter(stats.json, "trace_cache", "disk_hits",
+                               disk_hits);
+                extractCounter(stats.json, "trace_cache",
+                               "disk_writes", disk_writes);
             }
         }
     }
@@ -394,6 +420,9 @@ main(int argc, char **argv)
                 (unsigned long long)bench.clientCacheHits,
                 (unsigned long long)server_hits,
                 (unsigned long long)server_captures);
+    std::printf("  trace store: disk hits %llu, disk writes %llu\n",
+                (unsigned long long)disk_hits,
+                (unsigned long long)disk_writes);
     std::printf("  server: requests %llu, completed %llu\n",
                 (unsigned long long)server_requests,
                 (unsigned long long)server_completed);
@@ -409,6 +438,15 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "dsbench: FAIL: server reported no trace-cache "
                      "hits\n");
+        return 1;
+    }
+    if (expect_no_captures &&
+        (server_captures != 0 || disk_hits == 0)) {
+        std::fprintf(stderr,
+                     "dsbench: FAIL: expected a warm trace store "
+                     "(captures %llu, disk hits %llu)\n",
+                     (unsigned long long)server_captures,
+                     (unsigned long long)disk_hits);
         return 1;
     }
     if (!spot_ok)

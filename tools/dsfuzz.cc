@@ -15,15 +15,28 @@
  * Usage:
  *   dsfuzz [--runs=N] [--seed=S] [--time-budget=SECONDS]
  *          [--configs-per-trial=N] [--repro-out=FILE] [--quiet]
+ *          [--trace-dir=DIR]
  *   dsfuzz --repro=FILE          replay a saved repro case
+ *
+ * A fraction of sampled configs additionally round-trip the golden
+ * trace through the persistent trace store (func/trace_file.hh) and
+ * replay the disk-loaded copy, requiring results identical to the
+ * live run. By default the store is a private pid-suffixed directory
+ * under $TMPDIR, cleaned up when the campaign passes; --trace-dir=DIR
+ * keeps the files somewhere durable, and --trace-dir= (empty)
+ * disables the differential.
  *
  * Exit status: 0 = every trial passed (or a replayed repro no longer
  * fails), 1 = a mismatch was found (repro written / reproduced),
  * 2 = usage or file error.
  */
 
+#include <dirent.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -44,6 +57,8 @@ struct Options
     unsigned configsPerTrial = 2;
     std::string reproIn;
     std::string reproOut = "dsfuzz-repro.txt";
+    std::string traceDir;
+    bool traceDirSet = false; ///< --trace-dir= given (maybe empty)
     bool quiet = false;
 };
 
@@ -64,7 +79,7 @@ usage()
         stderr,
         "usage: dsfuzz [--runs=N] [--seed=S] [--time-budget=SECONDS]"
         "\n              [--configs-per-trial=N] [--repro-out=FILE]"
-        "\n              [--quiet]"
+        "\n              [--trace-dir=DIR] [--quiet]"
         "\n       dsfuzz --repro=FILE\n");
     return 2;
 }
@@ -75,6 +90,25 @@ elapsedSeconds(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - start)
         .count();
+}
+
+/** Remove a private trace-store directory: every *.dstrace file in
+ *  it, then the directory itself (best effort — a shared or
+ *  user-provided directory is never passed here). */
+void
+removeTraceStore(const std::string &dir)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return;
+    while (struct dirent *e = ::readdir(d)) {
+        std::string name = e->d_name;
+        if (name.size() > 8 &&
+            name.compare(name.size() - 8, 8, ".dstrace") == 0)
+            ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+    ::rmdir(dir.c_str());
 }
 
 /** Print the failing run's flight-recorder dump, if any. */
@@ -156,6 +190,10 @@ main(int argc, char **argv)
             opt.reproIn = value;
         else if (parseFlag(arg, "--repro-out", value))
             opt.reproOut = value;
+        else if (parseFlag(arg, "--trace-dir", value)) {
+            opt.traceDir = value;
+            opt.traceDirSet = true;
+        }
         else if (arg == "--quiet")
             opt.quiet = true;
         else
@@ -167,6 +205,15 @@ main(int argc, char **argv)
 
     check::OracleOptions oopt;
     oopt.configsPerTrial = opt.configsPerTrial;
+    bool tempStore = !opt.traceDirSet;
+    if (tempStore) {
+        const char *tmp = std::getenv("TMPDIR");
+        oopt.traceDir = std::string(tmp && *tmp ? tmp : "/tmp") +
+                        "/dsfuzz-traces." +
+                        std::to_string(::getpid());
+    } else {
+        oopt.traceDir = opt.traceDir;
+    }
     check::Oracle oracle(oopt, check::GenParams::fuzzDefault());
 
     auto start = std::chrono::steady_clock::now();
@@ -232,6 +279,11 @@ main(int argc, char **argv)
                     shrunk.mismatch.c_str(), opt.reproOut.c_str());
         return 1;
     }
+
+    // A passing campaign leaves nothing behind; a failing one keeps
+    // its store so the written repro replays against the same files.
+    if (tempStore)
+        removeTraceStore(oopt.traceDir);
 
     const check::OracleStats &st = oracle.stats();
     if (!opt.quiet)

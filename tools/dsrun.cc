@@ -31,6 +31,10 @@
  *                      into the stats JSON ("timeline" key)
  *   --perfetto=FILE    write the protocol event stream as Chrome
  *                      trace-event JSON (open in ui.perfetto.dev)
+ *   --trace-dir=DIR    persistent trace store: mmap-load this run's
+ *                      captured trace from DIR when a valid file is
+ *                      there, else capture and save it for the next
+ *                      process (docs/PERF.md "Persistent trace store")
  *   --trace            stream protocol events to stderr
  *   --fault-drop=P     drop each transmission with probability P
  *   --fault-dup=P      duplicate each transmission with probability P
@@ -76,7 +80,7 @@ usage()
         "\n             [--tick-threads=N]"
         "\n             [--no-skip] [--stats] [--stats-json=FILE]"
         "\n             [--sample-interval=N] [--perfetto=FILE]"
-        "\n             [--trace]"
+        "\n             [--trace-dir=DIR] [--trace]"
         "\n             [--fault-drop=P] [--fault-dup=P]"
         "\n             [--fault-delay=P] [--fault-max-delay=N]"
         "\n             [--fault-seed=S] [--rerequest-timeout=N]"
