@@ -1,0 +1,74 @@
+#include "check/coverage.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "obs/flight_recorder.hh"
+
+namespace dscalar {
+namespace check {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint8_t byte)
+{
+    return (h ^ byte) * kFnvPrime;
+}
+
+} // namespace
+
+CoverageMap::CoverageMap(unsigned maxNgram) : maxNgram_(maxNgram)
+{
+    fatal_if(maxNgram_ < 1 || maxNgram_ > 8,
+             "coverage: n-gram size must be 1..8, got %u", maxNgram_);
+}
+
+void
+CoverageMap::fingerprint(const std::vector<std::uint8_t> &kinds,
+                         std::unordered_set<std::uint64_t> &out) const
+{
+    for (std::size_t start = 0; start < kinds.size(); ++start) {
+        // Seed each window's hash with its length so a 1-gram and a
+        // longer window never collide structurally.
+        std::uint64_t h = kFnvOffset;
+        std::size_t maxLen = std::min<std::size_t>(
+            maxNgram_, kinds.size() - start);
+        for (std::size_t len = 0; len < maxLen; ++len) {
+            h = fnv1a(h, kinds[start + len]);
+            out.insert(fnv1a(h, static_cast<std::uint8_t>(len + 1)));
+        }
+    }
+}
+
+std::uint64_t
+CoverageMap::record(
+    const std::vector<std::vector<std::uint8_t>> &histories)
+{
+    std::unordered_set<std::uint64_t> run;
+    for (const auto &kinds : histories)
+        fingerprint(kinds, run);
+    std::uint64_t gain = 0;
+    for (std::uint64_t h : run)
+        if (seen_.insert(h).second)
+            ++gain;
+    ++runs_;
+    return gain;
+}
+
+std::uint64_t
+CoverageMap::record(const obs::FlightRecorder &recorder)
+{
+    std::vector<std::vector<std::uint8_t>> histories;
+    histories.reserve(recorder.nodeCount());
+    for (std::size_t n = 0; n < recorder.nodeCount(); ++n)
+        histories.push_back(
+            recorder.kindHistory(static_cast<NodeId>(n)));
+    return record(histories);
+}
+
+} // namespace check
+} // namespace dscalar

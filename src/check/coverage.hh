@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Protocol-event coverage map for coverage-guided fuzzing.
+ *
+ * Every timing run leaves a per-node protocol-event history in the
+ * oracle's obs::FlightRecorder. CoverageMap fingerprints those
+ * histories as the set of event-kind n-grams (all window sizes
+ * 1..maxNgram, FNV-1a hashed) and accumulates them globally across a
+ * campaign. The gain a run reports — how many of its n-grams were
+ * never seen before — is the guidance signal dsfuzz --coverage uses:
+ * trials that exercised a new protocol-event sequence keep their
+ * generation parameters in the corpus and get mutated further, trials
+ * that only retread known sequences are discarded.
+ *
+ * Node ids are deliberately left out of the fingerprint: the protocol
+ * is symmetric in the nodes, so "node 3 saw Broadcast→BshrWake" and
+ * "node 0 saw Broadcast→BshrWake" are the same behaviour, and folding
+ * them keeps the map measuring protocol-sequence diversity rather
+ * than node-count diversity.
+ */
+
+#ifndef DSCALAR_CHECK_COVERAGE_HH
+#define DSCALAR_CHECK_COVERAGE_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace dscalar {
+
+namespace obs {
+class FlightRecorder;
+}
+
+namespace check {
+
+class CoverageMap
+{
+  public:
+    /** @p maxNgram = largest event-kind window hashed (1..8). */
+    explicit CoverageMap(unsigned maxNgram = 3);
+
+    unsigned maxNgram() const { return maxNgram_; }
+
+    /**
+     * Fingerprint one node's event-kind history: the FNV-1a hashes
+     * of every 1..maxNgram window. Exposed for tests and for callers
+     * that export histories without a FlightRecorder.
+     */
+    void fingerprint(const std::vector<std::uint8_t> &kinds,
+                     std::unordered_set<std::uint64_t> &out) const;
+
+    /**
+     * Fold one run's histories into the map. @return the gain: how
+     * many n-grams this run was first to reach.
+     */
+    std::uint64_t
+    record(const std::vector<std::vector<std::uint8_t>> &histories);
+
+    /** Convenience: record() on every node ring of @p recorder. */
+    std::uint64_t record(const obs::FlightRecorder &recorder);
+
+    /** Distinct n-grams seen so far across the whole campaign. */
+    std::uint64_t uniqueNgrams() const { return seen_.size(); }
+    /** Runs folded in so far. */
+    std::uint64_t runsRecorded() const { return runs_; }
+
+  private:
+    unsigned maxNgram_;
+    std::uint64_t runs_ = 0;
+    std::unordered_set<std::uint64_t> seen_;
+};
+
+} // namespace check
+} // namespace dscalar
+
+#endif // DSCALAR_CHECK_COVERAGE_HH

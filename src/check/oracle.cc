@@ -9,6 +9,7 @@
 
 #include "baseline/perfect.hh"
 #include "baseline/traditional.hh"
+#include "check/coverage.hh"
 #include "common/logging.hh"
 #include "core/datascalar.hh"
 #include "func/func_sim.hh"
@@ -129,12 +130,19 @@ checkDataScalarInvariants(const core::DataScalarSystem &sys,
     return "";
 }
 
-/** Run @p cfg once (live, or replaying @p trace when non-null). */
+/** Run @p cfg once (live, or replaying @p trace when non-null).
+ *  When @p coverage is set, DataScalar runs fold their protocol-event
+ *  history into it and add their gain to @p coverageGain. */
 RunOutcome
 runConfigOnce(const prog::Program &program,
               const core::SimConfig &cfg, const TrialConfig &config,
-              std::shared_ptr<const func::InstTrace> trace)
+              std::shared_ptr<const func::InstTrace> trace,
+              CoverageMap *coverage = nullptr,
+              std::uint64_t *coverageGain = nullptr)
 {
+    // Plant the requested protocol bug for the timing run only; the
+    // golden architectural model never goes through the BSHR.
+    core::ScopedProtocolMutation plant(config.mutation);
     RunOutcome out;
     switch (config.system) {
       case driver::SystemKind::Perfect:
@@ -166,6 +174,8 @@ runConfigOnce(const prog::Program &program,
         out.invariantError =
             checkDataScalarInvariants(sys, out.result, config, cfg);
         out.flightLog = recorder.dumpString();
+        if (coverage && coverageGain)
+            *coverageGain += coverage->record(recorder);
         break;
       }
     }
@@ -240,6 +250,8 @@ describeConfig(const TrialConfig &c)
         os << " tracedir=" << c.traceDir;
     if (c.faultsNoRecovery)
         os << " faults-no-recovery=1";
+    if (c.mutation != core::ProtocolMutation::None)
+        os << " mutation=" << core::protocolMutationName(c.mutation);
     return os.str();
 }
 
@@ -363,6 +375,13 @@ Oracle::checkConfig(const prog::Program &program,
     ++stats_.configsChecked;
     core::SimConfig cfg = toSimConfig(config);
     lastFlightLog_.clear();
+    lastCoverageGain_ = 0;
+
+    auto run = [&](const core::SimConfig &c,
+                   std::shared_ptr<const func::InstTrace> tr) {
+        return runConfigOnce(program, c, config, std::move(tr),
+                             options_.coverage, &lastCoverageGain_);
+    };
 
     // Returns the mismatch unchanged, remembering the failing run's
     // flight-recorder dump for post-mortems (dsfuzz repro files).
@@ -372,7 +391,7 @@ Oracle::checkConfig(const prog::Program &program,
     };
 
     ++stats_.timingRuns;
-    RunOutcome live = runConfigOnce(program, cfg, config, nullptr);
+    RunOutcome live = run(cfg, nullptr);
     if (!live.invariantError.empty())
         return fail(live, live.invariantError);
     std::string err = checkAgainstGolden(live, golden, cfg);
@@ -381,8 +400,7 @@ Oracle::checkConfig(const prog::Program &program,
 
     if (config.crossReplay) {
         ++stats_.timingRuns;
-        RunOutcome rep =
-            runConfigOnce(program, cfg, config, golden.trace);
+        RunOutcome rep = run(cfg, golden.trace);
         if (!rep.invariantError.empty())
             return fail(rep, "trace-replay run: " + rep.invariantError);
         err = checkAgainstGolden(rep, golden, cfg);
@@ -414,7 +432,7 @@ Oracle::checkConfig(const prog::Program &program,
         if (!loaded)
             return "trace-store load failed: " + ferr;
         ++stats_.timingRuns;
-        RunOutcome rep = runConfigOnce(program, cfg, config, loaded);
+        RunOutcome rep = run(cfg, loaded);
         if (!rep.invariantError.empty())
             return fail(rep, "disk-replay run: " + rep.invariantError);
         err = checkAgainstGolden(rep, golden, cfg);
@@ -429,8 +447,7 @@ Oracle::checkConfig(const prog::Program &program,
         core::SimConfig flipped = cfg;
         flipped.eventDriven = !cfg.eventDriven;
         ++stats_.timingRuns;
-        RunOutcome other =
-            runConfigOnce(program, flipped, config, nullptr);
+        RunOutcome other = run(flipped, nullptr);
         if (!other.invariantError.empty())
             return fail(other,
                         "flipped run-loop mode: " +
@@ -447,8 +464,7 @@ Oracle::checkConfig(const prog::Program &program,
         core::SimConfig flipped = cfg;
         flipped.tickThreads = cfg.tickThreads > 1 ? 1 : 4;
         ++stats_.timingRuns;
-        RunOutcome other =
-            runConfigOnce(program, flipped, config, nullptr);
+        RunOutcome other = run(flipped, nullptr);
         if (!other.invariantError.empty())
             return fail(other,
                         "flipped tick-thread count: " +

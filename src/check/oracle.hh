@@ -44,6 +44,7 @@
 
 #include "check/program_gen.hh"
 #include "common/random.hh"
+#include "core/protocol_mutation.hh"
 #include "core/sim_config.hh"
 #include "driver/driver.hh"
 #include "func/inst_trace.hh"
@@ -51,6 +52,8 @@
 
 namespace dscalar {
 namespace check {
+
+class CoverageMap;
 
 /** One sampled point of the configuration matrix. */
 struct TrialConfig
@@ -100,6 +103,16 @@ struct TrialConfig
     unsigned bshrCapacity = 128;
     InstSeq maxInsts = 0; ///< 0 = run to completion
     std::uint64_t faultSeed = 1;
+
+    /**
+     * Testing hook, never sampled: plant a known single-line protocol
+     * bug in the concrete BSHR for the duration of the timing runs
+     * (core/protocol_mutation.hh). The golden architectural run is
+     * unaffected — mutations live in the timing layer — so the oracle
+     * is expected to flag the damage. Carried in repro files so a
+     * mutation-triggered failure replays standalone.
+     */
+    core::ProtocolMutation mutation = core::ProtocolMutation::None;
 };
 
 /** One-line human/machine description, e.g. for repro summaries. */
@@ -156,6 +169,11 @@ struct OracleOptions
      *  way, so setting this never reshuffles the rest of the matrix
      *  a seed explores. */
     std::string traceDir;
+    /** When non-null, every DataScalar timing run's protocol-event
+     *  history is folded into this map (check/coverage.hh) and the
+     *  run's coverage gain is exposed via lastCoverageGain(). Not
+     *  owned; must outlive the oracle. */
+    CoverageMap *coverage = nullptr;
 };
 
 /** The differential oracle: golden run + sampled config checks. */
@@ -207,11 +225,17 @@ class Oracle
      */
     const std::string &lastFlightLog() const { return lastFlightLog_; }
 
+    /** New coverage n-grams contributed by the timing runs of the
+     *  most recent checkConfig/recheck call (0 when OracleOptions::
+     *  coverage is unset). */
+    std::uint64_t lastCoverageGain() const { return lastCoverageGain_; }
+
   private:
     OracleOptions options_;
     GenParams gen_;
     OracleStats stats_;
     std::string lastFlightLog_;
+    std::uint64_t lastCoverageGain_ = 0;
 };
 
 // -------------------------------------------------------------------

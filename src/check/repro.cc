@@ -69,6 +69,10 @@ formatRepro(const ReproCase &r)
     emit(os, "max_insts", c.maxInsts);
     emit(os, "fault_seed", c.faultSeed);
     emit(os, "trace_dir", c.traceDir);
+    // Only mutation-sensitivity repros carry this key, so ordinary
+    // repro files stay byte-identical to the v1 layout.
+    if (c.mutation != core::ProtocolMutation::None)
+        emit(os, "mutation", core::protocolMutationName(c.mutation));
 
     emit(os, "mismatch", r.mismatch.c_str());
     return os.str();
@@ -114,6 +118,15 @@ parseRepro(std::istream &in, ReproCase &out, std::string &error)
                                                r.config.interconnect)) {
                 error = "line " + std::to_string(lineno) +
                         ": unknown interconnect '" + value + "'";
+                return false;
+            }
+            continue;
+        }
+        if (key == "mutation") {
+            if (!core::parseProtocolMutation(value,
+                                             r.config.mutation)) {
+                error = "line " + std::to_string(lineno) +
+                        ": unknown mutation '" + value + "'";
                 return false;
             }
             continue;

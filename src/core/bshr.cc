@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "core/protocol_mutation.hh"
 
 namespace dscalar {
 namespace core {
@@ -36,8 +37,11 @@ Bshr::requestLine(Addr line, Cycle now, Cycle &ready_at)
 {
     LineState &ls = lines_[line];
     if (ls.buffered > 0) {
-        --ls.buffered;
-        bumpOccupancy(-1);
+        if (activeProtocolMutation() !=
+            ProtocolMutation::BufferedHitKeepsData) {
+            --ls.buffered;
+            bumpOccupancy(-1);
+        }
         ++stats_.bufferedHits;
         ready_at = now + latency_;
         eraseIfIdle(line);
@@ -59,6 +63,11 @@ Bshr::deliver(Addr line, Cycle now, Cycle &ready_at)
     if (ls.pendingSquashes > 0) {
         --ls.pendingSquashes;
         ++stats_.squashes;
+        if (activeProtocolMutation() ==
+            ProtocolMutation::DeliverSquashBuffers) {
+            ++ls.buffered;
+            bumpOccupancy(+1);
+        }
         eraseIfIdle(line);
         return Deliver::Squashed;
     }
@@ -130,7 +139,10 @@ Bshr::registerSquash(Addr line)
         eraseIfIdle(line);
         return true;
     }
-    ++ls.pendingSquashes;
+    if (activeProtocolMutation() !=
+        ProtocolMutation::SquashPendingLost)
+        ++ls.pendingSquashes;
+    eraseIfIdle(line);
     return false;
 }
 

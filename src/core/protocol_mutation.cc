@@ -1,0 +1,53 @@
+#include "core/protocol_mutation.hh"
+
+#include <atomic>
+
+namespace dscalar {
+namespace core {
+
+namespace {
+
+std::atomic<ProtocolMutation> g_mutation{ProtocolMutation::None};
+
+constexpr const char *kNames[numProtocolMutations] = {
+    "none",
+    "squash-pending-lost",
+    "buffered-hit-keeps-data",
+    "deliver-squash-buffers",
+};
+
+} // namespace
+
+const char *
+protocolMutationName(ProtocolMutation m)
+{
+    auto i = static_cast<unsigned>(m);
+    return i < numProtocolMutations ? kNames[i] : "?";
+}
+
+bool
+parseProtocolMutation(const std::string &name, ProtocolMutation &out)
+{
+    for (unsigned i = 0; i < numProtocolMutations; ++i) {
+        if (name == kNames[i]) {
+            out = static_cast<ProtocolMutation>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+ProtocolMutation
+activeProtocolMutation()
+{
+    return g_mutation.load(std::memory_order_relaxed);
+}
+
+void
+setProtocolMutation(ProtocolMutation m)
+{
+    g_mutation.store(m, std::memory_order_relaxed);
+}
+
+} // namespace core
+} // namespace dscalar

@@ -31,6 +31,22 @@ FlightRecorder::retainedEvents(NodeId node) const
     return node < rings_.size() ? rings_[node].events.size() : 0;
 }
 
+std::vector<std::uint8_t>
+FlightRecorder::kindHistory(NodeId node) const
+{
+    std::vector<std::uint8_t> out;
+    if (node >= rings_.size())
+        return out;
+    const Ring &ring = rings_[node];
+    std::size_t n = ring.events.size();
+    out.reserve(n);
+    std::size_t start = n < capacity_ ? 0 : ring.next;
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(static_cast<std::uint8_t>(
+            ring.events[(start + i) % n].kind));
+    return out;
+}
+
 void
 FlightRecorder::dump(std::ostream &os) const
 {

@@ -61,6 +61,12 @@ class FlightRecorder final : public TraceSink
     std::size_t retainedEvents(NodeId node) const;
     std::size_t capacity() const { return capacity_; }
 
+    /** Nodes that have a ring (highest node id seen + 1). */
+    std::size_t nodeCount() const { return rings_.size(); }
+    /** The retained event-kind sequence of @p node, oldest first —
+     *  the raw material for coverage fingerprints (check/coverage). */
+    std::vector<std::uint8_t> kindHistory(NodeId node) const;
+
     /** Print every node's retained events, oldest first. */
     void dump(std::ostream &os) const;
     std::string dumpString() const;

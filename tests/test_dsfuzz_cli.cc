@@ -1,0 +1,166 @@
+/** @file
+ * dsfuzz CLI contract tests: exit codes (0 = clean / time budget,
+ * 1 = mismatch or model counterexample found, 2 = usage or file
+ * error), the repro files it writes (flight-log and model-trace '#'
+ * comments must survive a parse round-trip), and the model mode's
+ * counterexample-to-repro conversion — all through the real binary,
+ * the way CI and humans drive it.
+ */
+
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/repro.hh"
+
+#ifndef DSFUZZ_BIN
+#error "DSFUZZ_BIN must point at the dsfuzz executable"
+#endif
+
+namespace dscalar {
+namespace {
+
+struct CliResult
+{
+    int exitCode = -1;
+    std::string output;
+};
+
+/** Run dsfuzz with @p args, capturing combined stdout+stderr. */
+CliResult
+runDsfuzz(const std::string &args)
+{
+    static int counter = 0;
+    std::string outFile = ::testing::TempDir() + "/dsfuzz_cli_out." +
+                          std::to_string(counter++);
+    std::string cmd = std::string(DSFUZZ_BIN) + " " + args + " > " +
+                      outFile + " 2>&1";
+    int status = std::system(cmd.c_str());
+    CliResult res;
+    if (WIFEXITED(status))
+        res.exitCode = WEXITSTATUS(status);
+    std::ifstream in(outFile);
+    std::ostringstream os;
+    os << in.rdbuf();
+    res.output = os.str();
+    return res;
+}
+
+TEST(DsfuzzCli, CleanCampaignExitsZero)
+{
+    CliResult res = runDsfuzz("--runs=2 --seed=1 --trace-dir=");
+    EXPECT_EQ(res.exitCode, 0) << res.output;
+    EXPECT_NE(res.output.find("OK:"), std::string::npos)
+        << res.output;
+}
+
+TEST(DsfuzzCli, TimeBudgetExitsZero)
+{
+    // A huge run count with a tiny budget: the campaign must stop at
+    // the budget check, report it, and still exit clean.
+    CliResult res = runDsfuzz(
+        "--runs=1000000 --time-budget=0.05 --seed=1 --trace-dir=");
+    EXPECT_EQ(res.exitCode, 0) << res.output;
+    EXPECT_NE(res.output.find("time budget reached"),
+              std::string::npos)
+        << res.output;
+}
+
+TEST(DsfuzzCli, BadFlagExitsTwo)
+{
+    CliResult res = runDsfuzz("--wibble");
+    EXPECT_EQ(res.exitCode, 2) << res.output;
+    EXPECT_NE(res.output.find("usage:"), std::string::npos);
+}
+
+TEST(DsfuzzCli, UnknownMutationExitsTwo)
+{
+    CliResult res = runDsfuzz("--mutate=not-a-mutation");
+    EXPECT_EQ(res.exitCode, 2) << res.output;
+}
+
+TEST(DsfuzzCli, MissingReproFileExitsTwo)
+{
+    CliResult res =
+        runDsfuzz("--repro=/nonexistent/dsfuzz-repro.txt");
+    EXPECT_EQ(res.exitCode, 2) << res.output;
+}
+
+TEST(DsfuzzCli, ModelCleanExitsZero)
+{
+    CliResult res = runDsfuzz(
+        "--model --model-nodes=2 --model-lines=2 --model-episodes=2");
+    EXPECT_EQ(res.exitCode, 0) << res.output;
+    EXPECT_NE(res.output.find("model OK"), std::string::npos);
+}
+
+TEST(DsfuzzCli, MutationCampaignWritesCommentedRepro)
+{
+    // The planted bug must be found (exit 1), the repro must carry
+    // the failing run's flight log as '#' comments, and the file
+    // must still parse — comments and all — back into the exact
+    // mutated config.
+    std::string repro =
+        ::testing::TempDir() + "/dsfuzz_cli_mutation_repro.txt";
+    CliResult res = runDsfuzz(
+        "--mutate=squash-pending-lost --runs=20 --seed=1 "
+        "--trace-dir= --repro-out=" + repro);
+    ASSERT_EQ(res.exitCode, 1) << res.output;
+    EXPECT_NE(res.output.find("repro written"), std::string::npos);
+
+    std::ifstream in(repro);
+    std::ostringstream os;
+    os << in.rdbuf();
+    std::string text = os.str();
+    EXPECT_NE(text.find("# flight recorder"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("mutation = squash-pending-lost"),
+              std::string::npos);
+
+    check::ReproCase loaded;
+    std::string error;
+    ASSERT_TRUE(check::loadRepro(repro, loaded, error)) << error;
+    EXPECT_EQ(loaded.config.mutation,
+              core::ProtocolMutation::SquashPendingLost);
+    EXPECT_FALSE(loaded.mismatch.empty());
+
+    // And the written file replays to the same verdict.
+    CliResult replay = runDsfuzz("--repro=" + repro);
+    EXPECT_EQ(replay.exitCode, 1) << replay.output;
+    EXPECT_NE(replay.output.find("REPRODUCED"), std::string::npos);
+}
+
+TEST(DsfuzzCli, ModelCounterexampleConvertsToRepro)
+{
+    std::string repro =
+        ::testing::TempDir() + "/dsfuzz_cli_model_repro.txt";
+    CliResult res = runDsfuzz(
+        "--model --mutate=deliver-squash-buffers --seed=1 "
+        "--repro-out=" + repro);
+    ASSERT_EQ(res.exitCode, 1) << res.output;
+    EXPECT_NE(res.output.find("VIOLATION:"), std::string::npos);
+    EXPECT_NE(res.output.find("model counterexample"),
+              std::string::npos);
+
+    // The repro carries the abstract trace as comments and replays.
+    std::ifstream in(repro);
+    std::ostringstream os;
+    os << in.rdbuf();
+    EXPECT_NE(os.str().find("# model counterexample"),
+              std::string::npos);
+    check::ReproCase loaded;
+    std::string error;
+    ASSERT_TRUE(check::loadRepro(repro, loaded, error)) << error;
+    EXPECT_EQ(loaded.config.mutation,
+              core::ProtocolMutation::DeliverSquashBuffers);
+    CliResult replay = runDsfuzz("--repro=" + repro);
+    EXPECT_EQ(replay.exitCode, 1) << replay.output;
+}
+
+} // namespace
+} // namespace dscalar

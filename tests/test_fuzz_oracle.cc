@@ -10,8 +10,11 @@
 
 #include <sstream>
 
+#include "check/coverage.hh"
+#include "check/model.hh"
 #include "check/oracle.hh"
 #include "check/repro.hh"
+#include "core/protocol_mutation.hh"
 
 namespace dscalar {
 namespace {
@@ -109,6 +112,83 @@ TEST(FuzzOracle, FlagsFaultInjectionWithoutRecovery)
     ASSERT_TRUE(flagged);
     EXPECT_NE(mismatch.find("not drained"), std::string::npos)
         << mismatch;
+}
+
+TEST(FuzzMutation, FuzzerAndModelEachCatchEveryPlantedBug)
+{
+    // The mutation-sensitivity contract: every planted single-line
+    // protocol bug (core/protocol_mutation.hh) must be caught by
+    // BOTH detection layers — exhaustive enumeration of the abstract
+    // model AND differential fuzzing of the concrete simulator —
+    // and the concrete mismatch must be the residue the bug plants.
+    check::Oracle oracle;
+    for (unsigned i = 1; i < core::numProtocolMutations; ++i) {
+        auto m = static_cast<core::ProtocolMutation>(i);
+        const char *name = core::protocolMutationName(m);
+
+        // Abstract: a 2-node/2-line/2-episode exhaustive enumeration
+        // must produce a counterexample.
+        check::ModelConfig shape;
+        shape.nodes = 2;
+        shape.lines = 2;
+        shape.episodes = 2;
+        shape.mutation = m;
+        check::ModelResult model = check::checkModel(shape);
+        EXPECT_FALSE(model.ok)
+            << name << " survived the model checker";
+        EXPECT_FALSE(model.trace.empty()) << name;
+
+        // Concrete: the oracle on a reliable medium must flag the
+        // same bug within a handful of seeds.
+        check::TrialConfig config;
+        config.nodes = 3;
+        config.mutation = m;
+        bool flagged = false;
+        std::string mismatch;
+        for (std::uint64_t seed = 1; seed <= 10 && !flagged;
+             ++seed) {
+            mismatch =
+                oracle.recheck(seed, oracle.genParams(), config);
+            flagged = !mismatch.empty();
+        }
+        EXPECT_TRUE(flagged) << name << " survived the fuzzer";
+        EXPECT_NE(mismatch.find("not drained"), std::string::npos)
+            << name << ": " << mismatch;
+        EXPECT_FALSE(oracle.lastFlightLog().empty()) << name;
+    }
+}
+
+TEST(FuzzMutation, MutationRidesInConfigDescription)
+{
+    check::TrialConfig config;
+    EXPECT_EQ(check::describeConfig(config).find("mutation"),
+              std::string::npos);
+    config.mutation = core::ProtocolMutation::BufferedHitKeepsData;
+    EXPECT_NE(check::describeConfig(config)
+                  .find("mutation=buffered-hit-keeps-data"),
+              std::string::npos);
+}
+
+TEST(FuzzCoverage, OracleFeedsCoverageMap)
+{
+    check::CoverageMap map(3);
+    check::OracleOptions oopt;
+    oopt.coverage = &map;
+    check::Oracle oracle(oopt);
+    check::ProgramGen gen(oracle.genParams());
+    prog::Program p = gen.generate(3);
+    check::GoldenRun golden = check::runGolden(p);
+
+    check::TrialConfig config; // default DataScalar run
+    EXPECT_EQ(oracle.checkConfig(p, golden, config), "");
+    EXPECT_GT(oracle.lastCoverageGain(), 0u);
+    EXPECT_GT(map.uniqueNgrams(), 0u);
+    std::uint64_t total = map.uniqueNgrams();
+
+    // The identical run replayed contributes nothing new.
+    EXPECT_EQ(oracle.checkConfig(p, golden, config), "");
+    EXPECT_EQ(oracle.lastCoverageGain(), 0u);
+    EXPECT_EQ(map.uniqueNgrams(), total);
 }
 
 TEST(FuzzShrink, AlwaysFailingCaseConvergesInTwoPasses)
@@ -227,6 +307,45 @@ TEST(FuzzRepro, FormatParseRoundTrip)
     EXPECT_EQ(back.config.faultSeed, 99u);
     EXPECT_EQ(back.config.traceDir, "/tmp/fuzz trace store");
     EXPECT_EQ(back.mismatch, r.mismatch);
+}
+
+TEST(FuzzRepro, CommentedFlightLogRoundTrips)
+{
+    // dsfuzz appends the failing run's flight log (and, for model
+    // counterexamples, the abstract event trace) to repro files as
+    // '#' comment blocks. Those lines contain '=' and ':' freely and
+    // must never confuse the key-value parser.
+    check::ReproCase r;
+    r.seed = 7;
+    r.params = check::GenParams::fuzzDefault();
+    r.config.mutation = core::ProtocolMutation::SquashPendingLost;
+    r.mismatch = "protocol not drained: node 1 line 3";
+
+    std::string text = check::formatRepro(r);
+    EXPECT_NE(text.find("mutation = squash-pending-lost"),
+              std::string::npos);
+    text += "#\n"
+            "# flight recorder (failing run):\n"
+            "#   node 0 @128: bcast-recv line=3 from=1\n"
+            "# model counterexample (2 nodes, key = value noise):\n"
+            "#   1. node 1 issues episode 0 on line 3\n"
+            "# not-a-key and no equals sign either\n";
+
+    std::istringstream in(text);
+    check::ReproCase back;
+    std::string error;
+    ASSERT_TRUE(check::parseRepro(in, back, error)) << error;
+    EXPECT_EQ(back.seed, 7u);
+    EXPECT_EQ(back.config.mutation,
+              core::ProtocolMutation::SquashPendingLost);
+    EXPECT_EQ(back.mismatch, r.mismatch);
+
+    // A clean case must not emit the mutation key at all, so repro
+    // files from ordinary campaigns keep the v1 format.
+    check::ReproCase clean;
+    clean.seed = 1;
+    EXPECT_EQ(check::formatRepro(clean).find("mutation"),
+              std::string::npos);
 }
 
 TEST(FuzzRepro, ParseRejectsMalformedInput)

@@ -1,0 +1,215 @@
+/** @file
+ * check::ProtocolModel tests: the clean protocol is exhaustively
+ * safe at the default shapes (reliable and faulty media), every
+ * planted single-line mutation yields a counterexample with a
+ * minimal trace, enumeration bounds degrade gracefully to
+ * non-exhaustive, and the coverage fingerprint behaves.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/coverage.hh"
+#include "check/model.hh"
+#include "obs/flight_recorder.hh"
+
+namespace dscalar {
+namespace {
+
+using core::ProtocolMutation;
+
+TEST(ProtocolModel, CleanProtocolExhaustivelySafe)
+{
+    check::ModelConfig cfg;
+    cfg.nodes = 2;
+    cfg.lines = 2;
+    cfg.episodes = 3;
+    check::ModelResult res = check::checkModel(cfg);
+    EXPECT_TRUE(res.ok) << res.violation << "\n"
+                        << check::formatCounterexample(cfg, res);
+    EXPECT_TRUE(res.exhaustive);
+    EXPECT_EQ(res.scriptsChecked, 8u); // 2 lines ^ 3 episodes
+    EXPECT_GT(res.states, 100u);
+    EXPECT_GT(res.transitions, res.states);
+}
+
+TEST(ProtocolModel, CleanProtocolSafeUnderFaults)
+{
+    check::ModelConfig cfg;
+    cfg.nodes = 2;
+    cfg.lines = 2;
+    cfg.episodes = 2;
+    cfg.faults = true;
+    check::ModelResult res = check::checkModel(cfg);
+    EXPECT_TRUE(res.ok) << res.violation << "\n"
+                        << check::formatCounterexample(cfg, res);
+    EXPECT_TRUE(res.exhaustive);
+    EXPECT_EQ(res.scriptsChecked, 4u);
+}
+
+TEST(ProtocolModel, ThreeNodesExhaustivelySafe)
+{
+    check::ModelConfig cfg;
+    cfg.nodes = 3;
+    cfg.lines = 3;
+    cfg.episodes = 2;
+    check::ModelResult res = check::checkModel(cfg);
+    EXPECT_TRUE(res.ok) << res.violation << "\n"
+                        << check::formatCounterexample(cfg, res);
+    EXPECT_TRUE(res.exhaustive);
+    EXPECT_EQ(res.scriptsChecked, 9u);
+}
+
+TEST(ProtocolModel, CatchesEveryPlantedMutation)
+{
+    for (unsigned i = 1; i < core::numProtocolMutations; ++i) {
+        auto m = static_cast<ProtocolMutation>(i);
+        check::ModelConfig cfg;
+        cfg.nodes = 2;
+        cfg.lines = 2;
+        cfg.episodes = 2;
+        cfg.mutation = m;
+        check::ModelResult res = check::checkModel(cfg);
+        EXPECT_FALSE(res.ok)
+            << "mutation " << core::protocolMutationName(m)
+            << " survived exhaustive enumeration";
+        EXPECT_FALSE(res.violation.empty());
+        EXPECT_FALSE(res.trace.empty());
+        EXPECT_EQ(res.script.size(), cfg.episodes);
+        std::string cex = check::formatCounterexample(cfg, res);
+        EXPECT_NE(cex.find("script:"), std::string::npos);
+        EXPECT_NE(cex.find(res.violation), std::string::npos);
+        EXPECT_NE(cex.find(core::protocolMutationName(m)),
+                  std::string::npos);
+    }
+}
+
+TEST(ProtocolModel, SquashPendingLostCounterexampleIsMinimal)
+{
+    // One episode, one line: the shortest possible failure is the
+    // non-owner committing its false hit before the broadcast lands
+    // (squash lost), then the delivery parking in the buffer — five
+    // events total (two issues, two commits, one delivery). BFS must
+    // find exactly that.
+    check::ModelConfig cfg;
+    cfg.nodes = 2;
+    cfg.lines = 1;
+    cfg.episodes = 1;
+    cfg.mutation = ProtocolMutation::SquashPendingLost;
+    check::ModelResult res = check::checkModel(cfg);
+    ASSERT_FALSE(res.ok);
+    EXPECT_EQ(res.trace.size(), 5u)
+        << check::formatCounterexample(cfg, res);
+    EXPECT_NE(res.violation.find("not drained"), std::string::npos)
+        << res.violation;
+}
+
+TEST(ProtocolModel, DepthBoundMakesEnumerationNonExhaustive)
+{
+    check::ModelConfig cfg;
+    cfg.nodes = 2;
+    cfg.lines = 2;
+    cfg.episodes = 3;
+    cfg.depthBound = 3;
+    check::ModelResult res = check::checkModel(cfg);
+    EXPECT_TRUE(res.ok);
+    EXPECT_FALSE(res.exhaustive);
+    EXPECT_LE(res.maxDepth, 4u);
+}
+
+TEST(ProtocolModel, StateCapMakesEnumerationNonExhaustive)
+{
+    check::ModelConfig cfg;
+    cfg.nodes = 2;
+    cfg.lines = 2;
+    cfg.episodes = 3;
+    cfg.maxStates = 16;
+    check::ModelResult res = check::checkModel(cfg);
+    EXPECT_FALSE(res.exhaustive);
+}
+
+TEST(ProtocolModel, DepthBoundHidesDeepMutation)
+{
+    // The shortest SquashPendingLost counterexample is five events
+    // deep; a shallower bound must miss it (ok) while reporting the
+    // enumeration as non-exhaustive — the honesty contract bounded
+    // runs rely on.
+    check::ModelConfig cfg;
+    cfg.nodes = 2;
+    cfg.lines = 1;
+    cfg.episodes = 1;
+    cfg.depthBound = 4;
+    cfg.mutation = ProtocolMutation::SquashPendingLost;
+    check::ModelResult res = check::checkModel(cfg);
+    EXPECT_TRUE(res.ok);
+    EXPECT_FALSE(res.exhaustive);
+}
+
+TEST(ProtocolModel, TrialConfigMapsShapeAndMutation)
+{
+    check::ModelConfig cfg;
+    cfg.nodes = 3;
+    cfg.faults = true;
+    cfg.mutation = ProtocolMutation::DeliverSquashBuffers;
+    check::TrialConfig c = check::modelTrialConfig(cfg);
+    EXPECT_EQ(c.system, driver::SystemKind::DataScalar);
+    EXPECT_EQ(c.nodes, 3u);
+    EXPECT_TRUE(c.faults);
+    EXPECT_EQ(c.mutation, ProtocolMutation::DeliverSquashBuffers);
+}
+
+TEST(ProtocolModel, DescribeMentionsShapeAndMutation)
+{
+    check::ModelConfig cfg;
+    cfg.mutation = ProtocolMutation::BufferedHitKeepsData;
+    std::string desc = check::describeModelConfig(cfg);
+    EXPECT_NE(desc.find("nodes=2"), std::string::npos);
+    EXPECT_NE(desc.find("buffered-hit-keeps-data"),
+              std::string::npos);
+}
+
+TEST(Coverage, NgramGainAndSaturation)
+{
+    check::CoverageMap map(3);
+    std::vector<std::uint8_t> run = {0, 1, 2, 1};
+    // Windows: 4×1-gram (3 distinct), 3×2-gram (all distinct),
+    // 2×3-gram (all distinct) = 8 distinct n-grams.
+    std::uint64_t gain = map.record({run});
+    EXPECT_EQ(gain, 8u);
+    EXPECT_EQ(map.uniqueNgrams(), 8u);
+    // The identical run contributes nothing new.
+    EXPECT_EQ(map.record({run}), 0u);
+    // A new ordering of the same kinds adds new windows only.
+    std::uint64_t gain2 = map.record({{2, 1, 0}});
+    EXPECT_GT(gain2, 0u);
+    EXPECT_EQ(map.runsRecorded(), 3u);
+    EXPECT_EQ(map.uniqueNgrams(), 8u + gain2);
+}
+
+TEST(Coverage, NodeIdsAreFoldedOut)
+{
+    // The same kind sequence on different nodes is one behaviour.
+    check::CoverageMap a(2), b(2);
+    std::vector<std::uint8_t> seq = {3, 4, 5};
+    std::uint64_t gainOne = a.record({seq});
+    std::uint64_t gainTwo = b.record({seq, seq});
+    EXPECT_EQ(gainOne, gainTwo);
+}
+
+TEST(Coverage, RecordsFlightRecorderHistories)
+{
+    obs::FlightRecorder rec(16);
+    rec.event({0, 1, TraceEventKind::Broadcast, 0x40, 0});
+    rec.event({1, 2, TraceEventKind::BshrWake, 0x40, 0});
+    rec.event({1, 3, TraceEventKind::BshrSquash, 0x80, 0});
+    EXPECT_EQ(rec.nodeCount(), 2u);
+    auto hist = rec.kindHistory(1);
+    ASSERT_EQ(hist.size(), 2u);
+    EXPECT_EQ(hist[0],
+              static_cast<std::uint8_t>(TraceEventKind::BshrWake));
+    check::CoverageMap map;
+    EXPECT_GT(map.record(rec), 0u);
+    EXPECT_EQ(map.runsRecorded(), 1u);
+}
+
+} // namespace
+} // namespace dscalar
