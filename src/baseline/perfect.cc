@@ -67,6 +67,13 @@ PerfectSystem::run()
     // TraditionalSystem::run).
     core::resolveTickThreads(config_.tickThreads, 1);
 
+    unsigned ph_tick = 0;
+    if (prof_) {
+        ph_tick = prof_->addPhase("tick");
+        profStartNs_ = prof_->elapsedNs();
+        prof_->lapStart();
+    }
+
     Cycle now = 0;
     Cycle last_progress = 0;
     InstSeq last_commit = 0;
@@ -93,6 +100,10 @@ PerfectSystem::run()
         // Cycles through now-1 are final (skipped ones are no-ops).
         if (sampler_)
             sampler_->advance(now - 1);
+    }
+    if (prof_) {
+        prof_->lap(ph_tick);
+        profEndNs_ = prof_->elapsedNs();
     }
 
     core::RunResult result;
@@ -155,6 +166,9 @@ PerfectSystem::snapshotStats() const
         snap->addGroup("system", "---- PerfectSystem ----");
     buildRunStats(*snap, sys, lastResult_);
     buildCoreStats(*snap, core_.coreStats());
+    if (prof_)
+        obs::addProfileGroup(*snap, *prof_,
+                             profEndNs_ - profStartNs_);
     return snap;
 }
 

@@ -17,6 +17,7 @@
 #include "common/trace.hh"
 #include "core/sim_config.hh"
 #include "obs/sampler.hh"
+#include "obs/span.hh"
 #include "stats/snapshot.hh"
 #include "func/func_sim.hh"
 #include "func/inst_trace.hh"
@@ -68,6 +69,11 @@ class PerfectSystem : private ooo::MemBackend
      *  detaches. Sampling never perturbs the simulation. */
     void setSampler(obs::Sampler *sampler);
 
+    /** Attach a wall-clock phase profiler (see
+     *  core::DataScalarSystem::setProfiler); the single-core loop
+     *  reports one coarse "tick" phase. Never perturbs results. */
+    void setProfiler(obs::SpanRecorder *prof) { prof_ = prof; }
+
     /** Write a gem5-style stats dump (rendered from the snapshot). */
     void dumpStats(std::ostream &os) const;
     /** Build the stat snapshot (groups "system" and "core"). */
@@ -90,6 +96,9 @@ class PerfectSystem : private ooo::MemBackend
     core::RunResult lastResult_;
     TeeTraceSink tee_;
     obs::Sampler *sampler_ = nullptr;
+    obs::SpanRecorder *prof_ = nullptr;
+    std::uint64_t profStartNs_ = 0;
+    std::uint64_t profEndNs_ = 0;
 
     void applyTraceSinks();
 };

@@ -107,6 +107,13 @@ TraditionalSystem::run()
     // across systems.
     core::resolveTickThreads(config_.tickThreads, 1);
 
+    unsigned ph_tick = 0;
+    if (prof_) {
+        ph_tick = prof_->addPhase("tick");
+        profStartNs_ = prof_->elapsedNs();
+        prof_->lapStart();
+    }
+
     Cycle now = 0;
     Cycle last_progress = 0;
     InstSeq last_commit = 0;
@@ -133,6 +140,10 @@ TraditionalSystem::run()
         // Cycles through now-1 are final (skipped ones are no-ops).
         if (sampler_)
             sampler_->advance(now - 1);
+    }
+    if (prof_) {
+        prof_->lap(ph_tick);
+        profEndNs_ = prof_->elapsedNs();
     }
 
     core::RunResult result;
@@ -213,6 +224,9 @@ TraditionalSystem::snapshotStats() const
     snap->addCounter(sys, "offchip_writes", offChipWrites_,
                      "off-chip writes and write-backs");
     buildCoreStats(*snap, core_.coreStats());
+    if (prof_)
+        obs::addProfileGroup(*snap, *prof_,
+                             profEndNs_ - profStartNs_);
     return snap;
 }
 

@@ -198,6 +198,19 @@ DataScalarSystem::runSerial()
     // every wake at "now" so every core ticks every cycle.
     std::vector<Cycle> wake(nodes_.size(), 0);
 
+    // Wall-clock phase attribution (setProfiler): the lap pattern
+    // reads the clock once per phase transition, so the four phases
+    // partition the loop's wall time exactly.
+    unsigned ph_delivery = 0, ph_recovery = 0, ph_tick = 0, ph_book = 0;
+    if (prof_) {
+        ph_delivery = prof_->addPhase("delivery");
+        ph_recovery = prof_->addPhase("recovery");
+        ph_tick = prof_->addPhase("tick");
+        ph_book = prof_->addPhase("bookkeeping");
+        profStartNs_ = prof_->elapsedNs();
+        prof_->lapStart();
+    }
+
     while (true) {
         ++loop_ticks;
         while (!deliveries_.empty() && deliveries_.top().at <= now) {
@@ -223,10 +236,15 @@ DataScalarSystem::runSerial()
             }
         }
 
+        if (prof_)
+            prof_->lap(ph_delivery);
+
         if (recoveryActive_) {
             for (auto &node : nodes_)
                 node->checkRecovery(now);
         }
+        if (prof_)
+            prof_->lap(ph_recovery);
 
         bool all_done = true;
         InstSeq min_commit = ~static_cast<InstSeq>(0);
@@ -240,11 +258,15 @@ DataScalarSystem::runSerial()
             all_done = all_done && core.done();
             min_commit = std::min(min_commit, core.committedSeq());
         }
+        if (prof_)
+            prof_->lap(ph_tick);
 
         if (all_done && deliveries_.empty()) {
             // Final cycle's state is settled; flush pending samples.
             if (sampler_)
                 sampler_->advance(now);
+            if (prof_)
+                prof_->lap(ph_book);
             break;
         }
 
@@ -297,6 +319,8 @@ DataScalarSystem::runSerial()
         if (sampler_)
             sampler_->advance(next - 1);
         now = next;
+        if (prof_)
+            prof_->lap(ph_book);
     }
 
     return finishRun(now, loop_ticks);
@@ -306,6 +330,11 @@ RunResult
 DataScalarSystem::finishRun(Cycle final_cycle,
                             std::uint64_t loop_ticks)
 {
+    // Stamp the loop's end before building the snapshot so the
+    // profile group's total_us brackets exactly the instrumented
+    // loop (its phases already sum to this by the lap pattern).
+    if (prof_)
+        profEndNs_ = prof_->elapsedNs();
     RunResult result;
     result.cycles = final_cycle + 1;
     result.loopTicks = loop_ticks;
@@ -330,8 +359,27 @@ DataScalarSystem::runParallel(unsigned threads)
     const bool skipping = config_.eventDriven;
     const std::size_t n = nodes_.size();
 
+    // Wall-clock phase attribution (setProfiler), lap pattern as in
+    // runSerial; "setup" absorbs window/pool construction and
+    // "barrier" the merge-replay, the two costs the serial loop does
+    // not have (docs/PERF.md).
+    unsigned ph_setup = 0, ph_delivery = 0, ph_oracle = 0, ph_tick = 0,
+             ph_barrier = 0, ph_book = 0;
+    if (prof_) {
+        ph_setup = prof_->addPhase("setup");
+        ph_delivery = prof_->addPhase("delivery");
+        ph_oracle = prof_->addPhase("oracle_extend");
+        ph_tick = prof_->addPhase("tick");
+        ph_barrier = prof_->addPhase("barrier");
+        ph_book = prof_->addPhase("bookkeeping");
+        profStartNs_ = prof_->elapsedNs();
+        prof_->lapStart();
+    }
+
     ParallelWindow win(n);
     common::ThreadPool pool(threads);
+    if (prof_)
+        prof_->lap(ph_setup);
 
     Cycle window_start = 0;
     Cycle last_progress_cycle = 0;
@@ -376,6 +424,8 @@ DataScalarSystem::runParallel(unsigned threads)
                 }
             }
         }
+        if (prof_)
+            prof_->lap(ph_delivery);
 
         // All cores were already done and the last delivery has just
         // been consumed: the serial loop breaks at this very cycle.
@@ -392,6 +442,8 @@ DataScalarSystem::runParallel(unsigned threads)
                             std::max(final_cycle, st.doneCycle);
                 if (sampler_)
                     sampler_->advance(final_cycle);
+                if (prof_)
+                    prof_->lap(ph_book);
                 return finishRun(final_cycle, loop_ticks);
             }
         }
@@ -426,6 +478,8 @@ DataScalarSystem::runParallel(unsigned threads)
             stream_.available(max_fetch +
                               (E - W) * config_.core.fetchWidth);
         }
+        if (prof_)
+            prof_->lap(ph_oracle);
 
         // ---- Parallel phase --------------------------------------
         // Only nodes that can act inside [W, E) need running — the
@@ -497,6 +551,8 @@ DataScalarSystem::runParallel(unsigned threads)
                     nodes_[i]->setTraceSink(direct);
             }
         }
+        if (prof_)
+            prof_->lap(ph_tick);
 
         // ---- Barrier: deterministic merge-replay -----------------
         // (cycle, phase, node, seq) reproduces the serial
@@ -533,6 +589,8 @@ DataScalarSystem::runParallel(unsigned threads)
                     tee_.event(it.event);
             }
         }
+        if (prof_)
+            prof_->lap(ph_barrier);
 
         // ---- End-of-window bookkeeping (serial loop's tail) ------
         bool all_done = true;
@@ -552,6 +610,8 @@ DataScalarSystem::runParallel(unsigned threads)
                     final_cycle = std::max(final_cycle, st.doneCycle);
             if (sampler_)
                 sampler_->advance(final_cycle);
+            if (prof_)
+                prof_->lap(ph_book);
             return finishRun(final_cycle, loop_ticks);
         }
 
@@ -597,6 +657,8 @@ DataScalarSystem::runParallel(unsigned threads)
         if (sampler_)
             sampler_->advance(next - 1);
         window_start = next;
+        if (prof_)
+            prof_->lap(ph_book);
     }
 }
 
@@ -739,6 +801,9 @@ DataScalarSystem::snapshotStats() const
     }
     for (const auto &node : nodes_)
         node->buildStats(*snap);
+    if (prof_)
+        obs::addProfileGroup(*snap, *prof_,
+                             profEndNs_ - profStartNs_);
     return snap;
 }
 

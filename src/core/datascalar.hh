@@ -24,6 +24,7 @@
 #include "interconnect/fault_model.hh"
 #include "mem/page_table.hh"
 #include "obs/sampler.hh"
+#include "obs/span.hh"
 #include "ooo/oracle_stream.hh"
 #include "prog/program.hh"
 #include "stats/snapshot.hh"
@@ -126,6 +127,20 @@ class DataScalarSystem : public BroadcastPort
      */
     void setSampler(obs::Sampler *sampler);
 
+    /**
+     * Attach a wall-clock phase profiler; nullptr (the default)
+     * costs nothing on the run loop. The run loop then attributes
+     * its wall time to named phases via @p prof's lap() accumulators
+     * — serial: delivery / recovery / tick / bookkeeping; parallel:
+     * setup / delivery / oracle_extend / tick / barrier /
+     * bookkeeping — and snapshotStats() appends them as the
+     * `profile` group (`phase_<name>_us` plus an independently
+     * measured `total_us`). Wall-clock only: simulated results are
+     * byte-identical with or without a profiler (locked by
+     * tests/test_obs_span.cc).
+     */
+    void setProfiler(obs::SpanRecorder *prof) { prof_ = prof; }
+
     /** Write a gem5-style stats dump for the whole system. */
     void dumpStats(std::ostream &os) const;
 
@@ -195,6 +210,11 @@ class DataScalarSystem : public BroadcastPort
     /** Owned fan-out for attached trace sinks (empty = tracing off). */
     TeeTraceSink tee_;
     obs::Sampler *sampler_ = nullptr;
+    obs::SpanRecorder *prof_ = nullptr;
+    /** Recorder-epoch stamps bracketing the run loop (profile group's
+     *  total_us; phases must sum to it, docs/OBSERVABILITY.md). */
+    std::uint64_t profStartNs_ = 0;
+    std::uint64_t profEndNs_ = 0;
     /** Non-null only while worker threads are inside a parallel
      *  window: broadcast() then buffers the send per source node
      *  instead of transmitting, and the barrier replays the buffers

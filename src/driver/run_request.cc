@@ -177,7 +177,8 @@ applyRunRequestKey(RunRequest &req, const std::string &key,
             key == "tick_threads" || key == "fault_max_delay" ||
             key == "fault_seed" || key == "rerequest_timeout" ||
             key == "bshr_hard" || key == "bshr_capacity" ||
-            key == "trace_reuse" || key == "sample_interval")
+            key == "trace_reuse" || key == "sample_interval" ||
+            key == "profile")
             return bad("an unsigned integer");
         error = "unknown key '" + key + "'";
         return false;
@@ -220,6 +221,8 @@ applyRunRequestKey(RunRequest &req, const std::string &key,
         req.traceReuse = v != 0;
     else if (key == "sample_interval")
         req.sampleInterval = v;
+    else if (key == "profile")
+        req.profile = v != 0;
     else {
         error = "unknown key '" + key + "'";
         return false;
@@ -304,6 +307,8 @@ formatRunRequest(const RunRequest &req)
              std::uint64_t(req.config.bshrCapacity));
     kv::emit(os, "trace_reuse", std::uint64_t(req.traceReuse ? 1 : 0));
     kv::emit(os, "sample_interval", std::uint64_t(req.sampleInterval));
+    if (req.profile)
+        kv::emit(os, "profile", std::uint64_t(1));
     if (!req.perfettoPath.empty())
         kv::emit(os, "perfetto", req.perfettoPath);
     if (!req.traceDir.empty())
@@ -328,6 +333,8 @@ runMeta(const RunRequest &req)
     meta.add("tick_threads", std::uint64_t(req.config.tickThreads));
     if (req.sampleInterval)
         meta.add("sample_interval", std::uint64_t(req.sampleInterval));
+    if (req.profile)
+        meta.add("profile", std::uint64_t(1));
     return meta;
 }
 
@@ -362,14 +369,16 @@ isRegisteredWorkload(const std::string &name)
 /**
  * Observability wiring shared by the three timing systems: optional
  * stderr tracing and Perfetto export (fanned out via the system's
- * TeeTraceSink), an optional flight recorder dumped by any panic
- * (e.g. the run-loop watchdog), an optional sampled timeline, and
- * the run itself. @return false with resp.error set when an
- * attachment cannot be created.
+ * TeeTraceSink; path "-" streams to stdout), an optional flight
+ * recorder dumped by any panic (e.g. the run-loop watchdog), an
+ * optional sampled timeline, optional request spans / the wall-clock
+ * phase profiler (@p spans), and the run itself. @return false with
+ * resp.error set when an attachment cannot be created.
  */
 template <typename System>
 bool
-runAttached(System &sys, const RunRequest &req, RunResponse &resp)
+runAttached(System &sys, const RunRequest &req, RunResponse &resp,
+            obs::SpanRecorder *spans)
 {
     TextTraceSink text_sink(std::cerr);
     if (req.traceToStderr)
@@ -378,14 +387,18 @@ runAttached(System &sys, const RunRequest &req, RunResponse &resp)
     std::ofstream perfetto_file;
     std::unique_ptr<obs::PerfettoTraceSink> perfetto;
     if (!req.perfettoPath.empty()) {
-        perfetto_file.open(req.perfettoPath);
-        if (!perfetto_file) {
-            resp.error =
-                "cannot write perfetto file '" + req.perfettoPath + "'";
-            return false;
+        std::ostream *perfetto_out = &std::cout;
+        if (req.perfettoPath != "-") {
+            perfetto_file.open(req.perfettoPath);
+            if (!perfetto_file) {
+                resp.error = "cannot write perfetto file '" +
+                             req.perfettoPath + "'";
+                return false;
+            }
+            perfetto_out = &perfetto_file;
         }
         perfetto =
-            std::make_unique<obs::PerfettoTraceSink>(perfetto_file);
+            std::make_unique<obs::PerfettoTraceSink>(*perfetto_out);
         sys.addTraceSink(perfetto.get());
     }
 
@@ -403,10 +416,22 @@ runAttached(System &sys, const RunRequest &req, RunResponse &resp)
     if (sampler)
         sys.setSampler(sampler);
 
-    resp.result = sys.run();
+    if (spans && req.profile)
+        sys.setProfiler(spans);
+
+    {
+        obs::SpanScope run_span(spans, "sim_run");
+        resp.result = sys.run();
+    }
     resp.output = sys.output();
-    if (perfetto)
+    if (perfetto) {
+        // The wall-clock track rides along in the same trace file,
+        // next to the sim-time tracks (spans closed so far: build,
+        // trace acquisition, sim_run).
+        if (spans)
+            perfetto->appendWallSpans(*spans);
         perfetto->finish();
+    }
     if (sampler == &local_sampler) {
         std::ostringstream os;
         local_sampler.writeJson(os);
@@ -423,8 +448,18 @@ runOne(const RunRequest &req, TraceCache *cache)
     RunResponse resp;
     resp.meta = runMeta(req);
 
+    // Request spans: an external recorder (the serving path's), or a
+    // private one when only the profile group was asked for. The
+    // recorder observes wall time only — attach one to any request
+    // and every simulated byte stays identical.
+    obs::SpanRecorder local_spans(req.spans == nullptr && req.profile);
+    obs::SpanRecorder *spans = req.spans;
+    if (!spans && req.profile)
+        spans = &local_spans;
+
     std::shared_ptr<const prog::Program> program = req.program;
     if (!program) {
+        obs::SpanScope span(spans, "build");
         if (!isRegisteredWorkload(req.workload)) {
             resp.error = "unknown workload '" + req.workload + "'";
             return resp;
@@ -438,11 +473,16 @@ runOne(const RunRequest &req, TraceCache *cache)
 
     std::shared_ptr<const func::InstTrace> trace = req.trace;
     if (!trace && req.traceReuse && !req.program) {
+        // The acquisition path only learns where the trace came from
+        // as it runs; the span is renamed to what actually happened.
+        obs::SpanScope span(spans, "trace_capture");
         if (cache) {
             bool hit = false;
             trace = cache->acquire(req.workload, req.scale,
                                    req.config.maxInsts, hit);
             resp.cacheHit = hit;
+            if (hit)
+                span.setName("trace_cache_hit");
         } else if (!req.traceDir.empty()) {
             // One-shot callers still get cross-process warmth: a
             // private cache over the persistent store mmap-loads a
@@ -452,6 +492,8 @@ runOne(const RunRequest &req, TraceCache *cache)
             trace = local.acquire(req.workload, req.scale,
                                   req.config.maxInsts);
             resp.cacheHit = local.diskHits() > 0;
+            if (resp.cacheHit)
+                span.setName("trace_disk_load");
         }
     }
 
@@ -459,7 +501,7 @@ runOne(const RunRequest &req, TraceCache *cache)
     switch (req.system) {
       case SystemKind::Perfect: {
         baseline::PerfectSystem sys(*program, cfg, std::move(trace));
-        runAttached(sys, req, resp);
+        runAttached(sys, req, resp, spans);
         break;
       }
       case SystemKind::Traditional: {
@@ -467,7 +509,7 @@ runOne(const RunRequest &req, TraceCache *cache)
             *program, cfg,
             figure7PageTable(*program, cfg.numNodes, req.blockPages),
             std::move(trace));
-        runAttached(sys, req, resp);
+        runAttached(sys, req, resp, spans);
         break;
       }
       case SystemKind::DataScalar: {
@@ -475,7 +517,7 @@ runOne(const RunRequest &req, TraceCache *cache)
             *program, cfg,
             figure7PageTable(*program, cfg.numNodes, req.blockPages),
             std::move(trace));
-        if (runAttached(sys, req, resp))
+        if (runAttached(sys, req, resp, spans))
             resp.drained = sys.protocolDrained();
         break;
       }

@@ -30,6 +30,7 @@
 #include "core/sim_config.hh"
 #include "func/inst_trace.hh"
 #include "obs/sampler.hh"
+#include "obs/span.hh"
 #include "prog/program.hh"
 #include "stats/json_writer.hh"
 
@@ -123,6 +124,13 @@ struct RunRequest
      *  scrubs the key from wire requests — the daemon's store is
      *  controlled only by its own --trace-dir. */
     std::string traceDir;
+    /** Instrument the run loop with the wall-clock phase profiler and
+     *  append the `profile` stats group to the JSON export (key
+     *  `profile`, emitted only when set; 0/absent = off). Wall-clock
+     *  only — every simulated number stays byte-identical, so replies
+     *  to profiled and unprofiled requests differ exactly by the
+     *  profile group and the run_meta `profile` line. */
+    bool profile = false;
 
     /** Bookkeeping: true once `rerequest_timeout` was set explicitly
      *  (finalizeRunRequest only applies the fault/hard-BSHR recovery
@@ -142,6 +150,13 @@ struct RunRequest
     /** Keep a flight recorder attached and dump it on panic (dsrun
      *  and dsserve turn this on; library sweeps stay lean). */
     bool flightRecorder = false;
+    /** External span recorder: runOne opens request-phase spans on it
+     *  (build, trace acquisition, sim_run, ...) and, when @ref
+     *  profile is also set, attaches it to the system as the phase
+     *  profiler. dsserve threads its per-request recorder through
+     *  here; nullptr (with profile set) makes runOne use a private
+     *  one so the profile group still appears. */
+    obs::SpanRecorder *spans = nullptr;
 };
 
 /** Outcome of one RunRequest. */

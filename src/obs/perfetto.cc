@@ -1,5 +1,7 @@
 #include "obs/perfetto.hh"
 
+#include "obs/span.hh"
+
 namespace dscalar {
 namespace obs {
 
@@ -98,6 +100,32 @@ PerfettoTraceSink::event(const ProtocolEvent &ev)
                          ev.cycle - it->second, ev.line);
             openWindows_.erase(it);
         }
+    }
+}
+
+void
+PerfettoTraceSink::appendWallSpans(const SpanRecorder &rec)
+{
+    if (finished_)
+        return;
+    // Second process so the wall-time axis (microseconds of real
+    // time) never mixes with the simulated-cycle tracks under pid 1.
+    beginRecord();
+    os_ << "{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\","
+           "\"args\":{\"name\":\"wall-clock\"}}";
+    beginRecord();
+    os_ << "{\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+           "\"name\":\"thread_name\",\"args\":{\"name\":\"request\"}}";
+    for (const SpanRecorder::Span &span : rec.spans()) {
+        if (span.open)
+            continue;
+        beginRecord();
+        os_ << "{\"name\":\"" << span.name
+            << "\",\"ph\":\"X\",\"ts\":" << span.startNs / 1000
+            << ",\"dur\":" << span.durNs / 1000
+            << ",\"pid\":2,\"tid\":0,\"args\":{\"depth\":"
+            << span.depth << "}}";
+        ++emitted_;
     }
 }
 

@@ -19,6 +19,13 @@
  *  - FaultDelay becomes a duration event on the interconnect track
  *    whose length is the injected delay (ProtocolEvent::arg).
  *
+ * appendWallSpans() adds a second process ("wall-clock", pid 2)
+ * carrying an obs::SpanRecorder's request spans as duration slices
+ * with *microsecond wall-time* timestamps, so where the wall time of
+ * a request went (build, trace acquisition, the timing run) renders
+ * next to the simulated-cycle tracks in one file. Call it after the
+ * run, before finish().
+ *
  * finish() (or destruction) closes still-open recovery windows as
  * zero-length slices and terminates the JSON. Output is validated in
  * CI by tools/perfetto_check.py; how-to in docs/OBSERVABILITY.md.
@@ -38,6 +45,8 @@
 namespace dscalar {
 namespace obs {
 
+class SpanRecorder;
+
 class PerfettoTraceSink final : public TraceSink
 {
   public:
@@ -45,6 +54,11 @@ class PerfettoTraceSink final : public TraceSink
     ~PerfettoTraceSink() override;
 
     void event(const ProtocolEvent &ev) override;
+
+    /** Append @p rec's closed spans as a wall-clock process (pid 2)
+     *  — one slice per span, ts/dur in wall microseconds since the
+     *  recorder epoch. Must precede finish(); no-op afterwards. */
+    void appendWallSpans(const SpanRecorder &rec);
 
     /** Close open windows and terminate the JSON (idempotent). */
     void finish();

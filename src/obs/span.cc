@@ -1,0 +1,135 @@
+#include "obs/span.hh"
+
+#include <cstring>
+#include <string>
+
+#include "common/kv.hh"
+#include "stats/snapshot.hh"
+
+namespace dscalar {
+namespace obs {
+
+namespace {
+
+std::uint64_t
+nsBetween(SpanRecorder::Clock::time_point a,
+          SpanRecorder::Clock::time_point b)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+            .count());
+}
+
+} // namespace
+
+std::size_t
+SpanRecorder::begin(const char *name)
+{
+    if (!enabled_)
+        return 0;
+    std::size_t handle = spans_.size();
+    spans_.push_back(Span{name,
+                          static_cast<unsigned>(openStack_.size()),
+                          nsBetween(epoch_, Clock::now()), 0, true});
+    openStack_.push_back(handle);
+    return handle;
+}
+
+void
+SpanRecorder::end(std::size_t handle)
+{
+    if (!enabled_)
+        return;
+    Span &span = spans_.at(handle);
+    if (!span.open)
+        return;
+    span.durNs = nsBetween(epoch_, Clock::now()) - span.startNs;
+    span.open = false;
+    // Spans close LIFO in practice; tolerate out-of-order ends by
+    // dropping everything above the closed span.
+    while (!openStack_.empty() && openStack_.back() >= handle)
+        openStack_.pop_back();
+}
+
+void
+SpanRecorder::setName(std::size_t handle, const char *name)
+{
+    if (!enabled_)
+        return;
+    spans_.at(handle).name = name;
+}
+
+std::uint64_t
+SpanRecorder::spanUs(const char *name) const
+{
+    for (const Span &span : spans_)
+        if (!span.open && std::strcmp(span.name, name) == 0)
+            return span.durNs / 1000;
+    return 0;
+}
+
+std::uint64_t
+SpanRecorder::elapsedNs() const
+{
+    if (!enabled_)
+        return 0;
+    return nsBetween(epoch_, Clock::now());
+}
+
+void
+SpanRecorder::emitHeaderKeys(std::ostream &os) const
+{
+    for (const Span &span : spans_) {
+        if (span.open || span.depth != 0)
+            continue;
+        std::string key = std::string("span_") + span.name + "_us";
+        common::kv::emit(os, key.c_str(), span.durNs / 1000);
+    }
+}
+
+unsigned
+SpanRecorder::addPhase(const char *name)
+{
+    if (!enabled_)
+        return 0;
+    phaseNames_.push_back(name);
+    phaseNs_.push_back(0);
+    return static_cast<unsigned>(phaseNames_.size() - 1);
+}
+
+void
+SpanRecorder::lapStart()
+{
+    if (!enabled_)
+        return;
+    lastLap_ = Clock::now();
+}
+
+std::uint64_t
+SpanRecorder::phaseTotalNs() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t ns : phaseNs_)
+        total += ns;
+    return total;
+}
+
+void
+addProfileGroup(stats::Snapshot &snap, const SpanRecorder &rec,
+                std::uint64_t totalNs)
+{
+    stats::Snapshot::GroupEntry &g =
+        snap.addGroup("profile", "---- wall-clock profile ----");
+    for (unsigned i = 0; i < rec.phaseCount(); ++i) {
+        snap.addCounter(g,
+                        std::string("phase_") + rec.phaseName(i) + "_us",
+                        rec.phaseUs(i),
+                        std::string("wall microseconds in the ") +
+                            rec.phaseName(i) + " phase");
+    }
+    snap.addCounter(g, "total_us", totalNs / 1000,
+                    "wall microseconds across the instrumented loop");
+}
+
+} // namespace obs
+} // namespace dscalar

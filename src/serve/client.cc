@@ -112,6 +112,12 @@ Client::serverStats()
 }
 
 Reply
+Client::metrics()
+{
+    return exchange("op = metrics\n");
+}
+
+Reply
 Client::shutdown()
 {
     return exchange("op = shutdown\n");

@@ -63,6 +63,10 @@ class Client
     /** Server counters as a stats JSON document (Reply::json). */
     Reply serverStats();
 
+    /** Server counters as Prometheus text exposition (Reply::json
+     *  carries the text body; see serve::renderMetricsText). */
+    Reply metrics();
+
     /** Ask the daemon to shut down (it drains in-flight requests);
      *  the server closes this connection afterwards. */
     Reply shutdown();

@@ -6,11 +6,14 @@
  *
  * A *block* is a run of non-blank lines terminated by one blank line
  * (or connection EOF). Requests are one block: an optional
- * `op = run|stats|ping|shutdown` line (default run) plus, for run,
- * the RunRequest keys of driver::parseRunRequest. Replies are one
- * header block — `status = ok|error`, result fields, and
- * `json_bytes = N` when a body follows — then exactly N bytes of
- * stats JSON. A connection carries any number of request/reply
+ * `op = run|stats|metrics|ping|shutdown` line (default run) plus,
+ * for run, the RunRequest keys of driver::parseRunRequest. Replies
+ * are one header block — `status = ok|error`, result fields
+ * (including `span_<name>_us` wall-clock request spans on run
+ * replies), and `json_bytes = N` when a body follows — then exactly
+ * N body bytes (stats JSON for run/stats, Prometheus text exposition
+ * for metrics; `json_bytes` is the body byte count regardless of
+ * format). A connection carries any number of request/reply
  * exchanges in sequence. Full schema: docs/SERVING.md.
  */
 

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "common/kv.hh"
+#include "obs/span.hh"
 #include "serve/protocol.hh"
 #include "stats/json_writer.hh"
 #include "stats/snapshot.hh"
@@ -148,7 +149,20 @@ Server::handleConnection(Connection *conn)
         }
         bool close_after = false;
         std::string reply = handleBlock(block, close_after);
-        if (!writeAll(conn->fd, reply) || close_after)
+        // The reply flush happens after the header is serialized, so
+        // its cost can only be accounted in the server-wide phase
+        // totals, never in the reply's own span keys.
+        auto write_start = std::chrono::steady_clock::now();
+        bool write_ok = writeAll(conn->fd, reply);
+        std::uint64_t write_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - write_start)
+                .count();
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            counters_.phaseUs["reply_write"] += write_us;
+        }
+        if (!write_ok || close_after)
             break;
     }
     // The fd itself closes after the join (reap/stop), so signal EOF
@@ -185,8 +199,10 @@ Server::handleBlock(const std::string &block, bool &close_after)
         close_after = true;
         return "status = ok\n\n";
     }
-    if (op == "stats") {
-        std::string body = statsJson();
+    if (op == "stats" || op == "metrics") {
+        // Same framing either way: json_bytes is the body byte
+        // count, whatever the body's format.
+        std::string body = op == "stats" ? statsJson() : metricsText();
         std::ostringstream os;
         kv::emit(os, "status", "ok");
         kv::emit(os, "json_bytes", std::uint64_t(body.size()));
@@ -224,6 +240,7 @@ Server::handleRun(std::istream &in)
     req.program = nullptr;
     req.trace = nullptr;
     req.sampler = nullptr;
+    req.spans = nullptr; // admitAndRun attaches the per-request one
     req.traceToStderr = false;
     req.flightRecorder = true;
     // The daemon's persistent store is set by --trace-dir alone; a
@@ -257,6 +274,14 @@ Server::handleRun(std::istream &in)
 std::string
 Server::admitAndRun(driver::RunRequest req)
 {
+    // Per-request span recorder: single-writer, handed from this
+    // connection thread to the pool worker and back — the worker is
+    // done with it before future.get() returns. Its closed top-level
+    // spans become the reply's span_<name>_us keys, the latency
+    // histogram samples, and the server's per-phase wall totals.
+    obs::SpanRecorder rec;
+
+    std::size_t admission = rec.begin("admission");
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
         if (counters_.queueDepth >= cfg_.maxQueueDepth) {
@@ -270,6 +295,9 @@ Server::admitAndRun(driver::RunRequest req)
         if (counters_.queueDepth > counters_.queuePeak)
             counters_.queuePeak = counters_.queueDepth;
     }
+    rec.end(admission);
+
+    req.spans = &rec;
 
     // shared_ptrs because ThreadPool tasks are copyable
     // std::functions.
@@ -280,27 +308,43 @@ Server::admitAndRun(driver::RunRequest req)
     std::future<driver::RunResponse> future = promise->get_future();
     unsigned hold = cfg_.testHoldMillis;
     driver::TraceCache *cache = &cache_;
-    pool_->submit([preq, promise, hold, cache] {
+    std::size_t queue_wait = rec.begin("queue_wait");
+    pool_->submit([preq, promise, hold, cache, &rec, queue_wait] {
+        // The test hold counts as queue wait: it exists to pin
+        // requests "in flight", exactly what the wait measures.
         if (hold)
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(hold));
+        rec.end(queue_wait);
         promise->set_value(driver::runOne(*preq, cache));
     });
     driver::RunResponse resp = future.get();
 
+    std::string body;
+    if (resp.ok()) {
+        obs::SpanScope span(&rec, "render");
+        body = resp.statsJson();
+    }
+
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
         --counters_.queueDepth;
-        if (resp.ok())
+        if (resp.ok()) {
             ++counters_.completed;
-        else
+            counters_.latencyUs.sample(rec.elapsedUs());
+            counters_.queueWaitUs.sample(rec.spanUs("queue_wait"));
+            counters_.runUs.sample(rec.spanUs("sim_run"));
+            for (const auto &span : rec.spans())
+                if (!span.open && span.depth == 0)
+                    counters_.phaseUs[span.name] += span.durNs / 1000;
+        } else {
             ++counters_.failed;
+        }
     }
 
     if (!resp.ok())
         return formatErrorReply(resp.error);
 
-    std::string body = resp.statsJson();
     std::ostringstream os;
     kv::emit(os, "status", "ok");
     kv::emit(os, "cycles", resp.result.cycles);
@@ -308,8 +352,103 @@ Server::admitAndRun(driver::RunRequest req)
     kv::emit(os, "ipc", resp.result.ipc);
     kv::emit(os, "drained", std::uint64_t(resp.drained ? 1 : 0));
     kv::emit(os, "cache_hit", std::uint64_t(resp.cacheHit ? 1 : 0));
+    rec.emitHeaderKeys(os);
+    kv::emit(os, "span_total_us", rec.elapsedUs());
     kv::emit(os, "json_bytes", std::uint64_t(body.size()));
     os << "\n" << body;
+    return os.str();
+}
+
+namespace {
+
+void
+emitMetric(std::ostream &os, const char *name, const char *type,
+           const char *help, std::uint64_t value)
+{
+    os << "# HELP " << name << ' ' << help << '\n'
+       << "# TYPE " << name << ' ' << type << '\n'
+       << name << ' ' << value << '\n';
+}
+
+void
+emitHistogramMetric(std::ostream &os, const std::string &name,
+                    const char *help, const stats::Histogram &h)
+{
+    os << "# HELP " << name << ' ' << help << '\n'
+       << "# TYPE " << name << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bucketCount(); ++i) {
+        if (h.bucket(i) == 0)
+            continue; // cumulative buckets: elide flat spans
+        cum += h.bucket(i);
+        os << name << "_bucket{le=\"" << (i + 1) * h.bucketWidth()
+           << "\"} " << cum << '\n';
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << h.count() << '\n'
+       << name << "_sum " << stats::formatDouble(h.sum()) << '\n'
+       << name << "_count " << h.count() << '\n';
+}
+
+} // namespace
+
+std::string
+renderMetricsText(const ServerStats &s)
+{
+    std::ostringstream os;
+    emitMetric(os, "dsserve_connections_total", "counter",
+               "Accepted connections.", s.connections);
+    emitMetric(os, "dsserve_requests_total", "counter",
+               "Request blocks received.", s.requests);
+    emitMetric(os, "dsserve_completed_total", "counter",
+               "Runs finished successfully.", s.completed);
+    emitMetric(os, "dsserve_failed_total", "counter",
+               "Admitted runs that errored.", s.failed);
+    os << "# HELP dsserve_rejected_total Requests rejected before "
+          "admission, by reason.\n"
+          "# TYPE dsserve_rejected_total counter\n"
+       << "dsserve_rejected_total{reason=\"parse\"} "
+       << s.rejectedParse << '\n'
+       << "dsserve_rejected_total{reason=\"budget\"} "
+       << s.rejectedBudget << '\n'
+       << "dsserve_rejected_total{reason=\"overload\"} "
+       << s.rejectedOverload << '\n'
+       << "dsserve_rejected_total{reason=\"oversize\"} "
+       << s.rejectedOversize << '\n';
+    emitMetric(os, "dsserve_queue_depth", "gauge",
+               "Runs in flight now.", s.queueDepth);
+    emitMetric(os, "dsserve_queue_peak", "gauge",
+               "Max runs ever in flight.", s.queuePeak);
+    emitMetric(os, "dsserve_trace_captures_total", "counter",
+               "Functional captures executed.", s.traceCaptures);
+    emitMetric(os, "dsserve_trace_hits_total", "counter",
+               "Trace acquires served from cache.", s.traceHits);
+    emitMetric(os, "dsserve_trace_bytes", "gauge",
+               "Bytes held across cached traces.", s.traceBytes);
+    emitMetric(os, "dsserve_trace_disk_hits_total", "counter",
+               "Cache misses served from the trace store.",
+               s.traceDiskHits);
+    emitMetric(os, "dsserve_trace_disk_writes_total", "counter",
+               "Trace files written to the store.", s.traceDiskWrites);
+    if (!s.phaseUs.empty()) {
+        os << "# HELP dsserve_phase_us_total Cumulative wall "
+              "microseconds by request phase.\n"
+              "# TYPE dsserve_phase_us_total counter\n";
+        for (const auto &entry : s.phaseUs)
+            os << "dsserve_phase_us_total{phase=\"" << entry.first
+               << "\"} " << entry.second << '\n';
+    }
+    emitHistogramMetric(os, "dsserve_request_latency_us",
+                        "End-to-end request latency (completed "
+                        "runs), microseconds.",
+                        s.latencyUs);
+    emitHistogramMetric(os, "dsserve_queue_wait_us",
+                        "Pool queue wait (completed runs), "
+                        "microseconds.",
+                        s.queueWaitUs);
+    emitHistogramMetric(os, "dsserve_run_us",
+                        "Timing-run wall time (completed runs), "
+                        "microseconds.",
+                        s.runUs);
     return os.str();
 }
 
@@ -366,6 +505,17 @@ Server::statsJson() const
                     "misses served from the trace store");
     snap.addCounter(cache, "disk_writes", s.traceDiskWrites,
                     "trace files written to the store");
+    auto &latency = snap.addGroup("latency", "latency:");
+    snap.addHistogram(latency, "request_latency_us", s.latencyUs,
+                      "end-to-end request latency (completed runs)");
+    snap.addHistogram(latency, "queue_wait_us", s.queueWaitUs,
+                      "pool queue wait (completed runs)");
+    snap.addHistogram(latency, "run_us", s.runUs,
+                      "timing-run wall time (completed runs)");
+    auto &phases = snap.addGroup("phases", "request phases:");
+    for (const auto &entry : s.phaseUs)
+        snap.addCounter(phases, entry.first + "_us", entry.second,
+                        "cumulative wall microseconds in this phase");
 
     stats::RunMeta meta;
     meta.add("service", "dsserve");

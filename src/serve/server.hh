@@ -29,6 +29,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,6 +39,7 @@
 #include "common/types.hh"
 #include "driver/run_request.hh"
 #include "driver/trace_cache.hh"
+#include "stats/stats.hh"
 
 namespace dscalar {
 namespace serve {
@@ -75,8 +77,17 @@ struct ServerConfig
     unsigned testHoldMillis = 0;
 };
 
-/** One snapshot of the server counters (op = stats renders these as
- *  a stats JSON document; see statsJson()). */
+/**
+ * One snapshot of the server counters (op = stats renders these as a
+ * stats JSON document, op = metrics as Prometheus text exposition).
+ *
+ * Coherence contract: every live field mutates, and stats() copies
+ * the whole struct, under one mutex (Server::statsMutex_) — a
+ * snapshot can never show a request as both in flight and finished,
+ * so `completed + failed <= requests` and the latency histogram's
+ * count equals `completed` in every snapshot (locked by
+ * tests/test_metrics.cc).
+ */
 struct ServerStats
 {
     std::uint64_t connections = 0;     ///< accepted connections
@@ -94,7 +105,32 @@ struct ServerStats
     std::uint64_t traceBytes = 0;      ///< TraceCache::memoryBytes()
     std::uint64_t traceDiskHits = 0;   ///< TraceCache::diskHits()
     std::uint64_t traceDiskWrites = 0; ///< TraceCache::diskWrites()
+
+    /** Wall-microsecond distributions over *completed* runs, sampled
+     *  from each request's span recorder (1 ms buckets, 0..200 ms +
+     *  overflow). latencyUs covers admission through reply render;
+     *  queueWaitUs the pool wait (including any test hold); runUs the
+     *  sim_run span alone. */
+    stats::Histogram latencyUs{nullptr, "request_latency_us",
+                               "end-to-end request latency", 1000, 200};
+    stats::Histogram queueWaitUs{nullptr, "queue_wait_us",
+                                 "pool queue wait", 1000, 200};
+    stats::Histogram runUs{nullptr, "run_us",
+                           "timing-run wall time", 1000, 200};
+    /** Cumulative wall microseconds by request phase: one entry per
+     *  top-level span name (admission, queue_wait, build, trace_*,
+     *  sim_run, render) plus reply_write, accounted by the
+     *  connection thread after each reply flush. */
+    std::map<std::string, std::uint64_t> phaseUs;
 };
+
+/** Render @p s as Prometheus text exposition — the `op = metrics`
+ *  reply body. Counters end in `_total`, gauges are bare, the three
+ *  histograms emit cumulative `_bucket{le="..."}` lines (microsecond
+ *  upper bounds, zero-increment buckets elided) plus `_sum` and
+ *  `_count`. Pure function of the snapshot, so golden-text testable
+ *  without a socket (tests/test_metrics.cc). */
+std::string renderMetricsText(const ServerStats &s);
 
 class Server
 {
@@ -128,8 +164,11 @@ class Server
 
     ServerStats stats() const;
     /** The op = stats reply body: counters as a stats JSON document
-     *  (run_meta carries service/socket). */
+     *  (run_meta carries service/socket), including the latency
+     *  histograms and per-phase wall totals. */
     std::string statsJson() const;
+    /** The op = metrics reply body: renderMetricsText(stats()). */
+    std::string metricsText() const { return renderMetricsText(stats()); }
 
   private:
     struct Connection

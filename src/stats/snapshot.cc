@@ -34,6 +34,20 @@ Snapshot::addScalar(GroupEntry &g, std::string name, double value,
     return ref;
 }
 
+Histogram &
+Snapshot::addHistogram(GroupEntry &g, std::string name,
+                       const Histogram &src, std::string desc)
+{
+    auto h = std::make_unique<Histogram>(&g.group, std::move(name),
+                                         std::move(desc),
+                                         src.bucketWidth(),
+                                         src.bucketCount());
+    Histogram &ref = *h;
+    ref.merge(src);
+    stats_.push_back(std::move(h));
+    return ref;
+}
+
 namespace {
 
 /** Renders one stat in the historical dumpStats line format. */

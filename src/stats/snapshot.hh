@@ -48,6 +48,9 @@ class Snapshot
                         std::uint64_t value, std::string desc);
     Scalar &addScalar(GroupEntry &g, std::string name, double value,
                       std::string desc);
+    /** Deep-copy @p src (layout and contents) into the snapshot. */
+    Histogram &addHistogram(GroupEntry &g, std::string name,
+                            const Histogram &src, std::string desc);
 
     const std::deque<GroupEntry> &groups() const { return groups_; }
 

@@ -68,6 +68,46 @@ Histogram::sample(std::uint64_t v)
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    panic_if(other.bucketWidth_ != bucketWidth_ ||
+                 other.buckets_.size() != buckets_.size(),
+             "histogram merge '%s': layout mismatch "
+             "(%llu x %zu vs %llu x %zu)",
+             name().c_str(), (unsigned long long)bucketWidth_,
+             buckets_.size(), (unsigned long long)other.bucketWidth_,
+             other.buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    overflow_ += other.overflow_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+std::uint64_t
+Histogram::percentileUpperBound(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    std::uint64_t rank = static_cast<std::uint64_t>(q * count_);
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= rank)
+            return (i + 1) * bucketWidth_;
+    }
+    // The quantile landed in the overflow bucket: all we know is "at
+    // least the histogram range".
+    return buckets_.size() * bucketWidth_;
+}
+
+void
 Histogram::dump(std::ostream &os) const
 {
     os << std::left << std::setw(40) << name()

@@ -78,6 +78,7 @@ nonDefaultRequest()
     req.blockPages = 2;
     req.traceReuse = false;
     req.sampleInterval = 500;
+    req.profile = true;
     req.perfettoPath = "trace.json";
     req.traceDir = "traces";
     return req;
@@ -110,6 +111,7 @@ TEST(RunRequestFormat, ParseIsExactInverse)
     EXPECT_EQ(parsed.blockPages, 2u);
     EXPECT_FALSE(parsed.traceReuse);
     EXPECT_EQ(parsed.sampleInterval, 500u);
+    EXPECT_TRUE(parsed.profile);
     EXPECT_EQ(parsed.perfettoPath, "trace.json");
     EXPECT_EQ(parsed.traceDir, "traces");
 }

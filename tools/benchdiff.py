@@ -26,6 +26,16 @@ numerically; simulated counters are deterministic, so the default
 tolerance is exact. --tolerance accepts a relative bound for
 intentionally-perturbed comparisons (e.g. across fault seeds).
 
+Wall-clock stats are the exception: the `profile` group (dsrun
+--profile), the server's `latency`/`phases` groups (dsserve op =
+stats snapshots), and any stat named *_us measure wall time, which
+never repeats exactly. Those keys get their own generous bound,
+--wall-tolerance (default 1.0 = a factor of two, with a 1000 us
+absolute floor so microsecond-scale phases don't trip it), while the
+deterministic counters in the same documents stay exact. This lets
+one invocation diff a full --profile dump or two dsserve stats
+snapshots without hand-filtering the timing keys.
+
 Exit status: 0 = no regressions / all stats within tolerance,
 1 = at least one difference beyond the bound, 2 = usage/input error.
 """
@@ -63,6 +73,25 @@ def load_rows(path, data):
     return rows
 
 
+# Stats groups whose values are wall-clock measurements rather than
+# deterministic simulation counters.
+_WALL_GROUPS = {"profile", "latency", "phases"}
+
+# Absolute slack (in the stat's own unit, microseconds for every
+# wall-clock stat we emit) under which a wall-clock delta is noise
+# regardless of its relative size.
+_WALL_ABS_FLOOR = 1000.0
+
+
+def is_wall_clock(key):
+    """True for keys measuring wall time: the profile group, the
+    server latency/phase groups, and any *_us stat."""
+    parts = key.split(".")
+    if parts and parts[0] in _WALL_GROUPS:
+        return True
+    return len(parts) >= 2 and parts[1].endswith("_us")
+
+
 def flatten_stats(data):
     """group.stat.field -> numeric value for a dsrun stats dump."""
     flat = {}
@@ -78,7 +107,7 @@ def flatten_stats(data):
     return flat
 
 
-def diff_stats(base_data, cur_data, tolerance):
+def diff_stats(base_data, cur_data, tolerance, wall_tolerance):
     base = flatten_stats(base_data)
     cur = flatten_stats(cur_data)
     if not base or not cur:
@@ -95,7 +124,11 @@ def diff_stats(base_data, cur_data, tolerance):
         b, c = base[key], cur[key]
         delta = c - b
         rel = abs(delta) / abs(b) if b != 0 else float("inf")
-        within = delta == 0 or rel <= tolerance
+        if is_wall_clock(key):
+            within = (rel <= wall_tolerance or
+                      abs(delta) <= _WALL_ABS_FLOOR)
+        else:
+            within = delta == 0 or rel <= tolerance
         if not within:
             diffs.append((key, delta))
         if delta != 0:
@@ -107,7 +140,8 @@ def diff_stats(base_data, cur_data, tolerance):
 
     if diffs:
         print(f"\n{len(diffs)} stat(s) beyond tolerance "
-              f"{tolerance:g}:", file=sys.stderr)
+              f"{tolerance:g} (wall-clock: {wall_tolerance:g}):",
+              file=sys.stderr)
         for key, delta in diffs:
             what = "missing" if delta is None else f"{delta:+g}"
             print(f"  {key}: {what}", file=sys.stderr)
@@ -129,11 +163,18 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.0,
                     help="relative per-stat bound (stats mode, "
                          "default: exact)")
+    ap.add_argument("--wall-tolerance", type=float, default=1.0,
+                    help="relative bound for wall-clock stats "
+                         "(profile/latency/phases groups, *_us "
+                         "stats; 1000 us absolute floor applies, "
+                         "default: %(default)s)")
     args = ap.parse_args()
     if args.threshold < 0:
         ap.error("--threshold must be >= 0")
     if args.tolerance < 0:
         ap.error("--tolerance must be >= 0")
+    if args.wall_tolerance < 0:
+        ap.error("--wall-tolerance must be >= 0")
 
     base_data = load_json(args.baseline)
     cur_data = load_json(args.current)
@@ -142,7 +183,8 @@ def main():
         sys.exit("benchdiff: cannot mix a stats dump with a "
                  "benchmark dump")
     if base_is_stats:
-        return diff_stats(base_data, cur_data, args.tolerance)
+        return diff_stats(base_data, cur_data, args.tolerance,
+                          args.wall_tolerance)
 
     base = load_rows(args.baseline, base_data)
     cur = load_rows(args.current, cur_data)

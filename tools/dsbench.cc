@@ -13,15 +13,28 @@
  *    workloads, so a shared cache must show reuse),
  *  - a spot-checked warm response must byte-match a cold in-process
  *    run of the same request (the dsserve contract: serving adds no
- *    observable difference).
+ *    observable difference),
+ *  - the server's request-latency histogram (op = metrics) must have
+ *    sampled exactly the client-observed completed count — the two
+ *    ends of the wire agree on how many runs finished.
+ *
+ * The report prints latency percentiles from BOTH sides: client-side
+ * stopwatch timings and the server's own histogram, a cross-check
+ * that the exported metrics describe the load actually applied.
  *
  * Usage:
  *   dsbench [--socket=PATH] [--spawn=DSSERVE] [--requests=N]
  *           [--connections=N] [--max-insts=N] [--trace-dir=DIR]
  *           [--expect-no-captures] [--smoke] [--shutdown]
+ *           [--watch[=MS]] [--watch-count=N]
  *
  * Options:
  *   --socket=PATH     daemon socket (default dsserve.sock)
+ *   --watch[=MS]      poll op = metrics every MS milliseconds
+ *                     (default 500) on a side connection while the
+ *                     bench runs, printing a one-line live dashboard
+ *                     to stderr; always polls at least once
+ *   --watch-count=N   stop watching after N polls (0 = until done)
  *   --spawn=DSSERVE   fork/exec this dsserve binary on --socket,
  *                     bench it, then shut it down and reap it
  *   --trace-dir=DIR   pass a persistent trace store to the spawned
@@ -47,9 +60,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/kv.hh"
@@ -69,7 +85,8 @@ usage()
         "usage: dsbench [--socket=PATH] [--spawn=DSSERVE] [--requests=N]"
         "\n               [--connections=N] [--max-insts=N]"
         "\n               [--trace-dir=DIR] [--expect-no-captures]"
-        "\n               [--smoke] [--shutdown]\n");
+        "\n               [--smoke] [--shutdown]"
+        "\n               [--watch[=MS]] [--watch-count=N]\n");
     return 2;
 }
 
@@ -211,6 +228,106 @@ percentile(const std::vector<double> &sorted, double q)
     return sorted[idx];
 }
 
+/** One parsed snapshot of the daemon's Prometheus text exposition
+ *  (op = metrics): the headline counters plus the request-latency
+ *  histogram's cumulative buckets, enough for percentiles. */
+struct MetricsSample
+{
+    std::uint64_t requests = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t queueDepth = 0;
+    std::uint64_t latencyCount = 0;
+    /** (upper bound in us, cumulative count), ascending, +Inf elided. */
+    std::vector<std::pair<double, std::uint64_t>> latencyBuckets;
+};
+
+bool
+parseMetrics(const std::string &text, MetricsSample &out)
+{
+    static const char *const kBucketPrefix =
+        "dsserve_request_latency_us_bucket{le=\"";
+    bool any = false;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::size_t sp = line.find_last_of(' ');
+        if (sp == std::string::npos)
+            continue;
+        std::string name = line.substr(0, sp);
+        std::string value = line.substr(sp + 1);
+        std::uint64_t v = 0;
+        if (name == "dsserve_requests_total" &&
+            common::kv::parseU64(value, v)) {
+            out.requests = v;
+            any = true;
+        } else if (name == "dsserve_completed_total" &&
+                   common::kv::parseU64(value, v)) {
+            out.completed = v;
+            any = true;
+        } else if (name == "dsserve_failed_total" &&
+                   common::kv::parseU64(value, v)) {
+            out.failed = v;
+            any = true;
+        } else if (name == "dsserve_queue_depth" &&
+                   common::kv::parseU64(value, v)) {
+            out.queueDepth = v;
+        } else if (name == "dsserve_request_latency_us_count" &&
+                   common::kv::parseU64(value, v)) {
+            out.latencyCount = v;
+            any = true;
+        } else if (name.rfind(kBucketPrefix, 0) == 0) {
+            std::string le = name.substr(std::strlen(kBucketPrefix));
+            std::size_t quote = le.find('"');
+            if (quote == std::string::npos || le[0] == '+')
+                continue; // +Inf duplicates _count
+            if (!common::kv::parseU64(value, v))
+                continue;
+            out.latencyBuckets.emplace_back(
+                std::strtod(le.substr(0, quote).c_str(), nullptr), v);
+        }
+    }
+    return any;
+}
+
+/** Percentile in milliseconds from cumulative histogram buckets: the
+ *  upper bound of the first bucket holding the target rank (so an
+ *  over-estimate by at most one bucket width). */
+double
+histPercentileMs(const MetricsSample &m, double q)
+{
+    if (m.latencyCount == 0 || m.latencyBuckets.empty())
+        return 0.0;
+    std::uint64_t target = static_cast<std::uint64_t>(
+        q * static_cast<double>(m.latencyCount));
+    if (target == 0)
+        target = 1;
+    for (const auto &bucket : m.latencyBuckets)
+        if (bucket.second >= target)
+            return bucket.first / 1000.0;
+    // Rank lives in the +Inf overflow bucket; the last finite bound
+    // is the best (under-)estimate available.
+    return m.latencyBuckets.back().first / 1000.0;
+}
+
+/** One op = metrics poll on a fresh connection. */
+bool
+pollMetrics(const std::string &socket_path, MetricsSample &out)
+{
+    serve::Client client;
+    std::string error;
+    if (!client.connect(socket_path, error))
+        return false;
+    serve::Reply reply = client.metrics();
+    return reply.ok && parseMetrics(reply.json, out);
+}
+
 /** Re-run @p req cold in-process (fresh trace, no cache, the same
  *  flight-recorder arming dsserve applies) and compare the stats
  *  JSON byte-for-byte with the warm server reply. */
@@ -271,6 +388,9 @@ main(int argc, char **argv)
     std::string trace_dir;
     bool expect_no_captures = false;
     bool shutdown_only = false;
+    bool watch = false;
+    std::uint64_t watch_interval_ms = 500;
+    std::uint64_t watch_count = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -283,6 +403,16 @@ main(int argc, char **argv)
             shutdown_only = true;
         } else if (arg == "--expect-no-captures") {
             expect_no_captures = true;
+        } else if (arg == "--watch") {
+            watch = true;
+        } else if (flagValue(arg, "--watch", value)) {
+            watch = true;
+            if (!common::kv::parseU64(value, watch_interval_ms) ||
+                watch_interval_ms == 0)
+                return usage();
+        } else if (flagValue(arg, "--watch-count", value)) {
+            if (!common::kv::parseU64(value, watch_count))
+                return usage();
         } else if (flagValue(arg, "--trace-dir", value)) {
             trace_dir = value;
         } else if (flagValue(arg, "--socket", value)) {
@@ -361,8 +491,53 @@ main(int argc, char **argv)
     }
 
     std::vector<driver::RunRequest> mix = buildMix(budget);
+
+    // The live dashboard: a side thread polling op = metrics while
+    // the bench runs. Guaranteed at least one poll (do/while) so a
+    // fast bench still exercises the wire path.
+    std::atomic<bool> bench_done{false};
+    std::thread watcher;
+    if (watch) {
+        watcher = std::thread([&] {
+            std::uint64_t polls = 0;
+            do {
+                MetricsSample m;
+                if (pollMetrics(socket_path, m)) {
+                    ++polls;
+                    std::fprintf(
+                        stderr,
+                        "dsbench watch: completed %llu/%llu failed "
+                        "%llu queue %llu p50 %.1f ms p99 %.1f ms\n",
+                        (unsigned long long)m.completed,
+                        (unsigned long long)total_requests,
+                        (unsigned long long)m.failed,
+                        (unsigned long long)m.queueDepth,
+                        histPercentileMs(m, 0.50),
+                        histPercentileMs(m, 0.99));
+                }
+                if (watch_count && polls >= watch_count)
+                    break;
+                for (std::uint64_t slept = 0;
+                     slept < watch_interval_ms && !bench_done.load();
+                     slept += 20)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(20));
+            } while (!bench_done.load());
+        });
+    }
+
     BenchResult bench = runBench(socket_path, mix, total_requests,
                                  static_cast<unsigned>(connections));
+    bench_done.store(true);
+    if (watcher.joinable())
+        watcher.join();
+
+    // Fetch the metrics exposition BEFORE the spot check: at this
+    // point the latency histogram has sampled exactly the bench's
+    // completed runs, so its _count must equal the client-observed
+    // completed count (the spot check would add one more).
+    MetricsSample metrics;
+    bool have_metrics = pollMetrics(socket_path, metrics);
 
     bool spot_ok = spotCheck(socket_path, mix[0]);
 
@@ -415,6 +590,13 @@ main(int argc, char **argv)
                 percentile(bench.latenciesMs, 0.90),
                 percentile(bench.latenciesMs, 0.99),
                 percentile(bench.latenciesMs, 1.0));
+    if (have_metrics)
+        std::printf("  server latency ms: p50 %.2f  p90 %.2f  "
+                    "p99 %.2f  (histogram n=%llu)\n",
+                    histPercentileMs(metrics, 0.50),
+                    histPercentileMs(metrics, 0.90),
+                    histPercentileMs(metrics, 0.99),
+                    (unsigned long long)metrics.latencyCount);
     std::printf("  trace cache: client-observed hits %llu, server "
                 "hits %llu / captures %llu\n",
                 (unsigned long long)bench.clientCacheHits,
@@ -447,6 +629,15 @@ main(int argc, char **argv)
                      "(captures %llu, disk hits %llu)\n",
                      (unsigned long long)server_captures,
                      (unsigned long long)disk_hits);
+        return 1;
+    }
+    std::uint64_t client_completed = total_requests - bench.failures;
+    if (!have_metrics || metrics.latencyCount != client_completed) {
+        std::fprintf(stderr,
+                     "dsbench: FAIL: server latency histogram count "
+                     "%llu != client-observed completed %llu\n",
+                     (unsigned long long)metrics.latencyCount,
+                     (unsigned long long)client_completed);
         return 1;
     }
     if (!spot_ok)

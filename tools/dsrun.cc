@@ -26,11 +26,24 @@
  *   --no-skip          disable event-driven cycle skipping
  *   --stats            print the full statistics dump
  *   --stats-json=FILE  write run metadata + every stat as JSON
- *                      (schema: docs/OBSERVABILITY.md)
+ *                      (schema: docs/OBSERVABILITY.md). FILE "-"
+ *                      writes the document to stdout and reroutes
+ *                      all human output to stderr, so the result
+ *                      pipes cleanly into jq and friends.
  *   --sample-interval=N  sample a per-node timeline every N cycles
  *                      into the stats JSON ("timeline" key)
+ *   --profile          measure where wall time goes: request spans
+ *                      (build / trace acquisition / sim_run) plus
+ *                      the run loop's per-phase attribution, printed
+ *                      as a human summary and exported as the
+ *                      `profile` stats group. Wall-clock only —
+ *                      simulated results are byte-identical.
  *   --perfetto=FILE    write the protocol event stream as Chrome
- *                      trace-event JSON (open in ui.perfetto.dev)
+ *                      trace-event JSON (open in ui.perfetto.dev);
+ *                      with --profile the wall-clock spans ride
+ *                      along as their own process track. FILE "-"
+ *                      streams the JSON to stdout (human output
+ *                      moves to stderr).
  *   --trace-dir=DIR    persistent trace store: mmap-load this run's
  *                      captured trace from DIR when a valid file is
  *                      there, else capture and save it for the next
@@ -62,6 +75,7 @@
 #include "common/kv.hh"
 #include "driver/driver.hh"
 #include "func/func_sim.hh"
+#include "obs/span.hh"
 #include "prog/asm_parser.hh"
 #include "workloads/workloads.hh"
 
@@ -78,8 +92,9 @@ usage()
         "\n             [--nodes=N] [--ring] [--max-insts=N]"
         "\n             [--scale=N] [--block-pages=N] [--jobs=N]"
         "\n             [--tick-threads=N]"
-        "\n             [--no-skip] [--stats] [--stats-json=FILE]"
-        "\n             [--sample-interval=N] [--perfetto=FILE]"
+        "\n             [--no-skip] [--stats] [--stats-json=FILE|-]"
+        "\n             [--sample-interval=N] [--profile]"
+        "\n             [--perfetto=FILE|-]"
         "\n             [--trace-dir=DIR] [--trace]"
         "\n             [--fault-drop=P] [--fault-dup=P]"
         "\n             [--fault-delay=P] [--fault-max-delay=N]"
@@ -118,6 +133,38 @@ argToKey(const std::string &arg, std::string &key, std::string &value)
     return true;
 }
 
+/** The --profile human summary: the request's span tree (closed
+ *  spans, indented by nesting) and the run loop's phase attribution
+ *  with percentages of the phase total. */
+void
+printProfileSummary(std::FILE *out, const obs::SpanRecorder &rec)
+{
+    std::fprintf(out, "-- wall-clock profile\n");
+    std::fprintf(out, "request spans:\n");
+    for (const auto &span : rec.spans()) {
+        if (span.open)
+            continue;
+        std::fprintf(out, "  %*s%-20s %10llu us\n", span.depth * 2, "",
+                     span.name,
+                     (unsigned long long)(span.durNs / 1000));
+    }
+    if (rec.phaseCount() == 0)
+        return;
+    std::uint64_t total_ns = rec.phaseTotalNs();
+    std::fprintf(out, "run-loop phases:\n");
+    for (unsigned i = 0; i < rec.phaseCount(); ++i) {
+        double pct = total_ns
+                         ? 100.0 * static_cast<double>(rec.phaseNs(i)) /
+                               static_cast<double>(total_ns)
+                         : 0.0;
+        std::fprintf(out, "  %-22s %10llu us  %5.1f%%\n",
+                     rec.phaseName(i),
+                     (unsigned long long)rec.phaseUs(i), pct);
+    }
+    std::fprintf(out, "  %-22s %10llu us  100.0%%\n", "phase total",
+                 (unsigned long long)(total_ns / 1000));
+}
+
 } // namespace
 
 int
@@ -153,6 +200,8 @@ main(int argc, char **argv)
             req.config.eventDriven = false;
         } else if (arg == "--bshr-hard") {
             req.config.bshrHardCapacity = true;
+        } else if (arg == "--profile") {
+            req.profile = true;
         } else if (!arg.empty() && arg[0] == '-') {
             std::string key, value;
             if (!argToKey(arg, key, value))
@@ -226,16 +275,30 @@ main(int argc, char **argv)
     req.system = *kind;
     req.flightRecorder = true;
 
+    // The "-" convention: when stdout carries a machine payload
+    // (stats JSON or a streamed Perfetto trace), every human line —
+    // program output, dumps, summaries — moves to stderr.
+    bool stdout_is_payload =
+        statsJsonPath == "-" || req.perfettoPath == "-";
+    std::FILE *human = stdout_is_payload ? stderr : stdout;
+
+    obs::SpanRecorder rec;
+    if (req.profile)
+        req.spans = &rec;
+
     driver::RunResponse resp = driver::runOne(req);
     if (!resp.ok()) {
         std::fprintf(stderr, "dsrun: %s\n", resp.error.c_str());
         return 2;
     }
-    std::printf("%s", resp.output.c_str());
+    std::fprintf(human, "%s", resp.output.c_str());
     if (stats)
-        resp.result.stats->dump(std::cout);
+        resp.result.stats->dump(stdout_is_payload ? std::cerr
+                                                  : std::cout);
 
-    if (!statsJsonPath.empty()) {
+    if (statsJsonPath == "-") {
+        std::cout << resp.statsJson();
+    } else if (!statsJsonPath.empty()) {
         std::ofstream js(statsJsonPath);
         if (!js) {
             std::fprintf(stderr, "dsrun: cannot write %s\n",
@@ -253,10 +316,14 @@ main(int argc, char **argv)
         !req.config.bshrHardCapacity)
         std::fprintf(stderr, "warning: protocol not drained\n");
 
-    std::printf("-- %s: %llu instructions, %llu cycles, IPC %.3f\n",
-                system.c_str(),
-                (unsigned long long)resp.result.instructions,
-                (unsigned long long)resp.result.cycles,
-                resp.result.ipc);
+    if (req.profile)
+        printProfileSummary(human, rec);
+
+    std::fprintf(human,
+                 "-- %s: %llu instructions, %llu cycles, IPC %.3f\n",
+                 system.c_str(),
+                 (unsigned long long)resp.result.instructions,
+                 (unsigned long long)resp.result.cycles,
+                 resp.result.ipc);
     return 0;
 }

@@ -15,6 +15,11 @@ a trace:
   - every tid that carries events was announced by a thread_name
     metadata record (tracks render unnamed otherwise).
 
+--require-thread=NAME (repeatable) additionally asserts that a
+thread_name record with that name exists and that its track carries
+at least one event — used by CI to pin the wall-clock span track
+("request") that --profile adds next to the sim-time tracks.
+
 Event order is NOT checked: the trace-event format allows unsorted
 events (the Perfetto importer sorts by ts), and the simulator
 legitimately emits out of cycle order — a delayed delivery is
@@ -36,7 +41,7 @@ def fail(msg):
     return 1
 
 
-def validate(data, min_events):
+def validate(data, min_events, require_threads=()):
     if not isinstance(data, dict) or "traceEvents" not in data:
         return fail("top level must be an object with 'traceEvents'")
     events = data["traceEvents"]
@@ -44,6 +49,8 @@ def validate(data, min_events):
         return fail("'traceEvents' must be an array")
 
     named_tids = set()
+    thread_tids = {}  # thread name -> set of tids announced with it
+    tid_events = {}   # tid -> emitted event count
     counts = {"M": 0, "i": 0, "X": 0}
 
     for n, ev in enumerate(events):
@@ -66,6 +73,7 @@ def validate(data, min_events):
                 if "tid" not in ev:
                     return fail(f"{where}: thread_name without tid")
                 named_tids.add(ev["tid"])
+                thread_tids.setdefault(name, set()).add(ev["tid"])
             continue
 
         for key in ("name", "ts", "pid", "tid"):
@@ -78,6 +86,7 @@ def validate(data, min_events):
         if tid not in named_tids:
             return fail(f"{where}: tid {tid} has no thread_name "
                         "metadata")
+        tid_events[tid] = tid_events.get(tid, 0) + 1
         if ph == "i" and ev.get("s") != "t":
             return fail(f"{where}: instant without thread scope")
         if ph == "X":
@@ -89,6 +98,14 @@ def validate(data, min_events):
     if emitted < min_events:
         return fail(f"only {emitted} events, expected at least "
                     f"{min_events}")
+    for name in require_threads:
+        tids = thread_tids.get(name)
+        if not tids:
+            return fail(f"required thread {name!r} has no "
+                        "thread_name record")
+        if not any(tid_events.get(t, 0) for t in tids):
+            return fail(f"required thread {name!r} carries no "
+                        "events")
     print(f"ok: {emitted} events ({counts['i']} instant, "
           f"{counts['X']} duration) on {len(named_tids)} tracks, "
           f"{counts['M']} metadata records")
@@ -102,6 +119,10 @@ def main():
     ap.add_argument("--min-events", type=int, default=1,
                     help="fail when fewer instant/duration events "
                          "are present (default: %(default)s)")
+    ap.add_argument("--require-thread", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless a thread with this name exists "
+                         "and carries events (repeatable)")
     args = ap.parse_args()
     try:
         with open(args.trace) as f:
@@ -110,7 +131,7 @@ def main():
         print(f"perfetto_check: cannot read {args.trace}: {e}",
               file=sys.stderr)
         return 2
-    return validate(data, args.min_events)
+    return validate(data, args.min_events, args.require_thread)
 
 
 if __name__ == "__main__":
